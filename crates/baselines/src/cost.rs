@@ -1,0 +1,58 @@
+//! Measurement-cost accounting for tomography methods.
+//!
+//! The paper's efficiency claim (§I, §II-B, §V) is about the *measurement
+//! phase*: traditional saturation probing needs hours (\[13\]: ~1 h for 20
+//! nodes) where BitTorrent broadcasts need minutes. Every baseline here
+//! returns a [`MeasurementCost`] so the `repro cost` experiment can print
+//! the comparison.
+
+/// What a measurement procedure consumed.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct MeasurementCost {
+    /// Simulated wall time occupied by probing (the testbed-time the paper
+    /// compares).
+    pub sim_seconds: f64,
+    /// Bytes injected into the network.
+    pub bytes_moved: f64,
+    /// Individual probe experiments performed.
+    pub probes: usize,
+}
+
+impl MeasurementCost {
+    /// Accumulates another cost.
+    pub fn add(&mut self, other: MeasurementCost) {
+        self.sim_seconds += other.sim_seconds;
+        self.bytes_moved += other.bytes_moved;
+        self.probes += other.probes;
+    }
+
+    /// Human-readable one-liner.
+    pub fn summary(&self) -> String {
+        format!(
+            "{:.1} s simulated, {:.1} GB moved, {} probes",
+            self.sim_seconds,
+            self.bytes_moved / 1e9,
+            self.probes
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_accumulates() {
+        let mut a = MeasurementCost { sim_seconds: 1.0, bytes_moved: 10.0, probes: 2 };
+        a.add(MeasurementCost { sim_seconds: 2.0, bytes_moved: 5.0, probes: 1 });
+        assert_eq!(a, MeasurementCost { sim_seconds: 3.0, bytes_moved: 15.0, probes: 3 });
+    }
+
+    #[test]
+    fn summary_mentions_probes() {
+        let c = MeasurementCost { sim_seconds: 3600.0, bytes_moved: 2e9, probes: 190 };
+        let s = c.summary();
+        assert!(s.contains("3600.0 s"));
+        assert!(s.contains("190 probes"));
+    }
+}

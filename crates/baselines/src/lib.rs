@@ -1,0 +1,33 @@
+//! # btt-baselines — traditional tomography measurement procedures
+//!
+//! The comparison points for the paper's efficiency and capability claims:
+//!
+//! * [`netpipe`] — point-to-point saturation probing (the paper's
+//!   calibration tool; ref. \[24\]); low variance, but one pair at a time;
+//! * [`pairwise`] — O(N²) sequential pair probing in the spirit of the
+//!   application-level network mapper (ref. \[13\]); blind to bottlenecks
+//!   that only bind under concurrent load;
+//! * [`interference`] — O(N³) pairs-against-pairs interference probing in
+//!   the spirit of ref. \[12\] and the paper's Fig. 2; detects collective
+//!   bottlenecks but pays hours of measurement time where the BitTorrent
+//!   method pays minutes;
+//! * [`cost`] — the [`cost::MeasurementCost`] bill every method reports.
+//!
+//! All baselines run on the same simulated substrate as the tomography
+//! method and hand their matrices to the same Louvain phase 2, so the
+//! comparison isolates the *measurement* procedures.
+
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod interference;
+pub mod netpipe;
+pub mod pairwise;
+
+/// Commonly used items.
+pub mod prelude {
+    pub use crate::cost::MeasurementCost;
+    pub use crate::interference::{interference_probing, InterferenceResult};
+    pub use crate::netpipe::{block_size_sweep, netpipe, NetpipeResult};
+    pub use crate::pairwise::{pairwise_probing, PairwiseResult};
+}

@@ -1,0 +1,74 @@
+//! Criterion: wall-clock cost of simulating one instrumented broadcast —
+//! the per-iteration price of the measurement phase (paper §II-B), swept
+//! over swarm size and message size.
+
+use btt_netsim::grid5000::Grid5000;
+use btt_netsim::routing::RouteTable;
+use btt_swarm::broadcast::run_broadcast;
+use btt_swarm::config::SwarmConfig;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn bench_nodes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("broadcast/nodes");
+    group.sample_size(10).measurement_time(Duration::from_secs(8));
+    for n in [16usize, 32, 64] {
+        let grid = Grid5000::builder().flat_site("site", n).build();
+        let routes = Arc::new(RouteTable::new(grid.topology.clone()));
+        let hosts = grid.all_hosts();
+        let cfg = SwarmConfig::small(2_000);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                run_broadcast(&routes, &hosts, 0, &cfg, seed)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_message_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("broadcast/fragments");
+    group.sample_size(10).measurement_time(Duration::from_secs(8));
+    let grid = Grid5000::builder().flat_site("site", 32).build();
+    let routes = Arc::new(RouteTable::new(grid.topology.clone()));
+    let hosts = grid.all_hosts();
+    for pieces in [1_000u32, 4_000, 15_259] {
+        let cfg = SwarmConfig::small(pieces);
+        group.bench_with_input(BenchmarkId::from_parameter(pieces), &pieces, |b, _| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                run_broadcast(&routes, &hosts, 0, &cfg, seed)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_multi_site(c: &mut Criterion) {
+    let mut group = c.benchmark_group("broadcast/four-sites");
+    group.sample_size(10).measurement_time(Duration::from_secs(8));
+    let grid = Grid5000::builder()
+        .bordeaux(0, 0, 16)
+        .flat_site("grenoble", 16)
+        .flat_site("toulouse", 16)
+        .flat_site("lyon", 16)
+        .build();
+    let routes = Arc::new(RouteTable::new(grid.topology.clone()));
+    let hosts = grid.all_hosts();
+    let cfg = SwarmConfig::small(2_000);
+    group.bench_function("64-nodes", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            run_broadcast(&routes, &hosts, 0, &cfg, seed)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_nodes, bench_message_size, bench_multi_site);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion: the max-min progressive-filling solver — the per-step kernel
+//! of the fluid engine.
+
+use btt_netsim::fairness::{max_min_rates, FlowInput};
+use btt_netsim::prelude::*;
+use btt_netsim::routing::RouteTable;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
+
+fn build(clusters: usize, hosts_per: usize) -> (Arc<Topology>, RouteTable) {
+    let mut b = TopologyBuilder::new();
+    let backbone = b.add_switch("bb", "s");
+    for c in 0..clusters {
+        let sw = b.add_switch(format!("sw{c}"), "s");
+        b.link(sw, backbone, LinkSpec::lan(Bandwidth::from_mbps(890.0)));
+        for h in 0..hosts_per {
+            let host = b.add_host(format!("h{c}-{h}"), "s", format!("c{c}"));
+            b.link(host, sw, LinkSpec::lan(Bandwidth::from_mbps(890.0)));
+        }
+    }
+    let t = Arc::new(b.build().unwrap());
+    let rt = RouteTable::new(t.clone());
+    (t, rt)
+}
+
+fn bench_solver(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fairness/max-min");
+    for nflows in [64usize, 256, 1024] {
+        let (topo, rt) = build(8, 16);
+        let hosts = topo.hosts().to_vec();
+        let routes: Vec<Vec<ChannelId>> = (0..nflows)
+            .map(|i| {
+                let a = hosts[i % hosts.len()];
+                let b = hosts[(i * 7 + 13) % hosts.len()];
+                if a == b {
+                    rt.route(a, hosts[(i * 7 + 14) % hosts.len()])
+                } else {
+                    rt.route(a, b)
+                }
+            })
+            .collect();
+        let caps = topo.channel_capacities();
+        group.bench_with_input(BenchmarkId::from_parameter(nflows), &nflows, |bch, _| {
+            let flows: Vec<FlowInput<'_>> =
+                routes.iter().map(|r| FlowInput { route: r, cap: None }).collect();
+            bch.iter(|| max_min_rates(&caps, &flows));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_solver);
+criterion_main!(benches);

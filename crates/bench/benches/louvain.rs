@@ -1,0 +1,50 @@
+//! Criterion: the phase-2 clustering algorithms on measurement-like graphs.
+
+use btt_cluster::prelude::*;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_louvain(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cluster/louvain");
+    for n_per in [16usize, 64, 256] {
+        let (g, _) = planted_partition(4, n_per, 8.0, 1.0, 7);
+        group.bench_with_input(BenchmarkId::from_parameter(4 * n_per), &n_per, |b, _| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                louvain(&g, seed)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_infomap(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cluster/infomap");
+    for n_per in [16usize, 64] {
+        let (g, _) = planted_partition(4, n_per, 8.0, 1.0, 7);
+        group.bench_with_input(BenchmarkId::from_parameter(4 * n_per), &n_per, |b, _| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                infomap(&g, seed)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_labelprop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cluster/label-propagation");
+    let (g, _) = planted_partition(4, 64, 8.0, 1.0, 7);
+    group.bench_function("256", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            label_propagation(&g, seed, 100)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_louvain, bench_infomap, bench_labelprop);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion: clustering-comparison measures (NMI and the LFK overlapping
+//! NMI the paper reports).
+
+use btt_cluster::prelude::*;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn partitions(n: usize, k: u32) -> (Partition, Partition) {
+    let a: Vec<u32> = (0..n).map(|v| (v as u32) % k).collect();
+    let b: Vec<u32> = (0..n).map(|v| ((v as u32) * 7 + 3) % k).collect();
+    (Partition::from_assignments(&a), Partition::from_assignments(&b))
+}
+
+fn bench_nmi(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compare/nmi");
+    for n in [1_000usize, 10_000, 100_000] {
+        let (x, y) = partitions(n, 16);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| nmi(&x, &y));
+        });
+    }
+    group.finish();
+}
+
+fn bench_onmi(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compare/onmi");
+    for n in [1_000usize, 10_000] {
+        let (x, y) = partitions(n, 16);
+        let (cx, cy) = (Cover::from_partition(&x), Cover::from_partition(&y));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| onmi(&cx, &cy));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_nmi, bench_onmi);
+criterion_main!(benches);

@@ -1,0 +1,102 @@
+//! `repro` — regenerates every figure and table of the paper.
+//!
+//! ```text
+//! repro [OPTIONS] <EXPERIMENT>...
+//!
+//! Experiments:
+//!   fig4 fig5 fig8 fig9 fig10 fig11 fig12 fig13 small2x2
+//!   scaling-nodes scaling-size cost
+//!   ablation-infomap ablation-selection ablation-root ablation-load
+//!   all                 run everything above, in order
+//!
+//! Options:
+//!   --out <DIR>         artifact directory (default: out)
+//!   --seed <N>          master seed (default: 2012)
+//!   --quick             reduced file size and iteration counts (smoke run)
+//!   --pieces <N>        override the file size in 16 KiB fragments
+//!   --iterations <N>    override the per-dataset iteration counts
+//! ```
+
+use btt_bench::experiments::{run, ALL_EXPERIMENTS};
+use btt_bench::ReproCtx;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: repro [--out DIR] [--seed N] [--quick] [--pieces N] [--iterations N] \
+         <experiment>...\nexperiments: {} all",
+        ALL_EXPERIMENTS.join(" ")
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out = "out".to_string();
+    let mut seed = 2012u64;
+    let mut quick = false;
+    let mut pieces: Option<u32> = None;
+    let mut iterations: Option<u32> = None;
+    let mut experiments: Vec<String> = Vec::new();
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                i += 1;
+                out = args.get(i).unwrap_or_else(|| usage()).clone();
+            }
+            "--seed" => {
+                i += 1;
+                seed = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+            }
+            "--pieces" => {
+                i += 1;
+                pieces = Some(args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage()));
+            }
+            "--iterations" => {
+                i += 1;
+                iterations =
+                    Some(args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage()));
+            }
+            "--quick" => quick = true,
+            "--help" | "-h" => usage(),
+            other if other.starts_with('-') => usage(),
+            other => experiments.push(other.to_string()),
+        }
+        i += 1;
+    }
+    if experiments.is_empty() {
+        usage();
+    }
+    if experiments.iter().any(|e| e == "all") {
+        experiments = ALL_EXPERIMENTS.iter().map(|s| s.to_string()).collect();
+    }
+
+    let mut ctx = ReproCtx::new(&out, seed);
+    if quick {
+        ctx = ctx.quick();
+    }
+    if pieces.is_some() {
+        ctx.pieces = pieces;
+    }
+    if iterations.is_some() {
+        ctx.iterations = iterations;
+    }
+
+    println!(
+        "repro: seed={seed} pieces={} iterations={} out={out}",
+        ctx.effective_pieces(),
+        ctx.iterations.map_or("paper defaults".to_string(), |i| i.to_string()),
+    );
+
+    let wall = std::time::Instant::now();
+    for e in &experiments {
+        let t = std::time::Instant::now();
+        if !run(&mut ctx, e) {
+            eprintln!("unknown experiment: {e}");
+            usage();
+        }
+        println!("[{e} took {:.1?}]", t.elapsed());
+    }
+    println!("\nall done in {:.1?}; artifacts in {out}/", wall.elapsed());
+}

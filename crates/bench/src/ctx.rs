@@ -1,0 +1,176 @@
+//! Execution context for the `repro` harness: output directory, global
+//! settings, and a cache of measurement campaigns so experiments that share
+//! a dataset (fig4/fig5/fig8/fig13/ablation-infomap all use dataset B) pay
+//! for it once.
+
+use btt_core::prelude::*;
+use std::collections::HashMap;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Harness-wide settings and caches.
+pub struct ReproCtx {
+    /// Where CSV/DOT/SVG artefacts land.
+    pub out: PathBuf,
+    /// Master seed for every session.
+    pub seed: u64,
+    /// Override file size (fragments); `None` = the paper's 15 259.
+    pub pieces: Option<u32>,
+    /// Override iteration counts; `None` = the paper's per-dataset counts.
+    pub iterations: Option<u32>,
+    reports: HashMap<Dataset, TomographyReport>,
+}
+
+impl ReproCtx {
+    /// Creates a context writing under `out` (created if missing).
+    pub fn new(out: impl Into<PathBuf>, seed: u64) -> Self {
+        let out = out.into();
+        fs::create_dir_all(&out).expect("create output directory");
+        ReproCtx { out, seed, pieces: None, iterations: None, reports: HashMap::new() }
+    }
+
+    /// Quick mode: smaller file and fewer iterations, for smoke runs.
+    pub fn quick(mut self) -> Self {
+        self.pieces = Some(2_000);
+        self.iterations = Some(12);
+        self
+    }
+
+    /// The effective fragment count.
+    pub fn effective_pieces(&self) -> u32 {
+        self.pieces.unwrap_or(15_259)
+    }
+
+    /// The effective iteration count for `dataset`.
+    pub fn effective_iterations(&self, dataset: Dataset) -> u32 {
+        self.iterations.unwrap_or_else(|| dataset.paper_iterations())
+    }
+
+    /// Builds (or returns the cached) tomography report for `dataset`.
+    pub fn report(&mut self, dataset: Dataset) -> &TomographyReport {
+        if !self.reports.contains_key(&dataset) {
+            let mut session = TomographySession::new(dataset).seed(self.seed);
+            if let Some(p) = self.pieces {
+                session = session.pieces(p);
+            }
+            session = session.iterations(self.effective_iterations(dataset));
+            let report = session.run();
+            self.reports.insert(dataset, report);
+        }
+        &self.reports[&dataset]
+    }
+
+    /// Writes `content` to `<out>/<name>` and reports the path on stdout.
+    pub fn write_artifact(&self, name: &str, content: &str) -> PathBuf {
+        let path = self.out.join(name);
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent).expect("create artifact directory");
+        }
+        let mut f = fs::File::create(&path).expect("create artifact file");
+        f.write_all(content.as_bytes()).expect("write artifact");
+        println!("  -> wrote {}", path.display());
+        path
+    }
+
+    /// Writes a CSV artifact from a header and rows.
+    pub fn write_csv(&self, name: &str, header: &str, rows: &[String]) -> PathBuf {
+        let mut s = String::with_capacity(rows.len() * 32 + header.len() + 1);
+        s.push_str(header);
+        s.push('\n');
+        for r in rows {
+            s.push_str(r);
+            s.push('\n');
+        }
+        self.write_artifact(name, &s)
+    }
+}
+
+/// Renders a fixed-width text table (first row = header).
+pub fn text_table(rows: &[Vec<String>]) -> String {
+    if rows.is_empty() {
+        return String::new();
+    }
+    let cols = rows.iter().map(|r| r.len()).max().unwrap_or(0);
+    let mut widths = vec![0usize; cols];
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    for (ri, row) in rows.iter().enumerate() {
+        for (i, cell) in row.iter().enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            out.push_str(&format!("{:>w$}", cell, w = widths[i]));
+        }
+        out.push('\n');
+        if ri == 0 {
+            let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+            out.push_str(&"-".repeat(total));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// ASCII bar for quick visual tables: `len` characters at `value/max`.
+pub fn bar(value: f64, max: f64, len: usize) -> String {
+    if max <= 0.0 {
+        return String::new();
+    }
+    let n = ((value / max) * len as f64).round().max(0.0) as usize;
+    "#".repeat(n.min(len))
+}
+
+/// Checks a path exists (test helper).
+pub fn exists(p: &Path) -> bool {
+    p.exists()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ctx_caches_reports() {
+        let dir = std::env::temp_dir().join(format!("btt-bench-test-{}", std::process::id()));
+        let mut ctx = ReproCtx::new(&dir, 1).quick();
+        ctx.pieces = Some(64);
+        ctx.iterations = Some(2);
+        let t0 = std::time::Instant::now();
+        let _ = ctx.report(Dataset::Small2x2);
+        let first = t0.elapsed();
+        let t1 = std::time::Instant::now();
+        let _ = ctx.report(Dataset::Small2x2);
+        let second = t1.elapsed();
+        assert!(second < first / 2, "second lookup must be cached");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn artifacts_land_in_out_dir() {
+        let dir = std::env::temp_dir().join(format!("btt-bench-art-{}", std::process::id()));
+        let ctx = ReproCtx::new(&dir, 1);
+        let p = ctx.write_artifact("sub/file.txt", "hello");
+        assert!(p.exists());
+        let c = ctx.write_csv("t.csv", "a,b", &["1,2".into()]);
+        assert_eq!(fs::read_to_string(c).unwrap(), "a,b\n1,2\n");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn table_and_bar_render() {
+        let t = text_table(&[
+            vec!["name".into(), "value".into()],
+            vec!["x".into(), "10".into()],
+        ]);
+        assert!(t.contains("name"));
+        assert!(t.contains("-----"));
+        assert_eq!(bar(5.0, 10.0, 10), "#####");
+        assert_eq!(bar(0.0, 10.0, 10), "");
+        assert_eq!(bar(20.0, 10.0, 10), "##########");
+    }
+}

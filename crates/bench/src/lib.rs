@@ -1,0 +1,11 @@
+//! # btt-bench — the reproduction harness
+//!
+//! Shared infrastructure for the `repro` binary (one generator per paper
+//! figure/table, see DESIGN.md §4) and the criterion benchmarks.
+
+#![warn(missing_docs)]
+
+pub mod ctx;
+pub mod experiments;
+
+pub use ctx::ReproCtx;

@@ -1,0 +1,126 @@
+//! Synthetic graphs with known community structure, for tests and benches.
+
+use crate::graph::WeightedGraph;
+use crate::partition::Partition;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+
+/// `k` cliques of `size` nodes, consecutive cliques joined by a single edge
+/// in a ring. The classic Louvain sanity benchmark. Returns the graph and
+/// the ground-truth partition (one cluster per clique).
+pub fn ring_of_cliques(k: usize, size: usize) -> (WeightedGraph, Partition) {
+    assert!(k >= 2 && size >= 2);
+    let n = k * size;
+    let mut edges = Vec::new();
+    for c in 0..k {
+        let base = (c * size) as u32;
+        for a in 0..size as u32 {
+            for b in (a + 1)..size as u32 {
+                edges.push((base + a, base + b, 1.0));
+            }
+        }
+        let next_base = (((c + 1) % k) * size) as u32;
+        edges.push((base, next_base, 1.0));
+    }
+    let assign: Vec<u32> = (0..n).map(|v| (v / size) as u32).collect();
+    (WeightedGraph::from_edges(n, &edges), Partition::from_assignments(&assign))
+}
+
+/// A weighted planted-partition graph: `k` groups of `size` nodes on a
+/// complete graph where intra-group edges weigh `w_in` and inter-group edges
+/// `w_out`, each perturbed by ±20 % uniform noise.
+///
+/// This mimics the *aggregated tomography metric*: a dense weighted graph
+/// whose weight contrast (not its topology) encodes the clusters.
+pub fn planted_partition(
+    k: usize,
+    size: usize,
+    w_in: f64,
+    w_out: f64,
+    seed: u64,
+) -> (WeightedGraph, Partition) {
+    assert!(k >= 1 && size >= 1);
+    assert!(w_in > 0.0 && w_out >= 0.0);
+    let n = k * size;
+    let mut rng = ChaCha12Rng::seed_from_u64(seed);
+    let mut edges = Vec::with_capacity(n * (n - 1) / 2);
+    for a in 0..n as u32 {
+        for b in (a + 1)..n as u32 {
+            let same = (a as usize / size) == (b as usize / size);
+            let base = if same { w_in } else { w_out };
+            if base <= 0.0 {
+                continue;
+            }
+            let noise = rng.gen_range(0.8..1.2);
+            edges.push((a, b, base * noise));
+        }
+    }
+    let assign: Vec<u32> = (0..n).map(|v| (v / size) as u32).collect();
+    (WeightedGraph::from_edges(n, &edges), Partition::from_assignments(&assign))
+}
+
+/// An Erdős–Rényi-style weighted random graph with no planted structure —
+/// the null case for clustering algorithms.
+pub fn random_graph(n: usize, p: f64, seed: u64) -> WeightedGraph {
+    let mut rng = ChaCha12Rng::seed_from_u64(seed);
+    let mut edges = Vec::new();
+    for a in 0..n as u32 {
+        for b in (a + 1)..n as u32 {
+            if rng.gen_bool(p) {
+                edges.push((a, b, rng.gen_range(0.5..1.5)));
+            }
+        }
+    }
+    WeightedGraph::from_edges(n, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_of_cliques_shape() {
+        let (g, p) = ring_of_cliques(4, 5);
+        assert_eq!(g.num_nodes(), 20);
+        // 4 cliques of C(5,2)=10 edges + 4 ring edges.
+        assert_eq!(g.num_edges(), 44);
+        assert_eq!(p.num_clusters(), 4);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn planted_partition_weight_contrast() {
+        let (g, p) = planted_partition(2, 4, 10.0, 1.0, 1);
+        assert_eq!(g.num_nodes(), 8);
+        assert_eq!(p.num_clusters(), 2);
+        // Graph is complete.
+        assert_eq!(g.num_edges(), 28);
+        // Mean intra weight ≫ mean inter weight.
+        let mut intra = (0.0, 0);
+        let mut inter = (0.0, 0);
+        for (a, b, w) in g.edges() {
+            if p.cluster_of(a as usize) == p.cluster_of(b as usize) {
+                intra = (intra.0 + w, intra.1 + 1);
+            } else {
+                inter = (inter.0 + w, inter.1 + 1);
+            }
+        }
+        assert!(intra.0 / intra.1 as f64 > 5.0 * (inter.0 / inter.1 as f64));
+    }
+
+    #[test]
+    fn zero_out_weight_gives_disconnected_groups() {
+        let (g, _) = planted_partition(2, 3, 1.0, 0.0, 2);
+        assert!(!g.is_connected());
+    }
+
+    #[test]
+    fn random_graph_is_seeded() {
+        let a = random_graph(30, 0.2, 5);
+        let b = random_graph(30, 0.2, 5);
+        assert_eq!(a.edges(), b.edges());
+        let c = random_graph(30, 0.2, 6);
+        assert_ne!(a.edges(), c.edges());
+    }
+}

@@ -1,0 +1,247 @@
+//! Compact weighted undirected graphs for community detection.
+//!
+//! Nodes are dense indices `0..n`. Edges carry positive weights; parallel
+//! edge insertions accumulate. Self-loops are supported because Louvain's
+//! aggregation step produces them.
+//!
+//! Conventions used throughout the clustering crate:
+//!
+//! * `strength(v)` (weighted degree) counts each incident edge once and each
+//!   self-loop **twice** (standard graph-theoretic degree);
+//! * `total_weight()` is `m`: each undirected edge once, self-loops once;
+//! * hence `Σ_v strength(v) = 2m`.
+
+use std::collections::BTreeMap;
+
+/// An immutable weighted undirected graph in CSR form.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightedGraph {
+    offsets: Vec<usize>,
+    targets: Vec<u32>,
+    weights: Vec<f64>,
+    self_loops: Vec<f64>,
+    strength: Vec<f64>,
+    total_weight: f64,
+}
+
+impl WeightedGraph {
+    /// Builds a graph over `n` nodes from `(a, b, weight)` triples.
+    ///
+    /// Duplicate pairs accumulate; `(v, v, w)` adds a self-loop. Weights must
+    /// be positive and finite (zero-weight edges are simply absent).
+    pub fn from_edges(n: usize, edges: &[(u32, u32, f64)]) -> Self {
+        // Accumulate with deterministic ordering.
+        let mut acc: BTreeMap<(u32, u32), f64> = BTreeMap::new();
+        let mut self_loops = vec![0.0; n];
+        for &(a, b, w) in edges {
+            assert!(w.is_finite() && w >= 0.0, "edge weights must be finite and non-negative");
+            assert!((a as usize) < n && (b as usize) < n, "edge endpoint out of range");
+            if w == 0.0 {
+                continue;
+            }
+            if a == b {
+                self_loops[a as usize] += w;
+            } else {
+                let key = (a.min(b), a.max(b));
+                *acc.entry(key).or_insert(0.0) += w;
+            }
+        }
+
+        let mut degree = vec![0usize; n];
+        for &(a, b) in acc.keys() {
+            degree[a as usize] += 1;
+            degree[b as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0usize);
+        for v in 0..n {
+            offsets.push(offsets[v] + degree[v]);
+        }
+        let nnz = offsets[n];
+        let mut targets = vec![0u32; nnz];
+        let mut weights = vec![0.0f64; nnz];
+        let mut cursor = offsets[..n].to_vec();
+        for (&(a, b), &w) in &acc {
+            targets[cursor[a as usize]] = b;
+            weights[cursor[a as usize]] = w;
+            cursor[a as usize] += 1;
+            targets[cursor[b as usize]] = a;
+            weights[cursor[b as usize]] = w;
+            cursor[b as usize] += 1;
+        }
+
+        let mut strength = vec![0.0; n];
+        for v in 0..n {
+            let s: f64 = (offsets[v]..offsets[v + 1]).map(|i| weights[i]).sum();
+            strength[v] = s + 2.0 * self_loops[v];
+        }
+        let total_weight =
+            acc.values().sum::<f64>() + self_loops.iter().sum::<f64>();
+
+        WeightedGraph { offsets, targets, weights, self_loops, strength, total_weight }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.self_loops.len()
+    }
+
+    /// Number of distinct undirected edges (self-loops not counted).
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.targets.len() / 2
+    }
+
+    /// Total edge weight `m` (each edge once, self-loops once).
+    #[inline]
+    pub fn total_weight(&self) -> f64 {
+        self.total_weight
+    }
+
+    /// Weighted degree of `v` (self-loops counted twice).
+    #[inline]
+    pub fn strength(&self, v: usize) -> f64 {
+        self.strength[v]
+    }
+
+    /// Self-loop weight at `v`.
+    #[inline]
+    pub fn self_loop(&self, v: usize) -> f64 {
+        self.self_loops[v]
+    }
+
+    /// Neighbors of `v` with edge weights (excludes the self-loop).
+    #[inline]
+    pub fn neighbors(&self, v: usize) -> impl Iterator<Item = (u32, f64)> + '_ {
+        (self.offsets[v]..self.offsets[v + 1]).map(move |i| (self.targets[i], self.weights[i]))
+    }
+
+    /// Degree (neighbor count) of `v`.
+    #[inline]
+    pub fn degree(&self, v: usize) -> usize {
+        self.offsets[v + 1] - self.offsets[v]
+    }
+
+    /// Weight of the edge `(a, b)`, 0.0 if absent. O(deg a).
+    pub fn edge_weight(&self, a: usize, b: usize) -> f64 {
+        if a == b {
+            return self.self_loops[a];
+        }
+        self.neighbors(a).find(|&(t, _)| t as usize == b).map_or(0.0, |(_, w)| w)
+    }
+
+    /// All edges as `(a, b, w)` with `a < b`, plus self-loops as `(v, v, w)`.
+    pub fn edges(&self) -> Vec<(u32, u32, f64)> {
+        let mut out = Vec::with_capacity(self.num_edges() + self.num_nodes());
+        for v in 0..self.num_nodes() {
+            if self.self_loops[v] > 0.0 {
+                out.push((v as u32, v as u32, self.self_loops[v]));
+            }
+            for (t, w) in self.neighbors(v) {
+                if (v as u32) < t {
+                    out.push((v as u32, t, w));
+                }
+            }
+        }
+        out
+    }
+
+    /// True if every node can reach every other through positive-weight
+    /// edges.
+    pub fn is_connected(&self) -> bool {
+        let n = self.num_nodes();
+        if n == 0 {
+            return true;
+        }
+        let mut seen = vec![false; n];
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(v) = stack.pop() {
+            for (t, _) in self.neighbors(v) {
+                let t = t as usize;
+                if !seen[t] {
+                    seen[t] = true;
+                    count += 1;
+                    stack.push(t);
+                }
+            }
+        }
+        count == n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> WeightedGraph {
+        WeightedGraph::from_edges(3, &[(0, 1, 1.0), (1, 2, 2.0), (0, 2, 3.0)])
+    }
+
+    #[test]
+    fn basic_counts() {
+        let g = triangle();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.total_weight(), 6.0);
+        assert_eq!(g.strength(0), 4.0);
+        assert_eq!(g.strength(1), 3.0);
+        assert_eq!(g.strength(2), 5.0);
+        let sum: f64 = (0..3).map(|v| g.strength(v)).sum();
+        assert_eq!(sum, 2.0 * g.total_weight());
+    }
+
+    #[test]
+    fn duplicate_edges_accumulate() {
+        let g = WeightedGraph::from_edges(2, &[(0, 1, 1.0), (1, 0, 2.5)]);
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.edge_weight(0, 1), 3.5);
+        assert_eq!(g.edge_weight(1, 0), 3.5);
+    }
+
+    #[test]
+    fn self_loops_count_twice_in_strength_once_in_total() {
+        let g = WeightedGraph::from_edges(2, &[(0, 1, 1.0), (0, 0, 2.0)]);
+        assert_eq!(g.strength(0), 5.0);
+        assert_eq!(g.strength(1), 1.0);
+        assert_eq!(g.total_weight(), 3.0);
+        assert_eq!(g.self_loop(0), 2.0);
+        assert_eq!(g.edge_weight(0, 0), 2.0);
+        // Strength sum = 2m still holds.
+        assert_eq!(g.strength(0) + g.strength(1), 2.0 * g.total_weight());
+    }
+
+    #[test]
+    fn zero_weight_edges_dropped() {
+        let g = WeightedGraph::from_edges(3, &[(0, 1, 0.0), (1, 2, 1.0)]);
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.degree(0), 0);
+    }
+
+    #[test]
+    fn neighbors_and_edges_round_trip() {
+        let g = triangle();
+        let nbrs: Vec<(u32, f64)> = g.neighbors(0).collect();
+        assert_eq!(nbrs.len(), 2);
+        let edges = g.edges();
+        let g2 = WeightedGraph::from_edges(3, &edges);
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn connectivity() {
+        assert!(triangle().is_connected());
+        let g = WeightedGraph::from_edges(4, &[(0, 1, 1.0), (2, 3, 1.0)]);
+        assert!(!g.is_connected());
+        let empty = WeightedGraph::from_edges(0, &[]);
+        assert!(empty.is_connected());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range() {
+        let _ = WeightedGraph::from_edges(2, &[(0, 5, 1.0)]);
+    }
+}

@@ -1,0 +1,121 @@
+//! Shared graph transformations for multi-level community algorithms.
+
+use crate::graph::WeightedGraph;
+use crate::partition::Partition;
+
+/// Collapses each cluster of `p` into a single super-node.
+///
+/// Intra-cluster edge weight (plus member self-loops) becomes the
+/// super-node's self-loop; inter-cluster weights accumulate on super-edges.
+/// Total weight and the strength sum are preserved exactly, so modularity
+/// and codelength computed on the aggregate match the fine graph.
+pub fn aggregate(g: &WeightedGraph, p: &Partition) -> WeightedGraph {
+    assert_eq!(g.num_nodes(), p.len());
+    let nc = p.num_clusters();
+    let mut edges: Vec<(u32, u32, f64)> = Vec::with_capacity(g.num_edges() + nc);
+    for v in 0..g.num_nodes() {
+        let cv = p.cluster_of(v);
+        if g.self_loop(v) > 0.0 {
+            edges.push((cv, cv, g.self_loop(v)));
+        }
+        for (t, w) in g.neighbors(v) {
+            if (t as usize) < v {
+                continue; // each undirected edge once
+            }
+            let ct = p.cluster_of(t as usize);
+            edges.push((cv.min(ct), cv.max(ct), w));
+        }
+    }
+    WeightedGraph::from_edges(nc, &edges)
+}
+
+/// Extracts the subgraph induced by `nodes` (edges with both endpoints in
+/// the set). Returns the subgraph (nodes renumbered `0..nodes.len()` in the
+/// given order) — `nodes[i]` is the original id of subgraph node `i`.
+pub fn induced_subgraph(g: &WeightedGraph, nodes: &[u32]) -> WeightedGraph {
+    let mut index = vec![u32::MAX; g.num_nodes()];
+    for (i, &v) in nodes.iter().enumerate() {
+        assert!(
+            index[v as usize] == u32::MAX,
+            "duplicate node {v} in induced_subgraph selection"
+        );
+        index[v as usize] = i as u32;
+    }
+    let mut edges = Vec::new();
+    for &v in nodes {
+        let vi = index[v as usize];
+        if g.self_loop(v as usize) > 0.0 {
+            edges.push((vi, vi, g.self_loop(v as usize)));
+        }
+        for (t, w) in g.neighbors(v as usize) {
+            let ti = index[t as usize];
+            if ti != u32::MAX && t > v {
+                edges.push((vi, ti, w));
+            }
+        }
+    }
+    WeightedGraph::from_edges(nodes.len(), &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn induced_subgraph_keeps_internal_edges_only() {
+        let g = WeightedGraph::from_edges(
+            5,
+            &[(0, 1, 1.0), (1, 2, 2.0), (2, 3, 3.0), (3, 4, 4.0), (0, 0, 0.5)],
+        );
+        let sub = induced_subgraph(&g, &[0, 1, 2]);
+        assert_eq!(sub.num_nodes(), 3);
+        assert_eq!(sub.num_edges(), 2);
+        assert_eq!(sub.edge_weight(0, 1), 1.0);
+        assert_eq!(sub.edge_weight(1, 2), 2.0);
+        assert_eq!(sub.self_loop(0), 0.5);
+        // Order defines renumbering.
+        let sub2 = induced_subgraph(&g, &[2, 1]);
+        assert_eq!(sub2.edge_weight(0, 1), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate node")]
+    fn induced_subgraph_rejects_duplicates() {
+        let g = WeightedGraph::from_edges(3, &[(0, 1, 1.0)]);
+        let _ = induced_subgraph(&g, &[1, 1]);
+    }
+
+    #[test]
+    fn aggregation_preserves_total_weight() {
+        let g = WeightedGraph::from_edges(
+            4,
+            &[(0, 1, 2.0), (2, 3, 3.0), (1, 2, 1.0), (0, 0, 0.5)],
+        );
+        let p = Partition::from_assignments(&[0, 0, 1, 1]);
+        let a = aggregate(&g, &p);
+        assert_eq!(a.num_nodes(), 2);
+        assert!((a.total_weight() - g.total_weight()).abs() < 1e-12);
+        // Cluster 0 internal: edge (0,1)=2.0 plus self loop 0.5 => 2.5.
+        assert!((a.self_loop(0) - 2.5).abs() < 1e-12);
+        assert!((a.self_loop(1) - 3.0).abs() < 1e-12);
+        assert!((a.edge_weight(0, 1) - 1.0).abs() < 1e-12);
+        // Strength sums preserved.
+        let s_fine: f64 = (0..4).map(|v| g.strength(v)).sum();
+        let s_coarse: f64 = (0..2).map(|v| a.strength(v)).sum();
+        assert!((s_fine - s_coarse).abs() < 1e-12);
+    }
+
+    #[test]
+    fn modularity_invariant_under_aggregation() {
+        use crate::modularity::modularity;
+        let g = WeightedGraph::from_edges(
+            6,
+            &[(0, 1, 1.0), (1, 2, 1.0), (0, 2, 1.0), (3, 4, 1.0), (4, 5, 1.0), (3, 5, 1.0), (2, 3, 1.0)],
+        );
+        let p = Partition::from_assignments(&[0, 0, 0, 1, 1, 1]);
+        let q_fine = modularity(&g, &p);
+        let a = aggregate(&g, &p);
+        let q_coarse = modularity(&a, &Partition::singletons(2));
+        assert!((q_fine - q_coarse).abs() < 1e-12, "{q_fine} vs {q_coarse}");
+    }
+}

@@ -1,0 +1,99 @@
+//! Asynchronous label propagation (Raghavan et al. 2007): a fast, crude
+//! community baseline used in ablations alongside Louvain and Infomap.
+
+use crate::graph::WeightedGraph;
+use crate::partition::Partition;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+
+/// Runs asynchronous weighted label propagation until no label changes or
+/// `max_sweeps` is reached. Ties break uniformly at random.
+pub fn label_propagation(g: &WeightedGraph, seed: u64, max_sweeps: usize) -> Partition {
+    let n = g.num_nodes();
+    let mut rng = ChaCha12Rng::seed_from_u64(seed);
+    let mut label: Vec<u32> = (0..n as u32).collect();
+
+    let mut w_to: Vec<f64> = vec![0.0; n];
+    let mut touched: Vec<u32> = Vec::new();
+    let mut order: Vec<u32> = (0..n as u32).collect();
+
+    for _sweep in 0..max_sweeps {
+        order.shuffle(&mut rng);
+        let mut changes = 0usize;
+        for &vu in &order {
+            let v = vu as usize;
+            if g.degree(v) == 0 {
+                continue;
+            }
+            touched.clear();
+            for (t, w) in g.neighbors(v) {
+                let l = label[t as usize];
+                if w_to[l as usize] == 0.0 {
+                    touched.push(l);
+                }
+                w_to[l as usize] += w;
+            }
+            // Argmax with uniform random tie-break (reservoir).
+            let mut best_w = f64::NEG_INFINITY;
+            let mut best = label[v];
+            let mut ties = 0u32;
+            for &l in &touched {
+                let w = w_to[l as usize];
+                if w > best_w {
+                    best_w = w;
+                    best = l;
+                    ties = 1;
+                } else if w == best_w {
+                    ties += 1;
+                    if rng.gen_range(0..ties) == 0 {
+                        best = l;
+                    }
+                }
+            }
+            if best != label[v] {
+                label[v] = best;
+                changes += 1;
+            }
+            for &l in &touched {
+                w_to[l as usize] = 0.0;
+            }
+        }
+        if changes == 0 {
+            break;
+        }
+    }
+    Partition::from_assignments(&label)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::ring_of_cliques;
+    use crate::nmi::nmi;
+
+    #[test]
+    fn recovers_cliques() {
+        let (g, truth) = ring_of_cliques(6, 8);
+        let p = label_propagation(&g, 3, 100);
+        assert!(nmi(&p, &truth) > 0.9, "NMI {}", nmi(&p, &truth));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (g, _) = ring_of_cliques(4, 5);
+        let a = label_propagation(&g, 1, 100);
+        let b = label_propagation(&g, 1, 100);
+        assert_eq!(a.assignments(), b.assignments());
+    }
+
+    #[test]
+    fn isolated_nodes_keep_own_label() {
+        let g = WeightedGraph::from_edges(3, &[(0, 1, 1.0)]);
+        let p = label_propagation(&g, 0, 10);
+        // Node 2 is isolated: its own cluster.
+        assert_ne!(p.cluster_of(2), p.cluster_of(0));
+        assert_eq!(p.cluster_of(0), p.cluster_of(1));
+    }
+}

@@ -1,0 +1,125 @@
+//! Normalized Mutual Information between partitions.
+//!
+//! The standard information-theoretic comparison for community detection:
+//! `NMI(X, Y) = 2 I(X; Y) / (H(X) + H(Y))`, ranging from 0 (independent) to
+//! 1 (identical up to relabeling). The paper reports cluster accuracy in NMI
+//! (Fig. 13); see [`crate::onmi`] for the overlapping-cover variant of
+//! Lancichinetti et al. that the paper cites as its measure (\[30\]).
+
+use crate::partition::Partition;
+
+/// `x log2 x`, with the 0·log 0 = 0 convention.
+#[inline]
+pub(crate) fn plogp(x: f64) -> f64 {
+    if x > 0.0 {
+        x * x.log2()
+    } else {
+        0.0
+    }
+}
+
+/// Shannon entropy (bits) of cluster-size proportions.
+fn entropy(sizes: &[usize], n: f64) -> f64 {
+    -sizes.iter().map(|&s| plogp(s as f64 / n)).sum::<f64>()
+}
+
+/// NMI with sum normalization (`2I / (H(X) + H(Y))`).
+///
+/// Degenerate cases: two identical trivial partitions (both single-cluster or
+/// both empty) score 1; if exactly one side is trivial the score is 0 (no
+/// information shared).
+pub fn nmi(x: &Partition, y: &Partition) -> f64 {
+    assert_eq!(x.len(), y.len(), "partitions must cover the same node set");
+    let n = x.len();
+    if n == 0 {
+        return 1.0;
+    }
+    let nf = n as f64;
+
+    let hx = entropy(&x.sizes(), nf);
+    let hy = entropy(&y.sizes(), nf);
+    if hx == 0.0 && hy == 0.0 {
+        return 1.0;
+    }
+    if hx == 0.0 || hy == 0.0 {
+        return 0.0;
+    }
+
+    // Joint distribution via a contingency table.
+    let kx = x.num_clusters();
+    let ky = y.num_clusters();
+    let mut joint = vec![0usize; kx * ky];
+    for v in 0..n {
+        joint[x.cluster_of(v) as usize * ky + y.cluster_of(v) as usize] += 1;
+    }
+    let hxy = -joint.iter().map(|&c| plogp(c as f64 / nf)).sum::<f64>();
+    let mi = hx + hy - hxy;
+    (2.0 * mi / (hx + hy)).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_partitions_score_one() {
+        let p = Partition::from_assignments(&[0, 0, 1, 1, 2]);
+        assert!((nmi(&p, &p) - 1.0).abs() < 1e-12);
+        // Relabeled copy too.
+        let q = Partition::from_assignments(&[5, 5, 9, 9, 1]);
+        assert!((nmi(&p, &q) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn independent_partitions_score_zero() {
+        // X splits {01|23}, Y splits {02|13}: I(X;Y) = 0 exactly.
+        let x = Partition::from_assignments(&[0, 0, 1, 1]);
+        let y = Partition::from_assignments(&[0, 1, 0, 1]);
+        assert!(nmi(&x, &y).abs() < 1e-12);
+    }
+
+    #[test]
+    fn symmetric() {
+        let x = Partition::from_assignments(&[0, 0, 1, 1, 2, 2]);
+        let y = Partition::from_assignments(&[0, 0, 0, 1, 1, 1]);
+        assert!((nmi(&x, &y) - nmi(&y, &x)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partial_agreement_is_intermediate() {
+        let x = Partition::from_assignments(&[0, 0, 0, 1, 1, 1]);
+        let y = Partition::from_assignments(&[0, 0, 1, 1, 1, 1]);
+        let v = nmi(&x, &y);
+        assert!(v > 0.2 && v < 1.0, "NMI {v}");
+    }
+
+    #[test]
+    fn refinement_scores_below_one() {
+        // Y refines X: information differs, NMI < 1 (paper's BT case: ground
+        // truth has 3 clusters, found clustering has 2 → NMI ≈ 0.7).
+        let x = Partition::from_assignments(&[0, 0, 0, 0, 1, 1, 1, 1]);
+        let y = Partition::from_assignments(&[0, 0, 1, 1, 2, 2, 2, 2]);
+        let v = nmi(&x, &y);
+        assert!(v > 0.5 && v < 1.0, "NMI {v}");
+    }
+
+    #[test]
+    fn trivial_cases() {
+        let t = Partition::trivial(4);
+        let s = Partition::singletons(4);
+        assert_eq!(nmi(&t, &t), 1.0);
+        assert_eq!(nmi(&t, &s), 0.0);
+        assert_eq!(nmi(&s, &t), 0.0);
+        let e1 = Partition::singletons(0);
+        let e2 = Partition::singletons(0);
+        assert_eq!(nmi(&e1, &e2), 1.0);
+    }
+
+    #[test]
+    fn range_is_clamped() {
+        let x = Partition::from_assignments(&[0, 1, 2, 0, 1, 2, 0, 1]);
+        let y = Partition::from_assignments(&[0, 0, 1, 1, 2, 2, 3, 3]);
+        let v = nmi(&x, &y);
+        assert!((0.0..=1.0).contains(&v));
+    }
+}

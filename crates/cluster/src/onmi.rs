@@ -1,0 +1,227 @@
+//! Overlapping NMI of Lancichinetti, Fortunato & Kertész (New J. Phys. 2009)
+//! — the paper's reference \[30\] and its reported accuracy measure.
+//!
+//! Works on *covers* (sets of communities that may overlap and need not span
+//! all nodes); for plain partitions it behaves like an NMI variant. Each
+//! community is treated as a binary membership variable over the node set;
+//! a community of one cover is matched to the best-conditional-entropy
+//! community of the other, subject to the LFK admissibility constraint that
+//! rejects "complementary" matches.
+//!
+//! The score is `1 − ½·(H(X|Y)_norm + H(Y|X)_norm)`, in `[0, 1]`, with 1 for
+//! identical covers.
+
+use crate::partition::Partition;
+
+/// A cover: a list of communities, each a set of node indices (may overlap).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cover {
+    n: usize,
+    communities: Vec<Vec<u32>>,
+}
+
+impl Cover {
+    /// Builds a cover over `n` nodes. Empty communities are dropped;
+    /// duplicate node entries within a community are deduplicated.
+    pub fn new(n: usize, communities: Vec<Vec<u32>>) -> Self {
+        let mut cleaned = Vec::with_capacity(communities.len());
+        for mut c in communities {
+            c.sort_unstable();
+            c.dedup();
+            assert!(c.iter().all(|&v| (v as usize) < n), "node index out of range");
+            if !c.is_empty() {
+                cleaned.push(c);
+            }
+        }
+        Cover { n, communities: cleaned }
+    }
+
+    /// A cover with one community per partition cluster.
+    pub fn from_partition(p: &Partition) -> Self {
+        Cover::new(p.len(), p.clusters())
+    }
+
+    /// Number of nodes in the universe.
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// The communities.
+    pub fn communities(&self) -> &[Vec<u32>] {
+        &self.communities
+    }
+}
+
+fn h(x: f64) -> f64 {
+    if x > 0.0 {
+        -x * x.log2()
+    } else {
+        0.0
+    }
+}
+
+/// Entropy of a binary membership variable with `k` members out of `n`.
+fn h_binary(k: usize, n: usize) -> f64 {
+    let p = k as f64 / n as f64;
+    h(p) + h(1.0 - p)
+}
+
+/// H(X_k | Y_l) under the LFK admissibility constraint; `None` if the match
+/// is inadmissible (closer to the complement than to the community).
+fn cond_entropy(xk: &[u32], yl: &[u32], n: usize) -> Option<f64> {
+    // Contingency counts over the n nodes.
+    let mut in_both = 0usize;
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < xk.len() && j < yl.len() {
+        match xk[i].cmp(&yl[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                in_both += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    let only_x = xk.len() - in_both;
+    let only_y = yl.len() - in_both;
+    let neither = n - xk.len() - only_y;
+
+    let nf = n as f64;
+    let h11 = h(in_both as f64 / nf);
+    let h00 = h(neither as f64 / nf);
+    let h10 = h(only_x as f64 / nf);
+    let h01 = h(only_y as f64 / nf);
+
+    // LFK constraint: reject if the "complement" diagonal carries more
+    // entropy than the agreement diagonal.
+    if h11 + h00 <= h10 + h01 {
+        return None;
+    }
+    let h_joint = h11 + h00 + h10 + h01;
+    let h_y = h_binary(yl.len(), n);
+    Some(h_joint - h_y)
+}
+
+/// Normalized conditional entropy H(X|Y)_norm ∈ [0, 1].
+fn normalized_cond(x: &Cover, y: &Cover) -> f64 {
+    if x.communities.is_empty() {
+        return 0.0;
+    }
+    let n = x.n;
+    let mut sum = 0.0;
+    for xk in &x.communities {
+        let hxk = h_binary(xk.len(), n);
+        let best = y
+            .communities
+            .iter()
+            .filter_map(|yl| cond_entropy(xk, yl, n))
+            .fold(f64::INFINITY, f64::min);
+        let hxk_given_y = if best.is_finite() { best.min(hxk) } else { hxk };
+        if hxk > 0.0 {
+            sum += hxk_given_y / hxk;
+        }
+        // Communities with zero entropy (empty or everything) contribute 0.
+    }
+    sum / x.communities.len() as f64
+}
+
+/// The LFK overlapping NMI between two covers.
+pub fn onmi(x: &Cover, y: &Cover) -> f64 {
+    assert_eq!(x.n, y.n, "covers must share the node universe");
+    if x.communities.is_empty() && y.communities.is_empty() {
+        return 1.0;
+    }
+    if x.communities.is_empty() || y.communities.is_empty() {
+        return 0.0;
+    }
+    let v = 1.0 - 0.5 * (normalized_cond(x, y) + normalized_cond(y, x));
+    v.clamp(0.0, 1.0)
+}
+
+/// Convenience: LFK oNMI between two plain partitions.
+pub fn onmi_partitions(x: &Partition, y: &Partition) -> f64 {
+    onmi(&Cover::from_partition(x), &Cover::from_partition(y))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_covers_score_one() {
+        let p = Partition::from_assignments(&[0, 0, 1, 1, 2, 2]);
+        assert!((onmi_partitions(&p, &p) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relabeling_and_order_do_not_matter() {
+        let a = Cover::new(4, vec![vec![0, 1], vec![2, 3]]);
+        let b = Cover::new(4, vec![vec![3, 2], vec![1, 0]]);
+        assert!((onmi(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn independent_partitions_score_low() {
+        let x = Partition::from_assignments(&[0, 0, 1, 1]);
+        let y = Partition::from_assignments(&[0, 1, 0, 1]);
+        let v = onmi_partitions(&x, &y);
+        assert!(v < 0.1, "oNMI {v}");
+    }
+
+    #[test]
+    fn symmetric() {
+        let x = Partition::from_assignments(&[0, 0, 0, 1, 1, 1, 2, 2]);
+        let y = Partition::from_assignments(&[0, 0, 1, 1, 2, 2, 2, 2]);
+        assert!((onmi_partitions(&x, &y) - onmi_partitions(&y, &x)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hierarchical_mismatch_is_partial() {
+        // Ground truth: 3 clusters; found: 2 clusters merging two of them.
+        // This is the paper's BT scenario, which reports NMI ≈ 0.7.
+        let truth = Partition::from_assignments(&[0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2, 2, 2, 2, 2]);
+        let found = Partition::from_assignments(&[0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 1, 1, 1, 1]);
+        let v = onmi_partitions(&truth, &found);
+        assert!(v > 0.4 && v < 0.95, "oNMI {v}");
+    }
+
+    #[test]
+    fn overlapping_covers_supported() {
+        // Node 2 belongs to both communities in X; Y is the disjoint version.
+        let x = Cover::new(5, vec![vec![0, 1, 2], vec![2, 3, 4]]);
+        let y = Cover::new(5, vec![vec![0, 1, 2], vec![3, 4]]);
+        let v = onmi(&x, &y);
+        assert!(v > 0.5 && v <= 1.0, "oNMI {v}");
+    }
+
+    #[test]
+    fn degenerate_covers() {
+        let empty = Cover::new(4, vec![]);
+        let some = Cover::new(4, vec![vec![0, 1]]);
+        assert_eq!(onmi(&empty, &empty), 1.0);
+        assert_eq!(onmi(&empty, &some), 0.0);
+        // Empty communities are dropped at construction.
+        let c = Cover::new(3, vec![vec![], vec![0]]);
+        assert_eq!(c.communities().len(), 1);
+    }
+
+    #[test]
+    fn complement_matches_rejected() {
+        // Y's community is the complement of X's: the admissibility
+        // constraint must refuse the match, giving low oNMI instead of
+        // spuriously high.
+        let x = Cover::new(10, vec![vec![0, 1, 2, 3, 4]]);
+        let y = Cover::new(10, vec![vec![5, 6, 7, 8, 9]]);
+        let v = onmi(&x, &y);
+        assert!(v < 0.05, "complementary covers must not match, oNMI {v}");
+    }
+
+    #[test]
+    fn cover_from_partition_round_trip() {
+        let p = Partition::from_assignments(&[0, 1, 0, 2]);
+        let c = Cover::from_partition(&p);
+        assert_eq!(c.communities().len(), 3);
+        assert_eq!(c.num_nodes(), 4);
+    }
+}

@@ -1,0 +1,120 @@
+//! Property-based tests for clustering invariants.
+
+use btt_cluster::graph_ops::aggregate;
+use btt_cluster::prelude::*;
+use proptest::prelude::*;
+
+/// Strategy: a random weighted graph as an edge list over `n` nodes.
+fn arb_graph() -> impl Strategy<Value = (usize, Vec<(u32, u32, f64)>)> {
+    (4usize..24).prop_flat_map(|n| {
+        let edge = (0..n as u32, 0..n as u32, 0.1f64..10.0);
+        (Just(n), proptest::collection::vec(edge, 0..80))
+    })
+}
+
+/// Strategy: a random partition assignment over `n` nodes.
+fn arb_partition(n: usize) -> impl Strategy<Value = Vec<u32>> {
+    proptest::collection::vec(0..(n as u32).max(1), n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Modularity is bounded: Q ∈ [-1, 1] for any partition of any graph.
+    #[test]
+    fn modularity_is_bounded((n, edges) in arb_graph(), assign_seed in any::<u64>()) {
+        let g = WeightedGraph::from_edges(n, &edges);
+        // Derive a pseudo-random partition from the seed.
+        let raw: Vec<u32> = (0..n).map(|v| {
+            let h = btt_netsim_free_splitmix(assign_seed ^ v as u64);
+            (h % 4) as u32
+        }).collect();
+        let p = Partition::from_assignments(&raw);
+        let q = modularity(&g, &p);
+        prop_assert!(q.is_finite());
+        prop_assert!((-1.0..=1.0).contains(&q), "Q = {}", q);
+    }
+
+    /// Louvain always returns a valid partition, its per-level modularity is
+    /// non-decreasing, and its best cut is at least as good as both trivial
+    /// extremes.
+    #[test]
+    fn louvain_invariants((n, edges) in arb_graph(), seed in any::<u64>()) {
+        let g = WeightedGraph::from_edges(n, &edges);
+        let d = louvain(&g, seed);
+        let best = d.best();
+        prop_assert_eq!(best.len(), n);
+        // All cluster ids dense.
+        let k = best.num_clusters();
+        let mut used = vec![false; k];
+        for v in 0..n { used[best.cluster_of(v) as usize] = true; }
+        prop_assert!(used.iter().all(|&u| u));
+        // Monotone levels.
+        for w in d.modularities.windows(2) {
+            prop_assert!(w[1] >= w[0] - 1e-9);
+        }
+        // Best >= both trivial baselines (local moving can always reach them).
+        let q_best = d.best_modularity();
+        if g.total_weight() > 0.0 {
+            prop_assert!(q_best >= modularity(&g, &Partition::trivial(n)) - 1e-9);
+        }
+    }
+
+    /// NMI and oNMI are symmetric, bounded, and 1 on identity.
+    #[test]
+    fn nmi_axioms(raw_x in arb_partition(12), raw_y in arb_partition(12)) {
+        let x = Partition::from_assignments(&raw_x);
+        let y = Partition::from_assignments(&raw_y);
+        let v = nmi(&x, &y);
+        prop_assert!((0.0..=1.0).contains(&v));
+        prop_assert!((v - nmi(&y, &x)).abs() < 1e-9);
+        prop_assert!((nmi(&x, &x) - 1.0).abs() < 1e-9);
+
+        let o = onmi_partitions(&x, &y);
+        prop_assert!((0.0..=1.0).contains(&o));
+        prop_assert!((o - onmi_partitions(&y, &x)).abs() < 1e-9);
+        prop_assert!((onmi_partitions(&x, &x) - 1.0).abs() < 1e-9);
+    }
+
+    /// Aggregation preserves total weight and strength mass for arbitrary
+    /// graphs and partitions.
+    #[test]
+    fn aggregation_preserves_mass((n, edges) in arb_graph(), raw in any::<u64>()) {
+        let g = WeightedGraph::from_edges(n, &edges);
+        let raw_assign: Vec<u32> = (0..n).map(|v| (btt_netsim_free_splitmix(raw ^ (v as u64)) % 3) as u32).collect();
+        let p = Partition::from_assignments(&raw_assign);
+        let a = aggregate(&g, &p);
+        prop_assert!((a.total_weight() - g.total_weight()).abs() < 1e-9);
+        let s1: f64 = (0..g.num_nodes()).map(|v| g.strength(v)).sum();
+        let s2: f64 = (0..a.num_nodes()).map(|v| a.strength(v)).sum();
+        prop_assert!((s1 - s2).abs() < 1e-9);
+        // Modularity of p on g == modularity of singletons on aggregate.
+        let q1 = modularity(&g, &p);
+        let q2 = modularity(&a, &Partition::singletons(a.num_nodes()));
+        prop_assert!((q1 - q2).abs() < 1e-9, "{} vs {}", q1, q2);
+    }
+
+    /// Infomap codelength: valid partitions score a finite, non-negative
+    /// codelength, and the optimizer never returns something worse than the
+    /// one-module baseline.
+    #[test]
+    fn infomap_codelength_sane((n, edges) in arb_graph(), seed in any::<u64>()) {
+        let g = WeightedGraph::from_edges(n, &edges);
+        let trivial = codelength(&g, &Partition::trivial(n));
+        prop_assert!(trivial.is_finite());
+        if g.total_weight() > 0.0 {
+            prop_assert!(trivial >= -1e-9);
+        }
+        let r = infomap(&g, seed);
+        prop_assert!(r.best_codelength() <= trivial + 1e-9,
+            "optimizer {} worse than trivial {}", r.best_codelength(), trivial);
+    }
+}
+
+/// Local copy of splitmix64 to avoid a dev-dependency on btt-netsim.
+fn btt_netsim_free_splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}

@@ -1,0 +1,300 @@
+//! The paper's experimental datasets (§IV) as ready-to-run scenarios.
+//!
+//! | id    | sites (nodes)                                   | ground truth | iters |
+//! |-------|--------------------------------------------------|--------------|-------|
+//! | B     | Bordeaux (32 bordeplage + 5 borderline + 27 bordereau) | 2 logical clusters | 36 |
+//! | BT    | Bordeaux (16+16 across the trunk) + Toulouse (32) | 3 clusters (hierarchical) | 30 |
+//! | GT    | Grenoble (32) + Toulouse (32)                    | 2 clusters   | 30 |
+//! | BGT   | Bordeaux (5 borderline + 27 bordereau) + Grenoble (32) + Toulouse (32) | 3 clusters | 30 |
+//! | BGTL  | Bordeaux (16) + Grenoble (16) + Toulouse (16) + Lyon (16) | 4 clusters | 30 |
+//! | 2x2   | Bordeaux (2 bordeplage + 2 borderline)           | 1 cluster    | 30 |
+//!
+//! Ground truths follow §IV-A: within Bordeaux, Bordereau and Borderline
+//! share a fast link and form **one** logical cluster, while Bordeplage sits
+//! behind the Dell↔Cisco 1 GbE bottleneck and forms another. Sites are
+//! otherwise flat, one logical cluster each. The 2×2 case is special: at
+//! that scale the trunk is not a bottleneck, so the true clustering is a
+//! single cluster (§IV-B1).
+
+use btt_cluster::partition::Partition;
+use btt_netsim::grid5000::Grid5000;
+use btt_netsim::routing::RouteTable;
+use btt_netsim::topology::NodeId;
+use std::sync::Arc;
+
+/// The paper's named experiment datasets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dataset {
+    /// Single-site Bordeaux, 64 nodes (§IV-B2, Fig. 8).
+    B,
+    /// Bordeaux + Toulouse, 64 nodes with a 3-way ground truth (§IV-C, Fig. 9).
+    BT,
+    /// Grenoble + Toulouse, 64 nodes (§IV-C, Fig. 10).
+    GT,
+    /// Bordeaux + Grenoble + Toulouse, 96 nodes (§IV-D, Fig. 11).
+    BGT,
+    /// Bordeaux + Grenoble + Toulouse + Lyon, 64 nodes (§IV-D, Fig. 12).
+    BGTL,
+    /// The 2×2-node warm-up (§IV-B1): bottleneck invisible at tiny scale.
+    Small2x2,
+}
+
+impl Dataset {
+    /// All five figure-bearing datasets, in paper order.
+    pub const PAPER_SETS: [Dataset; 5] =
+        [Dataset::B, Dataset::BT, Dataset::GT, Dataset::BGT, Dataset::BGTL];
+
+    /// The identifier used in the paper's Fig. 13 legend.
+    pub fn id(self) -> &'static str {
+        match self {
+            Dataset::B => "B",
+            Dataset::BT => "B-T",
+            Dataset::GT => "G-T",
+            Dataset::BGT => "B-G-T",
+            Dataset::BGTL => "B-G-T-L",
+            Dataset::Small2x2 => "2x2",
+        }
+    }
+
+    /// Number of measurement iterations the paper ran for this dataset.
+    pub fn paper_iterations(self) -> u32 {
+        match self {
+            Dataset::B => 36,
+            _ => 30,
+        }
+    }
+
+    /// Builds the scenario: topology, participating hosts, labels, ground
+    /// truth.
+    pub fn build(self) -> Scenario {
+        match self {
+            Dataset::B => {
+                let grid = Grid5000::builder().bordeaux(32, 5, 27).build();
+                Scenario::new(self, grid)
+            }
+            Dataset::BT => {
+                // Fig. 9's label mix: Bordeaux contributes mostly Bordeplage
+                // nodes plus a small Dell-side handful — the third ground-
+                // truth cluster is small, which is what makes the (non-
+                // hierarchical) clustering merge it into Bordeaux (§IV-C).
+                let grid =
+                    Grid5000::builder().bordeaux(24, 4, 4).flat_site("toulouse", 32).build();
+                Scenario::new(self, grid)
+            }
+            Dataset::GT => {
+                let grid = Grid5000::builder()
+                    .flat_site("grenoble", 32)
+                    .flat_site("toulouse", 32)
+                    .build();
+                Scenario::new(self, grid)
+            }
+            Dataset::BGT => {
+                // §IV-D: Bordeaux nodes only from the well-connected
+                // Borderline + Bordereau clusters.
+                let grid = Grid5000::builder()
+                    .bordeaux(0, 5, 27)
+                    .flat_site("grenoble", 32)
+                    .flat_site("toulouse", 32)
+                    .build();
+                Scenario::new(self, grid)
+            }
+            Dataset::BGTL => {
+                let grid = Grid5000::builder()
+                    .bordeaux(0, 0, 16)
+                    .flat_site("grenoble", 16)
+                    .flat_site("toulouse", 16)
+                    .flat_site("lyon", 16)
+                    .build();
+                Scenario::new(self, grid)
+            }
+            Dataset::Small2x2 => {
+                let grid = Grid5000::builder().bordeaux(2, 2, 0).build();
+                let mut s = Scenario::new(self, grid);
+                // §IV-B1: at 2×2 scale the trunk is not a bottleneck; the
+                // correct clustering is a single logical cluster.
+                s.ground_truth = Partition::trivial(s.hosts.len());
+                s
+            }
+        }
+    }
+}
+
+/// A fully-prepared experiment: topology, hosts, labels, routes, and the
+/// ground-truth logical clustering.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Which dataset this is.
+    pub dataset: Dataset,
+    /// The underlying simulated grid.
+    pub grid: Grid5000,
+    /// Participating hosts; index in this vector = swarm peer index.
+    pub hosts: Vec<NodeId>,
+    /// Display labels (paper-style private IPv4 addresses).
+    pub labels: Vec<String>,
+    /// Ground-truth logical clusters over `hosts` indices.
+    pub ground_truth: Partition,
+    /// Precomputed routes, shared across iterations.
+    pub routes: Arc<RouteTable>,
+}
+
+impl Scenario {
+    fn new(dataset: Dataset, grid: Grid5000) -> Self {
+        let hosts = grid.all_hosts();
+        let ground_truth = logical_clusters(&grid, &hosts);
+        let labels = ip_labels(&grid, &hosts);
+        let routes = Arc::new(RouteTable::new(grid.topology.clone()));
+        Scenario { dataset, grid, hosts, labels, ground_truth, routes }
+    }
+
+    /// Number of participating hosts.
+    pub fn num_hosts(&self) -> usize {
+        self.hosts.len()
+    }
+}
+
+/// Derives the paper's ground-truth logical clustering from the physical
+/// topology (§IV-A): one cluster per site, except Bordeaux splits into
+/// Bordeplage vs. the Dell-side clusters (Bordereau ∪ Borderline).
+pub fn logical_clusters(grid: &Grid5000, hosts: &[NodeId]) -> Partition {
+    let topo = &grid.topology;
+    let mut keys: Vec<String> = Vec::with_capacity(hosts.len());
+    for &h in hosts {
+        let node = topo.node(h);
+        let site = node.site.as_deref().unwrap_or("?");
+        let cluster = node.cluster.as_deref().unwrap_or("?");
+        let key = if site == "bordeaux" {
+            if cluster == "bordeplage" {
+                "bordeaux/bordeplage".to_string()
+            } else {
+                // Bordereau and Borderline share a fast link: one logical
+                // cluster.
+                "bordeaux/dell-side".to_string()
+            }
+        } else {
+            site.to_string()
+        };
+        keys.push(key);
+    }
+    // Stable dense ids in order of first appearance.
+    let mut ids: Vec<u32> = Vec::with_capacity(keys.len());
+    let mut seen: Vec<String> = Vec::new();
+    for k in &keys {
+        let id = match seen.iter().position(|s| s == k) {
+            Some(i) => i as u32,
+            None => {
+                seen.push(k.clone());
+                (seen.len() - 1) as u32
+            }
+        };
+        ids.push(id);
+    }
+    Partition::from_assignments(&ids)
+}
+
+/// Paper-style IP labels: each (site, cluster) pair gets a subnet, hosts get
+/// consecutive final octets (the figures label nodes with 172.16.x.y).
+pub fn ip_labels(grid: &Grid5000, hosts: &[NodeId]) -> Vec<String> {
+    let topo = &grid.topology;
+    let mut subnets: Vec<(String, String)> = Vec::new();
+    let mut counters: Vec<u32> = Vec::new();
+    let mut labels = Vec::with_capacity(hosts.len());
+    for &h in hosts {
+        let node = topo.node(h);
+        let key = (
+            node.site.clone().unwrap_or_default(),
+            node.cluster.clone().unwrap_or_default(),
+        );
+        let idx = match subnets.iter().position(|s| *s == key) {
+            Some(i) => i,
+            None => {
+                subnets.push(key);
+                counters.push(0);
+                subnets.len() - 1
+            }
+        };
+        counters[idx] += 1;
+        labels.push(format!("172.16.{}.{}", idx, counters[idx]));
+    }
+    labels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dataset_b_matches_paper_counts() {
+        let s = Dataset::B.build();
+        assert_eq!(s.num_hosts(), 64);
+        assert_eq!(s.ground_truth.num_clusters(), 2);
+        let sizes = {
+            let mut v = s.ground_truth.sizes();
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(sizes, vec![32, 32], "32 bordeplage vs 5+27 dell-side");
+        assert_eq!(Dataset::B.paper_iterations(), 36);
+    }
+
+    #[test]
+    fn dataset_bt_has_three_way_ground_truth() {
+        let s = Dataset::BT.build();
+        assert_eq!(s.num_hosts(), 64);
+        assert_eq!(s.ground_truth.num_clusters(), 3, "paper §IV-C: 3 partitions");
+        let mut sizes = s.ground_truth.sizes();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![8, 24, 32], "bordeplage majority + small dell-side handful");
+    }
+
+    #[test]
+    fn dataset_gt_is_two_flat_sites() {
+        let s = Dataset::GT.build();
+        assert_eq!(s.num_hosts(), 64);
+        assert_eq!(s.ground_truth.num_clusters(), 2);
+        assert_eq!(s.ground_truth.sizes(), vec![32, 32]);
+    }
+
+    #[test]
+    fn dataset_bgt_uses_only_dell_side_bordeaux() {
+        let s = Dataset::BGT.build();
+        assert_eq!(s.num_hosts(), 96);
+        assert_eq!(s.ground_truth.num_clusters(), 3);
+        // No bordeplage nodes at all.
+        for &h in &s.hosts {
+            assert_ne!(s.grid.topology.node(h).cluster.as_deref(), Some("bordeplage"));
+        }
+    }
+
+    #[test]
+    fn dataset_bgtl_is_four_by_sixteen() {
+        let s = Dataset::BGTL.build();
+        assert_eq!(s.num_hosts(), 64);
+        assert_eq!(s.ground_truth.num_clusters(), 4);
+        assert_eq!(s.ground_truth.sizes(), vec![16, 16, 16, 16]);
+    }
+
+    #[test]
+    fn small2x2_truth_is_single_cluster() {
+        let s = Dataset::Small2x2.build();
+        assert_eq!(s.num_hosts(), 4);
+        assert_eq!(s.ground_truth.num_clusters(), 1);
+    }
+
+    #[test]
+    fn labels_are_unique_ips() {
+        for d in Dataset::PAPER_SETS {
+            let s = d.build();
+            let set: std::collections::HashSet<&String> = s.labels.iter().collect();
+            assert_eq!(set.len(), s.labels.len(), "{}: duplicate labels", d.id());
+            for l in &s.labels {
+                assert!(l.starts_with("172.16."), "{l}");
+            }
+        }
+    }
+
+    #[test]
+    fn ids_match_fig13_legend() {
+        let ids: Vec<&str> = Dataset::PAPER_SETS.iter().map(|d| d.id()).collect();
+        assert_eq!(ids, vec!["B", "B-T", "G-T", "B-G-T", "B-G-T-L"]);
+    }
+}

@@ -1,0 +1,190 @@
+//! Bottleneck diagnosis: map logical clusters back to physical links.
+//!
+//! The tomography method outputs a *logical* clustering; §V of the paper
+//! notes it "correctly identified communication bottleneck links … by
+//! placing the nodes communicating across the bottleneck link in different
+//! logical clusters". This module makes the link identification explicit:
+//! given the topology and a clustering of its hosts, rank the physical
+//! links by how many inter-cluster host pairs route across them. The links
+//! every inter-cluster path shares are the bottleneck candidates — on the
+//! paper's Bordeaux site this names exactly the Dell↔Cisco trunk.
+
+use btt_cluster::partition::Partition;
+use btt_netsim::routing::RouteTable;
+use btt_netsim::topology::{LinkId, NodeId};
+
+/// One candidate bottleneck link.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BottleneckCandidate {
+    /// The physical link.
+    pub link: LinkId,
+    /// Human-readable endpoints, `"a <-> b"`.
+    pub endpoints: String,
+    /// Fraction of inter-cluster host pairs whose route crosses this link
+    /// (1.0 = every inter-cluster path shares it).
+    pub coverage: f64,
+    /// Number of inter-cluster pairs crossing it.
+    pub pairs: usize,
+}
+
+/// Ranks physical links by inter-cluster route coverage.
+///
+/// `hosts[i]` is the topology node of clustering index `i`. Links crossed
+/// by *intra*-cluster routes as well are still listed (a site uplink can
+/// legitimately carry both); the caller reads `coverage` to judge. Links
+/// never crossed by inter-cluster routes are omitted. Sorted by coverage,
+/// then by pair count, descending.
+pub fn bottleneck_candidates(
+    routes: &RouteTable,
+    hosts: &[NodeId],
+    clusters: &Partition,
+) -> Vec<BottleneckCandidate> {
+    assert_eq!(hosts.len(), clusters.len(), "one cluster id per host");
+    let topo = routes.topology();
+    let mut crossing = vec![0usize; topo.num_links()];
+    let mut inter_pairs = 0usize;
+
+    for a in 0..hosts.len() {
+        for b in (a + 1)..hosts.len() {
+            if clusters.cluster_of(a) == clusters.cluster_of(b) {
+                continue;
+            }
+            inter_pairs += 1;
+            // Which links does the a->b route use? (Full-duplex: direction
+            // does not matter for identification.)
+            let mut seen = Vec::new();
+            for ch in routes.route(hosts[a], hosts[b]) {
+                let l = ch.link();
+                if !seen.contains(&l) {
+                    seen.push(l);
+                    crossing[l.idx()] += 1;
+                }
+            }
+        }
+    }
+    if inter_pairs == 0 {
+        return Vec::new();
+    }
+
+    let mut out: Vec<BottleneckCandidate> = crossing
+        .iter()
+        .enumerate()
+        .filter(|&(_, &c)| c > 0)
+        .map(|(i, &c)| {
+            let link = LinkId(i as u32);
+            let l = topo.link(link);
+            BottleneckCandidate {
+                link,
+                endpoints: format!("{} <-> {}", topo.node(l.a).name, topo.node(l.b).name),
+                coverage: c as f64 / inter_pairs as f64,
+                pairs: c,
+            }
+        })
+        .collect();
+    out.sort_by(|x, y| {
+        y.coverage
+            .partial_cmp(&x.coverage)
+            .expect("finite coverage")
+            .then(y.pairs.cmp(&x.pairs))
+            .then(x.link.cmp(&y.link))
+    });
+    out
+}
+
+/// The links shared by **every** inter-cluster path — the diagnosed
+/// bottlenecks, excluding plain host access links (first/last hop of any
+/// path, which trivially reach full coverage for 2-cluster cuts of a
+/// single host).
+pub fn diagnosed_bottlenecks(
+    routes: &RouteTable,
+    hosts: &[NodeId],
+    clusters: &Partition,
+) -> Vec<BottleneckCandidate> {
+    let topo = routes.topology();
+    bottleneck_candidates(routes, hosts, clusters)
+        .into_iter()
+        .filter(|c| c.coverage >= 1.0 - 1e-9)
+        .filter(|c| {
+            let l = topo.link(c.link);
+            // Drop host access links: one endpoint is a host.
+            !matches!(topo.node(l.a).kind, btt_netsim::topology::NodeKind::Host)
+                && !matches!(topo.node(l.b).kind, btt_netsim::topology::NodeKind::Host)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Dataset;
+
+    /// On the paper's Bordeaux site with the ground-truth clustering, the
+    /// diagnosis names exactly the Dell↔Cisco trunk.
+    #[test]
+    fn names_the_dell_cisco_trunk() {
+        let scenario = Dataset::B.build();
+        let found = diagnosed_bottlenecks(
+            &scenario.routes,
+            &scenario.hosts,
+            &scenario.ground_truth,
+        );
+        assert_eq!(found.len(), 1, "exactly one inter-switch bottleneck: {found:?}");
+        assert!(
+            found[0].endpoints.contains("dell") && found[0].endpoints.contains("cisco"),
+            "expected the trunk, got {}",
+            found[0].endpoints
+        );
+        assert!((found[0].coverage - 1.0).abs() < 1e-12);
+    }
+
+    /// Multi-site: the full-coverage set is empty for >2 clusters joined in
+    /// a star (no single link carries ALL inter-cluster paths), but the
+    /// per-site Renater segments top the candidate ranking.
+    #[test]
+    fn multi_site_candidates_rank_wan_segments_high() {
+        let scenario = Dataset::GT.build();
+        let cands = bottleneck_candidates(
+            &scenario.routes,
+            &scenario.hosts,
+            &scenario.ground_truth,
+        );
+        assert!(!cands.is_empty());
+        // Both Renater segments carry every inter-site pair: coverage 1.0.
+        let top: Vec<&BottleneckCandidate> =
+            cands.iter().filter(|c| c.coverage >= 1.0 - 1e-9).collect();
+        assert!(
+            top.iter().any(|c| c.endpoints.contains("renater/core")),
+            "Renater segments must be full-coverage: {top:?}"
+        );
+    }
+
+    /// One cluster ⇒ nothing to diagnose.
+    #[test]
+    fn single_cluster_yields_nothing() {
+        let scenario = Dataset::Small2x2.build();
+        let found = bottleneck_candidates(
+            &scenario.routes,
+            &scenario.hosts,
+            &scenario.ground_truth,
+        );
+        assert!(found.is_empty());
+    }
+
+    /// Coverage fractions are sane and sorted.
+    #[test]
+    fn candidates_sorted_and_bounded() {
+        let scenario = Dataset::BGTL.build();
+        let cands = bottleneck_candidates(
+            &scenario.routes,
+            &scenario.hosts,
+            &scenario.ground_truth,
+        );
+        for w in cands.windows(2) {
+            assert!(w[0].coverage >= w[1].coverage - 1e-12);
+        }
+        for c in &cands {
+            assert!(c.coverage > 0.0 && c.coverage <= 1.0 + 1e-12);
+            assert!(c.pairs > 0);
+        }
+    }
+}

@@ -1,0 +1,264 @@
+//! The two-phase tomography pipeline: measure → aggregate → cluster →
+//! compare against ground truth, tracking convergence per iteration count
+//! (the data behind the paper's Fig. 13).
+
+use crate::dataset::Scenario;
+use btt_cluster::hierarchy::{recursive_louvain, HierarchyConfig};
+use btt_cluster::infomap::infomap;
+use btt_cluster::labelprop::label_propagation;
+use btt_cluster::louvain::louvain;
+use btt_cluster::modularity::modularity;
+use btt_cluster::nmi::nmi;
+use btt_cluster::onmi::onmi_partitions;
+use btt_cluster::graph::WeightedGraph;
+use btt_cluster::partition::Partition;
+use btt_swarm::broadcast::Campaign;
+use btt_swarm::metrics::MetricAccumulator;
+use btt_netsim::util::splitmix64;
+
+/// Which phase-2 algorithm clusters the measurement graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClusteringAlgorithm {
+    /// Modularity-maximizing Louvain (the paper's method, §III-B).
+    Louvain,
+    /// Map-equation Infomap (the paper's §III-D negative comparison).
+    Infomap,
+    /// Label propagation (extra baseline).
+    LabelPropagation,
+    /// Recursive Louvain (the paper's §V future-work extension): splits
+    /// clusters while sub-structure remains substantial and reports the
+    /// finest level.
+    HierarchicalLouvain,
+}
+
+impl ClusteringAlgorithm {
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ClusteringAlgorithm::Louvain => "louvain",
+            ClusteringAlgorithm::Infomap => "infomap",
+            ClusteringAlgorithm::LabelPropagation => "label-propagation",
+            ClusteringAlgorithm::HierarchicalLouvain => "hierarchical-louvain",
+        }
+    }
+
+    /// Clusters `g` with this algorithm.
+    pub fn cluster(self, g: &WeightedGraph, seed: u64) -> Partition {
+        match self {
+            ClusteringAlgorithm::Louvain => louvain(g, seed).best().clone(),
+            ClusteringAlgorithm::Infomap => infomap(g, seed).best().clone(),
+            ClusteringAlgorithm::LabelPropagation => label_propagation(g, seed, 200),
+            ClusteringAlgorithm::HierarchicalLouvain => {
+                recursive_louvain(g, seed, HierarchyConfig::default()).leaf_partition()
+            }
+        }
+    }
+}
+
+/// Builds the weighted measurement graph from an aggregated metric.
+pub fn metric_graph(acc: &MetricAccumulator) -> WeightedGraph {
+    WeightedGraph::from_edges(acc.len(), &acc.edges())
+}
+
+/// Clustering quality after a given number of measurement iterations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConvergencePoint {
+    /// Number of broadcast iterations aggregated.
+    pub iterations: u32,
+    /// Overlapping NMI (LFK) against ground truth — the paper's measure.
+    pub onmi: f64,
+    /// Standard partition NMI against ground truth.
+    pub nmi: f64,
+    /// Clusters found.
+    pub clusters: usize,
+    /// Modularity of the found partition on the measurement graph.
+    pub modularity: f64,
+}
+
+/// Full output of a tomography run on one scenario.
+#[derive(Debug, Clone)]
+pub struct TomographyReport {
+    /// Dataset id (paper legend name).
+    pub dataset_id: String,
+    /// The raw measurement campaign.
+    pub campaign: Campaign,
+    /// Quality after each iteration count `1..=n` (Fig. 13 series).
+    pub convergence: Vec<ConvergencePoint>,
+    /// Clustering of the fully-aggregated metric.
+    pub final_partition: Partition,
+    /// Ground truth used for scoring.
+    pub ground_truth: Partition,
+}
+
+impl TomographyReport {
+    /// The last convergence point (full aggregation).
+    pub fn last(&self) -> &ConvergencePoint {
+        self.convergence.last().expect("at least one iteration")
+    }
+
+    /// First iteration count whose oNMI reaches `threshold` and stays there
+    /// for the remainder of the series; `None` if never.
+    ///
+    /// This is how the paper reads Fig. 13 ("after only 2 iterations, the
+    /// clustering is completely in accordance with the ground truth, and
+    /// remains so").
+    pub fn converged_at(&self, threshold: f64) -> Option<u32> {
+        let mut candidate = None;
+        for p in &self.convergence {
+            if p.onmi >= threshold {
+                candidate.get_or_insert(p.iterations);
+            } else {
+                candidate = None;
+            }
+        }
+        candidate
+    }
+
+    /// Total simulated measurement time (sum of broadcast makespans).
+    pub fn measurement_time(&self) -> f64 {
+        self.campaign.total_measurement_time()
+    }
+}
+
+/// Scores a campaign against ground truth after every iteration prefix.
+pub fn convergence_series(
+    campaign: &Campaign,
+    ground_truth: &Partition,
+    algorithm: ClusteringAlgorithm,
+    seed: u64,
+) -> Vec<ConvergencePoint> {
+    let n_iters = campaign.runs.len();
+    (1..=n_iters)
+        .map(|k| {
+            let acc = campaign.metric_after(k);
+            let g = metric_graph(&acc);
+            let p = algorithm.cluster(&g, splitmix64(seed ^ k as u64));
+            ConvergencePoint {
+                iterations: k as u32,
+                onmi: onmi_partitions(&p, ground_truth),
+                nmi: nmi(&p, ground_truth),
+                clusters: p.num_clusters(),
+                modularity: modularity(&g, &p),
+            }
+        })
+        .collect()
+}
+
+/// Runs phase 2 on a finished campaign for `scenario`, producing the report.
+pub fn analyze(
+    scenario: &Scenario,
+    campaign: Campaign,
+    algorithm: ClusteringAlgorithm,
+    seed: u64,
+) -> TomographyReport {
+    let convergence = convergence_series(&campaign, &scenario.ground_truth, algorithm, seed);
+    let g = metric_graph(&campaign.metric);
+    let final_partition = algorithm.cluster(&g, splitmix64(seed ^ 0xFFFF_FFFF));
+    TomographyReport {
+        dataset_id: scenario.dataset.id().to_string(),
+        campaign,
+        convergence,
+        final_partition,
+        ground_truth: scenario.ground_truth.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use btt_swarm::metrics::FragmentMatrix;
+
+    fn fake_campaign(n: usize, runs: usize, strong_pairs: &[(usize, usize)]) -> Campaign {
+        let mut all = Vec::new();
+        for r in 0..runs {
+            let mut m = FragmentMatrix::new(n);
+            for &(a, b) in strong_pairs {
+                for _ in 0..(10 + r) {
+                    m.record(a, b);
+                }
+            }
+            // Weak background edge.
+            m.record(0, n - 1);
+            all.push(btt_swarm::swarm::RunOutcome {
+                fragments: m,
+                completion: vec![Some(0.0); n],
+                makespan: 1.0,
+                finished: true,
+                sim_steps: 10,
+            });
+        }
+        let mut metric = MetricAccumulator::new(n);
+        for r in &all {
+            metric.add(&r.fragments);
+        }
+        Campaign { runs: all, metric }
+    }
+
+    #[test]
+    fn convergence_series_has_one_point_per_prefix() {
+        let c = fake_campaign(6, 5, &[(0, 1), (1, 2), (3, 4), (4, 5)]);
+        let truth = Partition::from_assignments(&[0, 0, 0, 1, 1, 1]);
+        let series = convergence_series(&c, &truth, ClusteringAlgorithm::Louvain, 7);
+        assert_eq!(series.len(), 5);
+        for (i, p) in series.iter().enumerate() {
+            assert_eq!(p.iterations as usize, i + 1);
+            assert!((0.0..=1.0).contains(&p.onmi));
+            assert!((0.0..=1.0).contains(&p.nmi));
+        }
+        // Strong 2-block structure: full aggregation should recover it.
+        let last = series.last().unwrap();
+        assert_eq!(last.clusters, 2);
+        assert!((last.onmi - 1.0).abs() < 1e-9, "onmi {}", last.onmi);
+    }
+
+    #[test]
+    fn converged_at_requires_stability() {
+        let mk = |onmis: &[f64]| TomographyReport {
+            dataset_id: "t".into(),
+            campaign: fake_campaign(4, 1, &[(0, 1)]),
+            convergence: onmis
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| ConvergencePoint {
+                    iterations: i as u32 + 1,
+                    onmi: v,
+                    nmi: v,
+                    clusters: 2,
+                    modularity: 0.3,
+                })
+                .collect(),
+            final_partition: Partition::trivial(4),
+            ground_truth: Partition::trivial(4),
+        };
+        // Dips below threshold reset the convergence point.
+        let r = mk(&[0.5, 1.0, 0.6, 1.0, 1.0]);
+        assert_eq!(r.converged_at(0.99), Some(4));
+        let r2 = mk(&[1.0, 1.0, 1.0]);
+        assert_eq!(r2.converged_at(0.99), Some(1));
+        let r3 = mk(&[0.5, 0.6, 0.7]);
+        assert_eq!(r3.converged_at(0.99), None);
+        assert_eq!(r3.last().iterations, 3);
+    }
+
+    #[test]
+    fn algorithms_all_run() {
+        let c = fake_campaign(6, 3, &[(0, 1), (1, 2), (3, 4), (4, 5)]);
+        let g = metric_graph(&c.metric);
+        for alg in [
+            ClusteringAlgorithm::Louvain,
+            ClusteringAlgorithm::Infomap,
+            ClusteringAlgorithm::LabelPropagation,
+        ] {
+            let p = alg.cluster(&g, 1);
+            assert_eq!(p.len(), 6, "{}", alg.name());
+        }
+    }
+
+    #[test]
+    fn metric_graph_matches_accumulator() {
+        let c = fake_campaign(4, 2, &[(0, 1)]);
+        let g = metric_graph(&c.metric);
+        assert_eq!(g.num_nodes(), 4);
+        assert!((g.edge_weight(0, 1) - c.metric.w(0, 1)).abs() < 1e-12);
+    }
+}

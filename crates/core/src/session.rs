@@ -1,0 +1,154 @@
+//! High-level entry point: a configured tomography session.
+//!
+//! Wires the two phases together with a builder API:
+//!
+//! ```
+//! use btt_core::prelude::*;
+//!
+//! let report = TomographySession::new(Dataset::Small2x2)
+//!     .iterations(4)
+//!     .pieces(96)          // small file for a fast doc test
+//!     .seed(7)
+//!     .run();
+//! assert_eq!(report.convergence.len(), 4);
+//! assert!((0.0..=1.0).contains(&report.last().onmi));
+//! ```
+
+use crate::dataset::{Dataset, Scenario};
+use crate::pipeline::{analyze, ClusteringAlgorithm, TomographyReport};
+use btt_swarm::broadcast::{run_campaign, RootPolicy};
+use btt_swarm::config::SwarmConfig;
+
+/// A configured end-to-end tomography run over one scenario.
+#[derive(Debug, Clone)]
+pub struct TomographySession {
+    scenario: Scenario,
+    cfg: SwarmConfig,
+    iterations: u32,
+    root_policy: RootPolicy,
+    algorithm: ClusteringAlgorithm,
+    seed: u64,
+}
+
+impl TomographySession {
+    /// A session on a paper dataset, with the paper's iteration count, the
+    /// paper's 239 MB file, Louvain clustering, and a fixed root.
+    pub fn new(dataset: Dataset) -> Self {
+        Self::over(dataset.build())
+    }
+
+    /// A session over a custom scenario.
+    pub fn over(scenario: Scenario) -> Self {
+        let iterations = scenario.dataset.paper_iterations();
+        TomographySession {
+            scenario,
+            cfg: SwarmConfig::paper(),
+            iterations,
+            root_policy: RootPolicy::Fixed(0),
+            algorithm: ClusteringAlgorithm::Louvain,
+            seed: 0x5EED,
+        }
+    }
+
+    /// Sets the number of broadcast iterations (default: the paper's count).
+    pub fn iterations(mut self, n: u32) -> Self {
+        assert!(n >= 1);
+        self.iterations = n;
+        self
+    }
+
+    /// Sets the file size in 16 KiB fragments (default: the paper's 15 259).
+    pub fn pieces(mut self, pieces: u32) -> Self {
+        self.cfg.num_pieces = pieces;
+        self
+    }
+
+    /// Replaces the whole swarm configuration.
+    pub fn swarm_config(mut self, cfg: SwarmConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Sets the root (initial seed) policy.
+    pub fn root_policy(mut self, p: RootPolicy) -> Self {
+        self.root_policy = p;
+        self
+    }
+
+    /// Sets the phase-2 clustering algorithm (default Louvain).
+    pub fn algorithm(mut self, a: ClusteringAlgorithm) -> Self {
+        self.algorithm = a;
+        self
+    }
+
+    /// Sets the master seed. Everything — tracker graphs, choking
+    /// tie-breaks, piece selection, clustering visit order — derives from
+    /// it.
+    pub fn seed(mut self, s: u64) -> Self {
+        self.seed = s;
+        self
+    }
+
+    /// The underlying scenario.
+    pub fn scenario(&self) -> &Scenario {
+        &self.scenario
+    }
+
+    /// Runs both phases and produces the report.
+    pub fn run(&self) -> TomographyReport {
+        let campaign = run_campaign(
+            &self.scenario.routes,
+            &self.scenario.hosts,
+            &self.cfg,
+            self.iterations,
+            self.root_policy,
+            self.seed,
+        );
+        analyze(&self.scenario, campaign, self.algorithm, self.seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_session_runs_end_to_end() {
+        let report = TomographySession::new(Dataset::Small2x2)
+            .iterations(3)
+            .pieces(64)
+            .seed(42)
+            .run();
+        assert_eq!(report.dataset_id, "2x2");
+        assert_eq!(report.convergence.len(), 3);
+        assert_eq!(report.campaign.runs.len(), 3);
+        for run in &report.campaign.runs {
+            assert!(run.finished);
+        }
+        assert!(report.measurement_time() > 0.0);
+    }
+
+    #[test]
+    fn sessions_are_reproducible() {
+        let mk = || {
+            TomographySession::new(Dataset::Small2x2).iterations(2).pieces(48).seed(9).run()
+        };
+        let a = mk();
+        let b = mk();
+        assert_eq!(a.convergence, b.convergence);
+        assert_eq!(a.final_partition, b.final_partition);
+    }
+
+    #[test]
+    fn builder_overrides_apply() {
+        let s = TomographySession::new(Dataset::GT)
+            .iterations(5)
+            .pieces(128)
+            .algorithm(ClusteringAlgorithm::Infomap)
+            .root_policy(btt_swarm::broadcast::RootPolicy::RoundRobin);
+        assert_eq!(s.iterations, 5);
+        assert_eq!(s.cfg.num_pieces, 128);
+        assert_eq!(s.algorithm, ClusteringAlgorithm::Infomap);
+        assert_eq!(s.scenario().num_hosts(), 64);
+    }
+}

@@ -1,0 +1,29 @@
+//! Exploratory probe (ignored by default): prints convergence summaries for
+//! all paper datasets at reduced file size. Used to calibrate the asserted
+//! integration tests and EXPERIMENTS.md.
+//!
+//! Run: cargo test -p btt-core --release --test probe -- --ignored --nocapture
+
+use btt_core::prelude::*;
+
+#[test]
+#[ignore = "exploratory; prints dataset convergence"]
+fn probe_all_datasets() {
+    for d in Dataset::PAPER_SETS {
+        let wall = std::time::Instant::now();
+        let report = TomographySession::new(d)
+            .pieces(4000)
+            .iterations(16)
+            .seed(2012)
+            .run();
+        println!("{}  [wall {:.1?}]", summary_line(&report), wall.elapsed());
+        let series: Vec<String> =
+            report.convergence.iter().map(|p| format!("{:.2}", p.onmi)).collect();
+        println!("  oNMI: {}", series.join(" "));
+        let ks: Vec<String> =
+            report.convergence.iter().map(|p| format!("{:>4}", p.clusters)).collect();
+        println!("  k:    {}", ks.join(" "));
+    }
+    let r2 = TomographySession::new(Dataset::Small2x2).pieces(4000).iterations(8).seed(2012).run();
+    println!("{}", summary_line(&r2));
+}

@@ -1,0 +1,147 @@
+//! Graph-theoretic distances for stress-based layout.
+//!
+//! Per the paper (§III-C), edge lengths are *inversely proportional to edge
+//! weight*: heavy (high-bandwidth) edges pull nodes together. Pairwise
+//! distances are weighted shortest paths with edge length `1/w`, computed by
+//! Dijkstra from every node. Disconnected pairs get a synthetic distance of
+//! 1.5× the graph's diameter so the layout still converges.
+
+use btt_cluster::graph::WeightedGraph;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Dense all-pairs distance matrix.
+#[derive(Debug, Clone)]
+pub struct DistanceMatrix {
+    n: usize,
+    d: Vec<f64>,
+}
+
+impl DistanceMatrix {
+    /// Distance between `a` and `b`.
+    #[inline]
+    pub fn get(&self, a: usize, b: usize) -> f64 {
+        self.d[a * self.n + b]
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True for an empty matrix.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Largest finite distance (the effective diameter).
+    pub fn max_distance(&self) -> f64 {
+        self.d.iter().copied().fold(0.0, f64::max)
+    }
+}
+
+#[derive(PartialEq)]
+struct HeapItem(f64, u32);
+
+impl Eq for HeapItem {}
+
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap on distance.
+        other.0.partial_cmp(&self.0).unwrap_or(Ordering::Equal).then(self.1.cmp(&other.1))
+    }
+}
+
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Computes all-pairs shortest-path distances with edge length `1/w`.
+pub fn inverse_weight_distances(g: &WeightedGraph) -> DistanceMatrix {
+    let n = g.num_nodes();
+    let mut d = vec![f64::INFINITY; n * n];
+
+    for src in 0..n {
+        let row = &mut d[src * n..(src + 1) * n];
+        row[src] = 0.0;
+        let mut heap = BinaryHeap::new();
+        heap.push(HeapItem(0.0, src as u32));
+        while let Some(HeapItem(dist, v)) = heap.pop() {
+            if dist > row[v as usize] {
+                continue;
+            }
+            for (t, w) in g.neighbors(v as usize) {
+                debug_assert!(w > 0.0);
+                let nd = dist + 1.0 / w;
+                if nd < row[t as usize] {
+                    row[t as usize] = nd;
+                    heap.push(HeapItem(nd, t));
+                }
+            }
+        }
+    }
+
+    // Patch disconnected pairs with a synthetic long distance.
+    let max_finite = d.iter().copied().filter(|x| x.is_finite()).fold(0.0, f64::max);
+    let synth = if max_finite > 0.0 { 1.5 * max_finite } else { 1.0 };
+    for x in &mut d {
+        if !x.is_finite() {
+            *x = synth;
+        }
+    }
+
+    DistanceMatrix { n, d }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heavier_edges_are_shorter() {
+        let g = WeightedGraph::from_edges(3, &[(0, 1, 10.0), (1, 2, 1.0)]);
+        let d = inverse_weight_distances(&g);
+        assert!((d.get(0, 1) - 0.1).abs() < 1e-12);
+        assert!((d.get(1, 2) - 1.0).abs() < 1e-12);
+        assert!((d.get(0, 2) - 1.1).abs() < 1e-12);
+        assert_eq!(d.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn symmetric() {
+        let g = WeightedGraph::from_edges(4, &[(0, 1, 2.0), (1, 2, 3.0), (2, 3, 1.0), (0, 3, 0.5)]);
+        let d = inverse_weight_distances(&g);
+        for a in 0..4 {
+            for b in 0..4 {
+                assert!((d.get(a, b) - d.get(b, a)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn shortest_path_beats_direct_weak_edge() {
+        // Direct edge weight 0.1 (length 10); two-hop path of weights 1.0
+        // (length 2) must win.
+        let g = WeightedGraph::from_edges(3, &[(0, 2, 0.1), (0, 1, 1.0), (1, 2, 1.0)]);
+        let d = inverse_weight_distances(&g);
+        assert!((d.get(0, 2) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disconnected_pairs_get_synthetic_distance() {
+        let g = WeightedGraph::from_edges(4, &[(0, 1, 1.0), (2, 3, 1.0)]);
+        let d = inverse_weight_distances(&g);
+        assert!(d.get(0, 2).is_finite());
+        assert!(d.get(0, 2) > d.get(0, 1));
+        assert!((d.get(0, 2) - 1.5).abs() < 1e-12, "1.5 x max finite (1.0)");
+    }
+
+    #[test]
+    fn max_distance_reports_diameter() {
+        let g = WeightedGraph::from_edges(3, &[(0, 1, 1.0), (1, 2, 1.0)]);
+        let d = inverse_weight_distances(&g);
+        assert!((d.max_distance() - 2.0).abs() < 1e-12);
+    }
+}

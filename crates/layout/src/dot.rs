@@ -1,0 +1,109 @@
+//! Graphviz DOT export.
+//!
+//! Output is `neato`-compatible: positions are pinned with `pos="x,y!"`, so
+//! `neato -n2 -Tpng` reproduces the exact layout, matching how the paper's
+//! figures were produced (§III-C, Graphviz/Neato).
+
+use crate::render::Rendered;
+use std::fmt::Write;
+
+/// Serializes a rendered figure as a Graphviz DOT document.
+pub fn to_dot(r: &Rendered, graph_name: &str) -> String {
+    let mut out = String::with_capacity(4096);
+    let safe_name = sanitize_id(graph_name);
+    writeln!(out, "graph {safe_name} {{").unwrap();
+    writeln!(out, "  graph [outputorder=edgesfirst, splines=line];").unwrap();
+    writeln!(out, "  node [fixedsize=true, width=0.9, height=0.55, fontsize=9];").unwrap();
+
+    for node in &r.nodes {
+        writeln!(
+            out,
+            "  \"{}\" [label=\"{}\", shape={}, pos=\"{:.3},{:.3}!\"];",
+            escape(&node.label),
+            escape(&node.label),
+            node.shape.dot_name(),
+            node.pos.x,
+            node.pos.y,
+        )
+        .unwrap();
+    }
+    for &(a, b, w) in &r.edges {
+        let la = &r.nodes[a as usize].label;
+        let lb = &r.nodes[b as usize].label;
+        let penwidth = if r.max_weight > 0.0 { (0.3 + 2.7 * w / r.max_weight).max(0.3) } else { 1.0 };
+        writeln!(
+            out,
+            "  \"{}\" -- \"{}\" [weight={:.4}, penwidth={:.2}];",
+            escape(la),
+            escape(lb),
+            w,
+            penwidth
+        )
+        .unwrap();
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn sanitize_id(s: &str) -> String {
+    let cleaned: String =
+        s.chars().map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' }).collect();
+    if cleaned.is_empty() || cleaned.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        format!("g_{cleaned}")
+    } else {
+        cleaned
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::Point2;
+    use crate::render::{render, RenderOptions};
+    use btt_cluster::graph::WeightedGraph;
+    use btt_cluster::partition::Partition;
+
+    fn sample() -> Rendered {
+        let g = WeightedGraph::from_edges(3, &[(0, 1, 2.0), (1, 2, 1.0)]);
+        let pos =
+            vec![Point2::new(0.0, 0.0), Point2::new(5.0, 5.0), Point2::new(10.0, 0.0)];
+        let labels = vec!["172.16.0.1".to_string(), "172.16.0.2".into(), "172.16.1.1".into()];
+        let truth = Partition::from_assignments(&[0, 0, 1]);
+        render(&g, &pos, &labels, &truth, RenderOptions { edge_fraction: 1.0, size: 10.0 })
+    }
+
+    #[test]
+    fn contains_expected_structure() {
+        let dot = to_dot(&sample(), "dataset B");
+        assert!(dot.starts_with("graph dataset_B {"));
+        assert!(dot.trim_end().ends_with('}'));
+        assert!(dot.contains("\"172.16.0.1\""));
+        assert!(dot.contains("shape=diamond"));
+        assert!(dot.contains("shape=ellipse"));
+        assert!(dot.contains("pos=\"0.000,0.000!\""));
+        assert!(dot.contains("\"172.16.0.1\" -- \"172.16.0.2\""));
+        // Heavier edge gets the thicker pen.
+        let heavy = dot.lines().find(|l| l.contains("weight=2.0000")).unwrap();
+        assert!(heavy.contains("penwidth=3.00"));
+    }
+
+    #[test]
+    fn braces_balanced_and_one_statement_per_line() {
+        let dot = to_dot(&sample(), "x");
+        assert_eq!(dot.matches('{').count(), dot.matches('}').count());
+        for line in dot.lines().filter(|l| l.contains("--") || l.contains("shape=")) {
+            assert!(line.trim_end().ends_with(';'), "unterminated: {line}");
+        }
+    }
+
+    #[test]
+    fn escaping_and_name_sanitization() {
+        assert_eq!(sanitize_id("9lives"), "g_9lives");
+        assert_eq!(sanitize_id("a b"), "a_b");
+        assert_eq!(escape("say \"hi\""), "say \\\"hi\\\"");
+    }
+}

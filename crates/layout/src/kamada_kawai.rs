@@ -1,0 +1,249 @@
+//! The Kamada–Kawai spring layout (Information Processing Letters 1989),
+//! as used by Graphviz `neato` — the paper lays out Figs. 8–12 with it.
+//!
+//! The layout minimizes the stress energy
+//!
+//! ```text
+//! E = Σ_{i<j} k_ij (‖x_i − x_j‖ − l_ij)²/2,   l_ij ∝ d_ij,  k_ij = K/d_ij²
+//! ```
+//!
+//! over graph-theoretic distances `d_ij` (here: inverse-weight shortest
+//! paths, so high-bandwidth clusters contract). Optimization follows the
+//! original algorithm: repeatedly pick the node with the largest gradient
+//! and solve its 2×2 Newton system until all gradients are small.
+
+use crate::distances::DistanceMatrix;
+use crate::geometry::{normalize_to_box, Point2};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+
+/// Parameters for [`kamada_kawai`].
+#[derive(Debug, Clone, Copy)]
+pub struct KamadaKawaiConfig {
+    /// Side length of the target layout square.
+    pub size: f64,
+    /// Stop when every node's gradient norm falls below this.
+    pub tolerance: f64,
+    /// Maximum number of outer (node-selection) iterations.
+    pub max_outer: usize,
+    /// Maximum Newton steps per selected node.
+    pub max_inner: usize,
+}
+
+impl Default for KamadaKawaiConfig {
+    fn default() -> Self {
+        KamadaKawaiConfig { size: 100.0, tolerance: 1e-3, max_outer: 20_000, max_inner: 24 }
+    }
+}
+
+/// Computes a Kamada–Kawai layout for `n` nodes with the given pairwise
+/// distances. `seed` perturbs the initial circle placement so ties are
+/// broken reproducibly.
+pub fn kamada_kawai(d: &DistanceMatrix, seed: u64, cfg: KamadaKawaiConfig) -> Vec<Point2> {
+    let n = d.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    if n == 1 {
+        return vec![Point2::new(cfg.size / 2.0, cfg.size / 2.0)];
+    }
+
+    let max_d = d.max_distance().max(1e-12);
+    // Desired length scale: diameter maps to the layout size.
+    let scale = cfg.size / max_d;
+
+    // Initial placement: circle with jitter.
+    let mut rng = ChaCha12Rng::seed_from_u64(seed);
+    let mut pos: Vec<Point2> = (0..n)
+        .map(|i| {
+            let a = 2.0 * std::f64::consts::PI * i as f64 / n as f64;
+            let r = cfg.size / 2.0;
+            let jitter = Point2::new(rng.gen_range(-0.01..0.01), rng.gen_range(-0.01..0.01));
+            Point2::new(r + r * a.cos(), r + r * a.sin()) + jitter
+        })
+        .collect();
+
+    let l = |i: usize, j: usize| scale * d.get(i, j);
+    let k = |i: usize, j: usize| 1.0 / (d.get(i, j) * d.get(i, j)).max(1e-12);
+
+    // Gradient of E at node m.
+    let grad = |pos: &[Point2], m: usize| -> Point2 {
+        let mut g = Point2::default();
+        for i in 0..n {
+            if i == m {
+                continue;
+            }
+            let delta = pos[m] - pos[i];
+            let dist = delta.norm().max(1e-9);
+            let c = k(m, i) * (1.0 - l(m, i) / dist);
+            g = g + delta * c;
+        }
+        g
+    };
+
+    for _outer in 0..cfg.max_outer {
+        // Node with the largest gradient.
+        let (m, gnorm) = (0..n)
+            .map(|i| (i, grad(&pos, i).norm()))
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite gradient"))
+            .expect("n >= 1");
+        if gnorm < cfg.tolerance {
+            break;
+        }
+
+        // Newton-Raphson on node m.
+        for _inner in 0..cfg.max_inner {
+            let g = grad(&pos, m);
+            if g.norm() < cfg.tolerance {
+                break;
+            }
+            let (mut axx, mut axy, mut ayy) = (0.0f64, 0.0f64, 0.0f64);
+            for i in 0..n {
+                if i == m {
+                    continue;
+                }
+                let delta = pos[m] - pos[i];
+                let dist = delta.norm().max(1e-9);
+                let d3 = dist * dist * dist;
+                let kmi = k(m, i);
+                let lmi = l(m, i);
+                axx += kmi * (1.0 - lmi * delta.y * delta.y / d3);
+                ayy += kmi * (1.0 - lmi * delta.x * delta.x / d3);
+                axy += kmi * lmi * delta.x * delta.y / d3;
+            }
+            let det = axx * ayy - axy * axy;
+            let step = if det.abs() > 1e-12 {
+                Point2::new((-g.x * ayy + g.y * axy) / det, (g.x * axy - g.y * axx) / det)
+            } else {
+                // Degenerate Hessian: fall back to a small gradient step.
+                g * (-0.1 / g.norm().max(1e-9))
+            };
+            pos[m] = pos[m] + step;
+            if !pos[m].is_finite() {
+                // Numerical blow-up: reset the node near the centre.
+                pos[m] = Point2::new(
+                    cfg.size / 2.0 + rng.gen_range(-1.0..1.0),
+                    cfg.size / 2.0 + rng.gen_range(-1.0..1.0),
+                );
+                break;
+            }
+        }
+    }
+
+    normalize_to_box(&mut pos, cfg.size);
+    pos
+}
+
+/// The stress energy of a placement (diagnostic; lower is better).
+pub fn stress(d: &DistanceMatrix, pos: &[Point2], size: f64) -> f64 {
+    let n = d.len();
+    let max_d = d.max_distance().max(1e-12);
+    let scale = size / max_d;
+    let mut e = 0.0;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let lij = scale * d.get(i, j);
+            let k = 1.0 / (d.get(i, j) * d.get(i, j)).max(1e-12);
+            let diff = pos[i].dist(pos[j]) - lij;
+            e += 0.5 * k * diff * diff;
+        }
+    }
+    e
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distances::inverse_weight_distances;
+    use btt_cluster::graph::WeightedGraph;
+
+    fn two_heavy_cliques() -> WeightedGraph {
+        // Two 4-cliques with weight 10 inside, one weight-0.5 bridge.
+        let mut edges = Vec::new();
+        for base in [0u32, 4] {
+            for a in 0..4 {
+                for b in (a + 1)..4 {
+                    edges.push((base + a, base + b, 10.0));
+                }
+            }
+        }
+        edges.push((0, 4, 0.5));
+        WeightedGraph::from_edges(8, &edges)
+    }
+
+    #[test]
+    fn all_positions_finite_and_in_box() {
+        let g = two_heavy_cliques();
+        let d = inverse_weight_distances(&g);
+        let pos = kamada_kawai(&d, 1, KamadaKawaiConfig::default());
+        assert_eq!(pos.len(), 8);
+        for p in &pos {
+            assert!(p.is_finite());
+            assert!(p.x >= -1e-6 && p.x <= 100.0 + 1e-6);
+            assert!(p.y >= -1e-6 && p.y <= 100.0 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn clusters_are_spatially_separated() {
+        let g = two_heavy_cliques();
+        let d = inverse_weight_distances(&g);
+        let pos = kamada_kawai(&d, 3, KamadaKawaiConfig::default());
+        // Mean intra-clique pixel distance must be far below the inter mean.
+        let mut intra = vec![];
+        let mut inter = vec![];
+        for a in 0..8usize {
+            for b in (a + 1)..8 {
+                let dist = pos[a].dist(pos[b]);
+                if (a < 4) == (b < 4) {
+                    intra.push(dist);
+                } else {
+                    inter.push(dist);
+                }
+            }
+        }
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        assert!(
+            mean(&inter) > 2.0 * mean(&intra),
+            "inter {} vs intra {}",
+            mean(&inter),
+            mean(&intra)
+        );
+    }
+
+    #[test]
+    fn optimization_reduces_stress() {
+        let g = two_heavy_cliques();
+        let d = inverse_weight_distances(&g);
+        // "Before": the jittered circle (max_outer = 0 short-circuits).
+        let before = kamada_kawai(&d, 5, KamadaKawaiConfig { max_outer: 0, ..Default::default() });
+        let after = kamada_kawai(&d, 5, KamadaKawaiConfig::default());
+        assert!(
+            stress(&d, &after, 100.0) < stress(&d, &before, 100.0),
+            "stress must decrease"
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g = two_heavy_cliques();
+        let d = inverse_weight_distances(&g);
+        let a = kamada_kawai(&d, 9, KamadaKawaiConfig::default());
+        let b = kamada_kawai(&d, 9, KamadaKawaiConfig::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        let g0 = WeightedGraph::from_edges(0, &[]);
+        assert!(kamada_kawai(&inverse_weight_distances(&g0), 0, Default::default()).is_empty());
+        let g1 = WeightedGraph::from_edges(1, &[]);
+        let p = kamada_kawai(&inverse_weight_distances(&g1), 0, Default::default());
+        assert_eq!(p.len(), 1);
+        assert!(p[0].is_finite());
+        let g2 = WeightedGraph::from_edges(2, &[(0, 1, 1.0)]);
+        let p2 = kamada_kawai(&inverse_weight_distances(&g2), 0, Default::default());
+        assert!((p2[0].dist(p2[1]) - 100.0).abs() < 1.0, "pair spans the box");
+    }
+}

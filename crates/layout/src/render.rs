@@ -1,0 +1,199 @@
+//! Figure assembly following the paper's rendering rules (§III-C):
+//! node shapes encode the *ground-truth* cluster, only the top 50 % of edges
+//! by weight are drawn, and positions come from a force-directed layout.
+
+use crate::geometry::Point2;
+use btt_cluster::graph::WeightedGraph;
+use btt_cluster::partition::Partition;
+
+/// Node glyphs, assigned per ground-truth cluster (cycled if clusters exceed
+/// the palette — the paper's figures use diamonds, circles, and triangles).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Shape {
+    /// Ellipse/circle marker.
+    Circle,
+    /// Diamond marker.
+    Diamond,
+    /// Triangle marker.
+    Triangle,
+    /// Square marker.
+    Square,
+    /// Pentagon marker.
+    Pentagon,
+    /// Hexagon marker.
+    Hexagon,
+}
+
+/// The shape palette in cluster-id order.
+pub const SHAPES: [Shape; 6] =
+    [Shape::Diamond, Shape::Circle, Shape::Triangle, Shape::Square, Shape::Pentagon, Shape::Hexagon];
+
+impl Shape {
+    /// Shape for ground-truth cluster `c`.
+    pub fn for_cluster(c: u32) -> Shape {
+        SHAPES[c as usize % SHAPES.len()]
+    }
+
+    /// Graphviz shape name.
+    pub fn dot_name(self) -> &'static str {
+        match self {
+            Shape::Circle => "ellipse",
+            Shape::Diamond => "diamond",
+            Shape::Triangle => "triangle",
+            Shape::Square => "box",
+            Shape::Pentagon => "pentagon",
+            Shape::Hexagon => "hexagon",
+        }
+    }
+}
+
+/// A node ready for drawing.
+#[derive(Debug, Clone)]
+pub struct RenderedNode {
+    /// Node index in the measurement graph.
+    pub id: u32,
+    /// Display label (the paper uses host IP addresses).
+    pub label: String,
+    /// Layout position.
+    pub pos: Point2,
+    /// Ground-truth cluster id.
+    pub cluster: u32,
+    /// Glyph encoding the ground-truth cluster.
+    pub shape: Shape,
+}
+
+/// A figure: positioned nodes plus the filtered edge set.
+#[derive(Debug, Clone)]
+pub struct Rendered {
+    /// Drawing canvas side length.
+    pub size: f64,
+    /// All nodes.
+    pub nodes: Vec<RenderedNode>,
+    /// Edges kept by the weight filter, as `(a, b, weight)`.
+    pub edges: Vec<(u32, u32, f64)>,
+    /// Heaviest kept weight (for stroke scaling).
+    pub max_weight: f64,
+}
+
+/// Rendering options.
+#[derive(Debug, Clone, Copy)]
+pub struct RenderOptions {
+    /// Fraction of edges (by descending weight) to draw. The paper draws the
+    /// top half: 0.5.
+    pub edge_fraction: f64,
+    /// Canvas side length (must match the layout's size).
+    pub size: f64,
+}
+
+impl Default for RenderOptions {
+    fn default() -> Self {
+        RenderOptions { edge_fraction: 0.5, size: 100.0 }
+    }
+}
+
+/// Assembles a figure from the measurement graph, a layout, labels, and the
+/// ground truth partition.
+pub fn render(
+    g: &WeightedGraph,
+    pos: &[Point2],
+    labels: &[String],
+    ground_truth: &Partition,
+    opts: RenderOptions,
+) -> Rendered {
+    let n = g.num_nodes();
+    assert_eq!(pos.len(), n, "one position per node");
+    assert_eq!(labels.len(), n, "one label per node");
+    assert_eq!(ground_truth.len(), n, "ground truth covers all nodes");
+    assert!((0.0..=1.0).contains(&opts.edge_fraction));
+
+    let nodes = (0..n)
+        .map(|v| {
+            let c = ground_truth.cluster_of(v);
+            RenderedNode {
+                id: v as u32,
+                label: labels[v].clone(),
+                pos: pos[v],
+                cluster: c,
+                shape: Shape::for_cluster(c),
+            }
+        })
+        .collect();
+
+    // Top fraction of edges by weight (self-loops never drawn).
+    let mut edges: Vec<(u32, u32, f64)> =
+        g.edges().into_iter().filter(|&(a, b, _)| a != b).collect();
+    edges.sort_by(|x, y| y.2.partial_cmp(&x.2).expect("finite weights").then(x.0.cmp(&y.0)).then(x.1.cmp(&y.1)));
+    let keep = (edges.len() as f64 * opts.edge_fraction).ceil() as usize;
+    edges.truncate(keep);
+    let max_weight = edges.first().map_or(0.0, |e| e.2);
+
+    Rendered { size: opts.size, nodes, edges, max_weight }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (WeightedGraph, Vec<Point2>, Vec<String>, Partition) {
+        let g = WeightedGraph::from_edges(
+            4,
+            &[(0, 1, 4.0), (1, 2, 3.0), (2, 3, 2.0), (0, 3, 1.0)],
+        );
+        let pos = vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(10.0, 0.0),
+            Point2::new(10.0, 10.0),
+            Point2::new(0.0, 10.0),
+        ];
+        let labels = (0..4).map(|i| format!("172.16.0.{i}")).collect();
+        let truth = Partition::from_assignments(&[0, 0, 1, 1]);
+        (g, pos, labels, truth)
+    }
+
+    #[test]
+    fn keeps_top_half_of_edges() {
+        let (g, pos, labels, truth) = setup();
+        let r = render(&g, &pos, &labels, &truth, RenderOptions::default());
+        assert_eq!(r.edges.len(), 2, "4 edges -> top 2");
+        assert_eq!(r.edges[0], (0, 1, 4.0));
+        assert_eq!(r.edges[1], (1, 2, 3.0));
+        assert_eq!(r.max_weight, 4.0);
+    }
+
+    #[test]
+    fn full_fraction_keeps_everything() {
+        let (g, pos, labels, truth) = setup();
+        let r = render(&g, &pos, &labels, &truth, RenderOptions { edge_fraction: 1.0, size: 100.0 });
+        assert_eq!(r.edges.len(), 4);
+    }
+
+    #[test]
+    fn shapes_follow_ground_truth() {
+        let (g, pos, labels, truth) = setup();
+        let r = render(&g, &pos, &labels, &truth, RenderOptions::default());
+        assert_eq!(r.nodes[0].shape, r.nodes[1].shape);
+        assert_eq!(r.nodes[2].shape, r.nodes[3].shape);
+        assert_ne!(r.nodes[0].shape, r.nodes[2].shape);
+        assert_eq!(r.nodes[0].shape, Shape::Diamond);
+        assert_eq!(r.nodes[2].shape, Shape::Circle);
+    }
+
+    #[test]
+    fn shape_palette_cycles() {
+        assert_eq!(Shape::for_cluster(0), Shape::for_cluster(6));
+        assert_ne!(Shape::for_cluster(0), Shape::for_cluster(1));
+        assert_eq!(Shape::Square.dot_name(), "box");
+    }
+
+    #[test]
+    fn self_loops_never_drawn() {
+        let g = WeightedGraph::from_edges(2, &[(0, 1, 1.0), (0, 0, 9.0)]);
+        let pos = vec![Point2::new(0.0, 0.0), Point2::new(1.0, 1.0)];
+        let labels = vec!["a".into(), "b".into()];
+        let truth = Partition::trivial(2);
+        let r = render(&g, &pos, &labels, &truth, RenderOptions { edge_fraction: 1.0, size: 10.0 });
+        assert_eq!(r.edges.len(), 1);
+        assert_eq!(r.edges[0].0, 0);
+        assert_eq!(r.edges[0].1, 1);
+    }
+}

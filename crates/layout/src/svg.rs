@@ -1,0 +1,139 @@
+//! Standalone SVG export — view the reproduced figures without Graphviz.
+
+use crate::geometry::Point2;
+use crate::render::{Rendered, Shape};
+use std::fmt::Write;
+
+/// Fill colors per cluster id (cycled), loosely following the paper's
+/// figures (clusters distinguished by glyph *and* tone).
+const FILLS: [&str; 6] = ["#7eb0d5", "#fd7f6f", "#b2e061", "#bd7ebe", "#ffb55a", "#8bd3c7"];
+
+/// Serializes a rendered figure as an SVG document.
+pub fn to_svg(r: &Rendered, title: &str) -> String {
+    let pad = 8.0;
+    let side = r.size + 2.0 * pad;
+    let mut out = String::with_capacity(8192);
+    writeln!(
+        out,
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" viewBox=\"0 0 {side:.1} {side:.1}\" width=\"800\" height=\"800\">"
+    )
+    .unwrap();
+    writeln!(out, "  <title>{}</title>", xml_escape(title)).unwrap();
+    writeln!(out, "  <rect width=\"100%\" height=\"100%\" fill=\"white\"/>").unwrap();
+
+    // Edges first (paper figures draw edges under nodes).
+    for &(a, b, w) in &r.edges {
+        let pa = flip(r.nodes[a as usize].pos, r.size, pad);
+        let pb = flip(r.nodes[b as usize].pos, r.size, pad);
+        let width = if r.max_weight > 0.0 { 0.15 + 0.85 * w / r.max_weight } else { 0.3 };
+        writeln!(
+            out,
+            "  <line x1=\"{:.2}\" y1=\"{:.2}\" x2=\"{:.2}\" y2=\"{:.2}\" stroke=\"#999\" stroke-width=\"{width:.2}\" stroke-opacity=\"0.6\"/>",
+            pa.x, pa.y, pb.x, pb.y
+        )
+        .unwrap();
+    }
+
+    for node in &r.nodes {
+        let p = flip(node.pos, r.size, pad);
+        let fill = FILLS[node.cluster as usize % FILLS.len()];
+        out.push_str(&glyph(node.shape, p, 1.6, fill));
+        writeln!(
+            out,
+            "  <text x=\"{:.2}\" y=\"{:.2}\" font-size=\"1.6\" text-anchor=\"middle\" fill=\"#333\">{}</text>",
+            p.x,
+            p.y - 2.2,
+            xml_escape(&node.label)
+        )
+        .unwrap();
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+/// SVG's y axis grows downward; flip to the usual math orientation.
+fn flip(p: Point2, size: f64, pad: f64) -> Point2 {
+    Point2::new(p.x + pad, size - p.y + pad)
+}
+
+fn glyph(shape: Shape, p: Point2, r: f64, fill: &str) -> String {
+    let attrs = format!("fill=\"{fill}\" stroke=\"#333\" stroke-width=\"0.2\"");
+    match shape {
+        Shape::Circle => format!("  <circle cx=\"{:.2}\" cy=\"{:.2}\" r=\"{r:.2}\" {attrs}/>\n", p.x, p.y),
+        Shape::Square => format!(
+            "  <rect x=\"{:.2}\" y=\"{:.2}\" width=\"{:.2}\" height=\"{:.2}\" {attrs}/>\n",
+            p.x - r,
+            p.y - r,
+            2.0 * r,
+            2.0 * r
+        ),
+        Shape::Diamond | Shape::Triangle | Shape::Pentagon | Shape::Hexagon => {
+            let sides = match shape {
+                Shape::Diamond => 4,
+                Shape::Triangle => 3,
+                Shape::Pentagon => 5,
+                _ => 6,
+            };
+            let phase = match shape {
+                Shape::Diamond => 0.0,
+                _ => -std::f64::consts::FRAC_PI_2,
+            };
+            let pts: Vec<String> = (0..sides)
+                .map(|i| {
+                    let a = phase + 2.0 * std::f64::consts::PI * i as f64 / sides as f64;
+                    format!("{:.2},{:.2}", p.x + r * a.cos(), p.y + r * a.sin())
+                })
+                .collect();
+            format!("  <polygon points=\"{}\" {attrs}/>\n", pts.join(" "))
+        }
+    }
+}
+
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;").replace('"', "&quot;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::render::{render, RenderOptions};
+    use btt_cluster::graph::WeightedGraph;
+    use btt_cluster::partition::Partition;
+
+    fn sample() -> Rendered {
+        let g = WeightedGraph::from_edges(3, &[(0, 1, 2.0), (1, 2, 1.0)]);
+        let pos = vec![Point2::new(0.0, 0.0), Point2::new(50.0, 50.0), Point2::new(100.0, 0.0)];
+        let labels = vec!["a".to_string(), "b<c>".into(), "d".into()];
+        let truth = Partition::from_assignments(&[0, 0, 1]);
+        render(&g, &pos, &labels, &truth, RenderOptions { edge_fraction: 1.0, size: 100.0 })
+    }
+
+    #[test]
+    fn structure_is_wellformed() {
+        let svg = to_svg(&sample(), "fig");
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert_eq!(svg.matches("<line").count(), 2);
+        // 2 diamonds (cluster 0) + 1 circle (cluster 1).
+        assert_eq!(svg.matches("<polygon").count(), 2);
+        assert_eq!(svg.matches("<circle").count(), 1);
+        assert_eq!(svg.matches("<text").count(), 3);
+    }
+
+    #[test]
+    fn escapes_labels() {
+        let svg = to_svg(&sample(), "t & t");
+        assert!(svg.contains("b&lt;c&gt;"));
+        assert!(svg.contains("t &amp; t"));
+        assert!(!svg.contains("b<c>"));
+    }
+
+    #[test]
+    fn glyphs_have_expected_vertex_counts() {
+        let p = Point2::new(0.0, 0.0);
+        let tri = glyph(Shape::Triangle, p, 1.0, "#fff");
+        assert_eq!(tri.matches(',').count(), 3);
+        let hex = glyph(Shape::Hexagon, p, 1.0, "#fff");
+        assert_eq!(hex.matches(',').count(), 6);
+    }
+}

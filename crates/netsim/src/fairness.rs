@@ -1,0 +1,277 @@
+//! Max-min fair bandwidth allocation by progressive filling.
+//!
+//! Given a set of flows, each occupying a sequence of directed channels and
+//! optionally subject to a per-flow rate cap, this solver computes the unique
+//! max-min fair rate vector: all unconstrained flows' rates are raised
+//! uniformly ("water filling") until a channel saturates or a flow hits its
+//! cap, the affected flows freeze, and filling continues with the rest.
+//!
+//! This is the same fluid model class SimGrid uses for TCP bulk transfers,
+//! which is the substrate the paper's own related work (\[12\], \[13\]) evaluated
+//! on — see DESIGN.md §2.
+
+/// A flow presented to the solver.
+#[derive(Debug, Clone)]
+pub struct FlowInput<'a> {
+    /// Directed channels the flow occupies (from [`RouteTable::route`]).
+    ///
+    /// [`RouteTable::route`]: crate::routing::RouteTable::route
+    pub route: &'a [crate::topology::ChannelId],
+    /// Optional cap on this flow's rate in bytes/sec (e.g. a WAN window cap).
+    pub cap: Option<f64>,
+}
+
+/// Relative tolerance for saturation decisions.
+const EPS: f64 = 1e-9;
+
+/// Computes max-min fair rates (bytes/sec) for `flows` over channels with the
+/// given capacities (bytes/sec, indexed by [`ChannelId::idx`]).
+///
+/// Returns one rate per flow, in input order. Flows with an empty route (e.g.
+/// loopback transfers between co-located processes) are treated as infinitely
+/// fast *unless* capped, in which case they get their cap; callers decide how
+/// to interpret `f64::INFINITY`.
+///
+/// [`ChannelId::idx`]: crate::topology::ChannelId::idx
+pub fn max_min_rates(capacities: &[f64], flows: &[FlowInput<'_>]) -> Vec<f64> {
+    let nf = flows.len();
+    let mut rates = vec![0.0; nf];
+    if nf == 0 {
+        return rates;
+    }
+
+    // Per-channel: residual capacity and number of unfrozen flows crossing it.
+    let mut residual = capacities.to_vec();
+    let mut load = vec![0u32; capacities.len()];
+    let mut frozen = vec![false; nf];
+    let mut active = 0usize;
+    for (i, f) in flows.iter().enumerate() {
+        if f.route.is_empty() {
+            // Loopback: rate is the cap or unbounded; frozen immediately.
+            rates[i] = f.cap.unwrap_or(f64::INFINITY);
+            frozen[i] = true;
+        } else {
+            active += 1;
+            for ch in f.route {
+                load[ch.idx()] += 1;
+            }
+        }
+    }
+
+    // Progressive filling: find the smallest uniform increment that saturates
+    // a channel or caps a flow, apply it, freeze, repeat.
+    while active > 0 {
+        let mut delta = f64::INFINITY;
+        for (c, &r) in residual.iter().enumerate() {
+            if load[c] > 0 {
+                delta = delta.min(r / load[c] as f64);
+            }
+        }
+        for (i, f) in flows.iter().enumerate() {
+            if !frozen[i] {
+                if let Some(cap) = f.cap {
+                    delta = delta.min(cap - rates[i]);
+                }
+            }
+        }
+        debug_assert!(delta.is_finite(), "active flows must cross some channel or have a cap");
+        let delta = delta.max(0.0);
+
+        // Raise all active flows by delta and charge their channels.
+        for (i, f) in flows.iter().enumerate() {
+            if frozen[i] {
+                continue;
+            }
+            rates[i] += delta;
+            for ch in f.route {
+                let c = ch.idx();
+                residual[c] -= delta;
+                if residual[c] < 0.0 {
+                    residual[c] = 0.0;
+                }
+            }
+        }
+
+        // Freeze flows on saturated channels or at their cap.
+        let mut newly_frozen = 0usize;
+        for (i, f) in flows.iter().enumerate() {
+            if frozen[i] {
+                continue;
+            }
+            let capped = f.cap.is_some_and(|cap| rates[i] + EPS * cap.max(1.0) >= cap);
+            let saturated = f.route.iter().any(|ch| {
+                let c = ch.idx();
+                residual[c] <= EPS * capacities[c].max(1.0)
+            });
+            if capped || saturated {
+                frozen[i] = true;
+                newly_frozen += 1;
+                for ch in f.route {
+                    load[ch.idx()] -= 1;
+                }
+            }
+        }
+        active -= newly_frozen;
+        // delta == 0 can occur when a flow joins already-saturated channels;
+        // the freeze above is then guaranteed to make progress.
+        debug_assert!(newly_frozen > 0 || active == 0, "progressive filling must progress");
+        if newly_frozen == 0 {
+            break;
+        }
+    }
+    rates
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::routing::RouteTable;
+    use crate::topology::{ChannelId, LinkSpec, NodeId, Topology, TopologyBuilder};
+    use crate::units::Bandwidth;
+    use std::sync::Arc;
+
+    fn star(n: usize, mbps: f64) -> (Arc<Topology>, Vec<NodeId>, RouteTable) {
+        let mut b = TopologyBuilder::new();
+        let hosts: Vec<NodeId> = (0..n).map(|i| b.add_host(format!("h{i}"), "s", "c")).collect();
+        let sw = b.add_switch("sw", "s");
+        for &h in &hosts {
+            b.link(h, sw, LinkSpec::lan(Bandwidth::from_mbps(mbps)));
+        }
+        let t = Arc::new(b.build().unwrap());
+        let rt = RouteTable::new(t.clone());
+        (t, hosts, rt)
+    }
+
+    #[test]
+    fn single_flow_gets_link_rate() {
+        let (t, hs, rt) = star(2, 800.0);
+        let route = rt.route(hs[0], hs[1]);
+        let rates = max_min_rates(&t.channel_capacities(), &[FlowInput { route: &route, cap: None }]);
+        assert!((rates[0] - Bandwidth::from_mbps(800.0).bytes_per_sec()).abs() < 1.0);
+    }
+
+    #[test]
+    fn two_flows_share_a_bottleneck_equally() {
+        // Both flows leave h0: they share h0's uplink.
+        let (t, hs, rt) = star(3, 800.0);
+        let r1 = rt.route(hs[0], hs[1]);
+        let r2 = rt.route(hs[0], hs[2]);
+        let rates = max_min_rates(
+            &t.channel_capacities(),
+            &[FlowInput { route: &r1, cap: None }, FlowInput { route: &r2, cap: None }],
+        );
+        let half = Bandwidth::from_mbps(400.0).bytes_per_sec();
+        assert!((rates[0] - half).abs() < 1.0);
+        assert!((rates[1] - half).abs() < 1.0);
+    }
+
+    #[test]
+    fn full_duplex_directions_are_independent() {
+        let (t, hs, rt) = star(2, 800.0);
+        let fwd = rt.route(hs[0], hs[1]);
+        let rev = rt.route(hs[1], hs[0]);
+        let rates = max_min_rates(
+            &t.channel_capacities(),
+            &[FlowInput { route: &fwd, cap: None }, FlowInput { route: &rev, cap: None }],
+        );
+        let full = Bandwidth::from_mbps(800.0).bytes_per_sec();
+        assert!((rates[0] - full).abs() < 1.0, "opposite directions must not contend");
+        assert!((rates[1] - full).abs() < 1.0);
+    }
+
+    #[test]
+    fn per_flow_cap_binds_before_link() {
+        let (t, hs, rt) = star(2, 800.0);
+        let route = rt.route(hs[0], hs[1]);
+        let cap = Bandwidth::from_mbps(100.0).bytes_per_sec();
+        let rates = max_min_rates(&t.channel_capacities(), &[FlowInput { route: &route, cap: Some(cap) }]);
+        assert!((rates[0] - cap).abs() < 1.0);
+    }
+
+    #[test]
+    fn capped_flow_releases_bandwidth_to_others() {
+        // Two flows into h1's downlink; one capped at 100, the other takes the rest.
+        let (t, hs, rt) = star(3, 900.0);
+        let r1 = rt.route(hs[0], hs[1]);
+        let r2 = rt.route(hs[2], hs[1]);
+        let cap = Bandwidth::from_mbps(100.0).bytes_per_sec();
+        let rates = max_min_rates(
+            &t.channel_capacities(),
+            &[FlowInput { route: &r1, cap: Some(cap) }, FlowInput { route: &r2, cap: None }],
+        );
+        assert!((rates[0] - cap).abs() < 1.0);
+        assert!((rates[1] - Bandwidth::from_mbps(800.0).bytes_per_sec()).abs() < 1.0);
+    }
+
+    #[test]
+    fn unequal_bottlenecks_give_max_min_not_equal_split() {
+        // h0 -> h1 shares a 300 Mb/s middle link with h2 -> h3, while h4 -> h5
+        // sits on its own 900 link. Build explicitly:
+        //   h0, h2 - swA - (300) - swB - h1, h3
+        let mut b = TopologyBuilder::new();
+        let h0 = b.add_host("h0", "s", "c");
+        let h1 = b.add_host("h1", "s", "c");
+        let h2 = b.add_host("h2", "s", "c");
+        let h3 = b.add_host("h3", "s", "c");
+        let swa = b.add_switch("swa", "s");
+        let swb = b.add_switch("swb", "s");
+        let fast = LinkSpec::lan(Bandwidth::from_mbps(900.0));
+        b.link(h0, swa, fast);
+        b.link(h2, swa, fast);
+        b.link(h1, swb, fast);
+        b.link(h3, swb, fast);
+        b.link(swa, swb, LinkSpec::lan(Bandwidth::from_mbps(300.0)));
+        let t = Arc::new(b.build().unwrap());
+        let rt = RouteTable::new(t.clone());
+        let r1 = rt.route(h0, h1);
+        let r2 = rt.route(h2, h3);
+        let rates = max_min_rates(
+            &t.channel_capacities(),
+            &[FlowInput { route: &r1, cap: None }, FlowInput { route: &r2, cap: None }],
+        );
+        let share = Bandwidth::from_mbps(150.0).bytes_per_sec();
+        assert!((rates[0] - share).abs() < 1.0);
+        assert!((rates[1] - share).abs() < 1.0);
+    }
+
+    #[test]
+    fn loopback_flows() {
+        let rates = max_min_rates(&[], &[FlowInput { route: &[], cap: None }, FlowInput { route: &[], cap: Some(5.0) }]);
+        assert!(rates[0].is_infinite());
+        assert_eq!(rates[1], 5.0);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(max_min_rates(&[1.0, 2.0], &[]).is_empty());
+    }
+
+    #[test]
+    fn no_channel_overload_on_dense_load() {
+        // 8 hosts all-to-all on a 500 Mb/s star: verify feasibility.
+        let (t, hs, rt) = star(8, 500.0);
+        let routes: Vec<Vec<ChannelId>> = hs
+            .iter()
+            .flat_map(|&a| hs.iter().map(move |&b| (a, b)))
+            .filter(|(a, b)| a != b)
+            .map(|(a, b)| rt.route(a, b))
+            .collect();
+        let flows: Vec<FlowInput<'_>> = routes.iter().map(|r| FlowInput { route: r, cap: None }).collect();
+        let caps = t.channel_capacities();
+        let rates = max_min_rates(&caps, &flows);
+        let mut used = vec![0.0; caps.len()];
+        for (f, rate) in flows.iter().zip(&rates) {
+            for ch in f.route {
+                used[ch.idx()] += rate;
+            }
+        }
+        for (c, &u) in used.iter().enumerate() {
+            assert!(u <= caps[c] * (1.0 + 1e-6), "channel {c} overloaded: {u} > {}", caps[c]);
+        }
+        // Work conservation: every flow is bottlenecked somewhere.
+        for (f, rate) in flows.iter().zip(&rates) {
+            let bottlenecked = f.route.iter().any(|ch| used[ch.idx()] >= caps[ch.idx()] * (1.0 - 1e-6));
+            assert!(bottlenecked, "flow at {rate} B/s has slack everywhere");
+        }
+    }
+}

@@ -1,0 +1,376 @@
+//! Topology builders for the paper's Grid'5000 testbed.
+//!
+//! Two levels of structure are modelled, following §IV-A of the paper:
+//!
+//! * **Intra-site** (Fig. 7): the Bordeaux site has three physical compute
+//!   clusters — Bordeplage behind a Cisco switch, Bordereau behind a Dell
+//!   switch, and Borderline attached to the Dell switch through a fast
+//!   (10 GbE) link. The Dell↔Cisco trunk is a single 1 GbE connection: the
+//!   bottleneck the site administrator pointed out, which only binds under
+//!   multiple-source/multiple-destination load. Other sites used by the paper
+//!   (Toulouse, Grenoble, Lyon) have flat Ethernet hierarchies.
+//! * **Inter-site** (Fig. 6): sites are joined by the Renater 10 Gb/s optical
+//!   network in a star centred near Lyon. Single flows across Renater achieve
+//!   less than local Ethernet (787 vs 890 Mb/s in the paper's NetPIPE runs),
+//!   modelled here as a per-flow cap on WAN links.
+//!
+//! Capacities are calibrated to the paper's *measured goodput* numbers rather
+//! than nominal line rates, so the simulator's NetPIPE baseline reproduces the
+//! paper's point-to-point figures by construction (documented in DESIGN.md).
+
+use crate::topology::{LinkSpec, NodeId, Topology, TopologyBuilder};
+use crate::units::Bandwidth;
+use std::sync::Arc;
+
+/// Measured goodput of a 1 GbE host link (paper: NetPIPE intra-cluster, Mb/s).
+pub const INTRA_GOODPUT_MBPS: f64 = 890.0;
+/// Effective goodput of the Bordeaux Dell↔Cisco 1 GbE trunk (same link class
+/// as host access links).
+pub const BORDEAUX_TRUNK_MBPS: f64 = 890.0;
+/// Effective goodput of 10 GbE intra-site uplinks (same 0.89 efficiency).
+pub const UPLINK_10G_MBPS: f64 = 8_900.0;
+/// Effective capacity of a Renater site↔core segment *available to the
+/// experiment*. The optical line rate is 10 Gb/s, but Renater is shared
+/// national infrastructure carrying production traffic from every connected
+/// institution; the paper's swarms competed with that background load. A
+/// single probe flow still achieves the full per-flow cap (NetPIPE
+/// calibration below is unaffected); only heavily multiplexed collective
+/// traffic feels this ceiling — exactly the "bottlenecks appear under
+/// intense collective communication" regime the paper targets (§I).
+pub const RENATER_EFFECTIVE_MBPS: f64 = 800.0;
+/// Per-flow achievable bandwidth across Renater (paper: NetPIPE
+/// Bordeaux↔Toulouse, Mb/s) — a latency-limited TCP window stand-in.
+pub const WAN_FLOW_CAP_MBPS: f64 = 787.0;
+/// One-way latency of a Renater site↔core segment (seconds).
+pub const WAN_SEGMENT_LATENCY: f64 = 2.5e-3;
+
+/// Hosts of one site, grouped by physical cluster.
+#[derive(Debug, Clone)]
+pub struct SiteHosts {
+    /// Site name, e.g. `"bordeaux"`.
+    pub site: String,
+    /// `(cluster name, hosts)` in construction order.
+    pub clusters: Vec<(String, Vec<NodeId>)>,
+}
+
+impl SiteHosts {
+    /// All hosts of the site, cluster by cluster.
+    pub fn all(&self) -> Vec<NodeId> {
+        self.clusters.iter().flat_map(|(_, hs)| hs.iter().copied()).collect()
+    }
+}
+
+/// A built Grid'5000-style network.
+#[derive(Debug, Clone)]
+pub struct Grid5000 {
+    /// The simulated topology.
+    pub topology: Arc<Topology>,
+    /// Per-site host groups, in builder order.
+    pub sites: Vec<SiteHosts>,
+}
+
+impl Grid5000 {
+    /// Starts a builder.
+    pub fn builder() -> Grid5000Builder {
+        Grid5000Builder::default()
+    }
+
+    /// All hosts across all sites, in site order.
+    pub fn all_hosts(&self) -> Vec<NodeId> {
+        self.sites.iter().flat_map(|s| s.all()).collect()
+    }
+}
+
+#[derive(Debug, Clone)]
+enum SitePlan {
+    Bordeaux { bordeplage: usize, borderline: usize, bordereau: usize },
+    Flat { name: String, hosts: usize },
+}
+
+/// Builder for [`Grid5000`] networks.
+///
+/// ```
+/// use btt_netsim::grid5000::Grid5000;
+/// let g = Grid5000::builder()
+///     .bordeaux(32, 5, 27)
+///     .flat_site("toulouse", 32)
+///     .build();
+/// assert_eq!(g.all_hosts().len(), 96);
+/// ```
+#[derive(Debug, Default)]
+pub struct Grid5000Builder {
+    sites: Vec<SitePlan>,
+}
+
+impl Grid5000Builder {
+    /// Adds the Bordeaux site with the given numbers of Bordeplage,
+    /// Borderline, and Bordereau hosts (Fig. 7 structure).
+    pub fn bordeaux(mut self, bordeplage: usize, borderline: usize, bordereau: usize) -> Self {
+        self.sites.push(SitePlan::Bordeaux { bordeplage, borderline, bordereau });
+        self
+    }
+
+    /// Adds a flat-hierarchy site (Toulouse, Grenoble, Lyon, ...).
+    ///
+    /// A site named `"lyon"` is attached at the Renater core with a wider,
+    /// shorter link, matching its central position in the Renater star
+    /// (Fig. 6; the paper notes Lyon lands centrally in the Fig. 12 layout).
+    pub fn flat_site(mut self, name: impl Into<String>, hosts: usize) -> Self {
+        self.sites.push(SitePlan::Flat { name: name.into(), hosts });
+        self
+    }
+
+    /// Builds the topology. Panics on invalid plans (no sites, zero hosts),
+    /// which are programming errors in experiment setup.
+    pub fn build(self) -> Grid5000 {
+        assert!(!self.sites.is_empty(), "at least one site required");
+        let mut b = TopologyBuilder::new();
+        let mut sites = Vec::new();
+        let mut routers: Vec<(String, NodeId)> = Vec::new();
+        let multi_site = self.sites.len() > 1;
+
+        let access = LinkSpec::lan(Bandwidth::from_mbps(INTRA_GOODPUT_MBPS));
+        let uplink = LinkSpec::lan(Bandwidth::from_mbps(UPLINK_10G_MBPS));
+
+        for plan in &self.sites {
+            match plan {
+                SitePlan::Bordeaux { bordeplage, borderline, bordereau } => {
+                    assert!(
+                        *bordeplage + *borderline + *bordereau > 0,
+                        "bordeaux needs at least one host"
+                    );
+                    let site = "bordeaux";
+                    let cisco = b.add_switch("bordeaux/cisco", site);
+                    let dell = b.add_switch("bordeaux/dell", site);
+                    let mut clusters = Vec::new();
+
+                    let mk_hosts = |b: &mut TopologyBuilder, cluster: &str, n: usize, sw: NodeId| {
+                        let hs: Vec<NodeId> = (0..n)
+                            .map(|i| {
+                                let h = b.add_host(format!("{site}/{cluster}-{i:02}"), site, cluster);
+                                b.link(h, sw, access);
+                                h
+                            })
+                            .collect();
+                        (cluster.to_string(), hs)
+                    };
+
+                    // Bordeplage hangs off the Cisco switch.
+                    clusters.push(mk_hosts(&mut b, "bordeplage", *bordeplage, cisco));
+                    // Bordereau hangs off the Dell switch.
+                    clusters.push(mk_hosts(&mut b, "bordereau", *bordereau, dell));
+                    // Borderline has its own switch, fast-linked to Dell —
+                    // this is why Bordereau+Borderline form ONE logical
+                    // cluster in the paper's ground truth.
+                    let borderline_sw = b.add_switch("bordeaux/borderline-sw", site);
+                    b.link(borderline_sw, dell, uplink);
+                    clusters.push(mk_hosts(&mut b, "borderline", *borderline, borderline_sw));
+
+                    // The administrator-confirmed bottleneck: a single 1 GbE
+                    // trunk between the Dell and Cisco switches.
+                    b.link(dell, cisco, LinkSpec::lan(Bandwidth::from_mbps(BORDEAUX_TRUNK_MBPS)));
+
+                    if multi_site {
+                        // The site's external egress hangs off the Dell
+                        // switch: Bordeplage's WAN traffic crosses the 1 GbE
+                        // trunk on top of its Bordeplage↔Dell-side traffic.
+                        let r = b.add_router("bordeaux/router", Some(site.into()));
+                        b.link(r, dell, uplink);
+                        routers.push((site.to_string(), r));
+                    }
+                    // Keep cluster order stable: bordeplage, bordereau, borderline.
+                    sites.push(SiteHosts { site: site.into(), clusters });
+                }
+                SitePlan::Flat { name, hosts } => {
+                    assert!(*hosts > 0, "site {name} needs at least one host");
+                    let sw = b.add_switch(format!("{name}/switch"), name.clone());
+                    let hs: Vec<NodeId> = (0..*hosts)
+                        .map(|i| {
+                            let h = b.add_host(format!("{name}/node-{i:02}"), name.clone(), "main");
+                            b.link(h, sw, access);
+                            h
+                        })
+                        .collect();
+                    if multi_site {
+                        let r = b.add_router(format!("{name}/router"), Some(name.clone()));
+                        b.link(r, sw, uplink);
+                        routers.push((name.clone(), r));
+                    }
+                    sites.push(SiteHosts { site: name.clone(), clusters: vec![("main".into(), hs)] });
+                }
+            }
+        }
+
+        if multi_site {
+            // Renater star: every site router attaches to a core node. WAN
+            // links carry a per-flow cap modelling window-limited TCP.
+            let core = b.add_router("renater/core", None);
+            for (site, r) in &routers {
+                let spec = if site == "lyon" {
+                    // Lyon hosts the core: shorter, wider attachment.
+                    LinkSpec::wan(
+                        Bandwidth::from_mbps(2.0 * RENATER_EFFECTIVE_MBPS),
+                        WAN_SEGMENT_LATENCY / 5.0,
+                        Bandwidth::from_mbps(WAN_FLOW_CAP_MBPS),
+                    )
+                } else {
+                    LinkSpec::wan(
+                        Bandwidth::from_mbps(RENATER_EFFECTIVE_MBPS),
+                        WAN_SEGMENT_LATENCY,
+                        Bandwidth::from_mbps(WAN_FLOW_CAP_MBPS),
+                    )
+                };
+                b.link(*r, core, spec);
+            }
+        }
+
+        let topology = Arc::new(b.build().expect("grid5000 builder produces valid topologies"));
+        Grid5000 { topology, sites }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::SimNet;
+    use crate::units::Bandwidth;
+
+    #[test]
+    fn bordeaux_counts_match_plan() {
+        let g = Grid5000::builder().bordeaux(32, 5, 27).build();
+        assert_eq!(g.sites.len(), 1);
+        let s = &g.sites[0];
+        assert_eq!(s.clusters.len(), 3);
+        assert_eq!(s.clusters[0].1.len(), 32); // bordeplage
+        assert_eq!(s.clusters[1].1.len(), 27); // bordereau
+        assert_eq!(s.clusters[2].1.len(), 5); // borderline
+        assert_eq!(g.all_hosts().len(), 64);
+        assert!(g.topology.is_connected());
+    }
+
+    #[test]
+    fn single_site_has_no_wan() {
+        let g = Grid5000::builder().bordeaux(2, 2, 0).build();
+        assert!(g.topology.find_node("renater/core").is_none());
+        assert!(g.topology.find_node("bordeaux/router").is_none());
+    }
+
+    #[test]
+    fn multi_site_connects_through_renater() {
+        let g = Grid5000::builder().flat_site("grenoble", 4).flat_site("toulouse", 4).build();
+        assert!(g.topology.find_node("renater/core").is_some());
+        assert_eq!(g.all_hosts().len(), 8);
+        assert!(g.topology.is_connected());
+    }
+
+    /// NetPIPE-style calibration: a single flow within a cluster sees
+    /// ~890 Mb/s, and a single flow across sites sees ~787 Mb/s — the paper's
+    /// §IV-A numbers.
+    #[test]
+    fn single_flow_calibration_matches_paper() {
+        let g = Grid5000::builder().bordeaux(2, 0, 2).flat_site("toulouse", 2).build();
+        let bordeplage = &g.sites[0].clusters[0].1;
+        let toulouse = &g.sites[1].clusters[0].1;
+
+        let mut net = SimNet::new(g.topology.clone());
+        let local = net.start_flow(bordeplage[0], bordeplage[1], None, 0);
+        net.advance(1.0);
+        let local_rate = net.take_delivered(local) / 1.0;
+        assert!(
+            (local_rate - Bandwidth::from_mbps(890.0).bytes_per_sec()).abs()
+                / Bandwidth::from_mbps(890.0).bytes_per_sec()
+                < 0.01,
+            "intra-cluster {local_rate}"
+        );
+        net.stop_flow(local);
+
+        let mut net = SimNet::new(g.topology.clone());
+        let wan = net.start_flow(bordeplage[0], toulouse[0], None, 0);
+        net.advance(1.0);
+        let wan_rate = net.take_delivered(wan) / 1.0;
+        let expect = Bandwidth::from_mbps(787.0).bytes_per_sec();
+        assert!((wan_rate - expect).abs() / expect < 0.01, "inter-site {wan_rate}");
+    }
+
+    /// The Dell↔Cisco trunk only binds under collective load: one flow across
+    /// it gets full rate, but 8 concurrent cross flows each get ~1/8.
+    #[test]
+    fn bordeaux_bottleneck_appears_under_collective_load() {
+        let g = Grid5000::builder().bordeaux(8, 0, 8).build();
+        let bordeplage = g.sites[0].clusters[0].1.clone();
+        let bordereau = g.sites[0].clusters[1].1.clone();
+
+        // Single cross flow: full local rate (bottleneck invisible).
+        let mut net = SimNet::new(g.topology.clone());
+        let f = net.start_flow(bordeplage[0], bordereau[0], None, 0);
+        net.advance(1.0);
+        let single = net.take_delivered(f);
+        let full = Bandwidth::from_mbps(890.0).bytes_per_sec();
+        assert!((single - full).abs() / full < 0.01);
+
+        // Eight concurrent cross flows: trunk saturates, each ~1/8.
+        let mut net = SimNet::new(g.topology.clone());
+        let flows: Vec<_> =
+            (0..8).map(|i| net.start_flow(bordeplage[i], bordereau[i], None, 0)).collect();
+        net.advance(1.0);
+        for f in flows {
+            let got = net.take_delivered(f);
+            assert!((got - full / 8.0).abs() / (full / 8.0) < 0.05, "share {got}");
+        }
+    }
+
+    /// Inter-site calibration under load: a single flow reaches the NetPIPE
+    /// per-flow cap, but many concurrent flows share the *effective* Renater
+    /// headroom (shared production infrastructure), each well below the cap.
+    /// This contrast is the source of the paper's inter-site tomographic
+    /// signal.
+    #[test]
+    fn renater_effective_capacity_binds_under_load() {
+        let g = Grid5000::builder().flat_site("grenoble", 8).flat_site("toulouse", 8).build();
+        let a = g.sites[0].clusters[0].1.clone();
+        let b = g.sites[1].clusters[0].1.clone();
+        let mut net = SimNet::new(g.topology.clone());
+        let flows: Vec<_> = (0..8).map(|i| net.start_flow(a[i], b[i], None, 0)).collect();
+        net.advance(1.0);
+        let total: f64 = flows.iter().map(|&f| net.take_delivered(f)).sum();
+        let effective = Bandwidth::from_mbps(RENATER_EFFECTIVE_MBPS).bytes_per_sec();
+        assert!(
+            (total - effective).abs() / effective < 0.02,
+            "aggregate {total} should saturate the effective segment capacity {effective}"
+        );
+        // Each individual flow is far below the single-flow cap.
+        let one_cap = Bandwidth::from_mbps(WAN_FLOW_CAP_MBPS).bytes_per_sec();
+        let mut net2 = SimNet::new(g.topology.clone());
+        let probes: Vec<_> = (0..8).map(|i| net2.start_flow(a[i], b[i], None, 0)).collect();
+        net2.advance(1.0);
+        for f in probes {
+            assert!(net2.take_delivered(f) < 0.5 * one_cap);
+        }
+    }
+
+    #[test]
+    fn lyon_core_attachment_is_special() {
+        let g = Grid5000::builder()
+            .flat_site("grenoble", 2)
+            .flat_site("lyon", 2)
+            .build();
+        let lyon_router = g.topology.find_node("lyon/router").unwrap();
+        let core = g.topology.find_node("renater/core").unwrap();
+        let (_, link) = g
+            .topology
+            .neighbors(lyon_router)
+            .iter()
+            .copied()
+            .find(|&(n, _)| n == core)
+            .unwrap();
+        let l = g.topology.link(link);
+        assert!(l.capacity.mbps() > RENATER_EFFECTIVE_MBPS, "lyon gets the wider core link");
+        assert!(l.latency < WAN_SEGMENT_LATENCY);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one site")]
+    fn empty_plan_panics() {
+        let _ = Grid5000::builder().build();
+    }
+}

@@ -1,0 +1,207 @@
+//! Background cross-traffic generation.
+//!
+//! The paper motivates its method for "large highly utilized heterogeneous
+//! networks" — measurement happens while other tenants use the links. This
+//! module injects competing load so experiments can check that cluster
+//! recovery survives realistic utilization (the `ablation-load` experiment).
+//!
+//! The model is a set of on/off host pairs: each pair alternates between an
+//! exponentially-distributed ON period, during which it runs one bulk stream,
+//! and an exponential OFF period. This is the classic elephant-flow background
+//! model and exercises exactly the same fluid bandwidth sharing as the
+//! foreground swarm.
+
+use crate::engine::{FlowId, SimNet};
+use crate::topology::NodeId;
+use crate::units::SimTime;
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+
+/// Configuration of the background traffic process.
+#[derive(Debug, Clone)]
+pub struct TrafficConfig {
+    /// Mean ON duration of a pair's stream (seconds).
+    pub mean_on: SimTime,
+    /// Mean OFF duration between streams (seconds).
+    pub mean_off: SimTime,
+    /// Number of concurrent on/off source-destination pairs.
+    pub pairs: usize,
+}
+
+impl Default for TrafficConfig {
+    fn default() -> Self {
+        TrafficConfig { mean_on: 5.0, mean_off: 5.0, pairs: 8 }
+    }
+}
+
+#[derive(Debug)]
+struct PairState {
+    src: NodeId,
+    dst: NodeId,
+    /// Active stream while ON.
+    flow: Option<FlowId>,
+    /// Time at which the current ON/OFF phase ends.
+    phase_ends: SimTime,
+}
+
+/// A background traffic generator bound to a set of candidate hosts.
+///
+/// Call [`tick`](BackgroundTraffic::tick) once per simulation step *before*
+/// advancing the network; it starts and stops streams as phases expire.
+#[derive(Debug)]
+pub struct BackgroundTraffic {
+    cfg: TrafficConfig,
+    pairs: Vec<PairState>,
+    rng: ChaCha12Rng,
+    hosts: Vec<NodeId>,
+}
+
+impl BackgroundTraffic {
+    /// Creates a generator over `hosts`, seeded deterministically.
+    ///
+    /// Pairs start in the OFF state with randomized phase ends so load ramps
+    /// in gradually rather than synchronously.
+    pub fn new(hosts: &[NodeId], cfg: TrafficConfig, seed: u64) -> Self {
+        assert!(hosts.len() >= 2, "background traffic needs at least two hosts");
+        let mut rng = ChaCha12Rng::seed_from_u64(seed);
+        let mut pairs = Vec::with_capacity(cfg.pairs);
+        for _ in 0..cfg.pairs {
+            let (src, dst) = pick_pair(hosts, &mut rng);
+            let phase_ends = rng.gen_range(0.0..cfg.mean_off.max(1e-3));
+            pairs.push(PairState { src, dst, flow: None, phase_ends });
+        }
+        BackgroundTraffic { cfg, pairs, rng, hosts: hosts.to_vec() }
+    }
+
+    /// Number of streams currently running.
+    pub fn active_streams(&self) -> usize {
+        self.pairs.iter().filter(|p| p.flow.is_some()).count()
+    }
+
+    /// Advances the on/off processes to `net.time()`, starting and stopping
+    /// streams whose phases expired.
+    pub fn tick(&mut self, net: &mut SimNet) {
+        let now = net.time();
+        for p in &mut self.pairs {
+            while p.phase_ends <= now {
+                match p.flow.take() {
+                    Some(f) => {
+                        // ON phase over: stop the stream, draw an OFF period,
+                        // and move to a fresh random pair.
+                        net.stop_flow(f);
+                        let (src, dst) = pick_pair(&self.hosts, &mut self.rng);
+                        p.src = src;
+                        p.dst = dst;
+                        p.phase_ends += exponential(&mut self.rng, self.cfg.mean_off);
+                    }
+                    None => {
+                        // OFF over: start a stream for an ON period.
+                        p.flow = Some(net.start_flow(p.src, p.dst, None, u64::MAX));
+                        p.phase_ends += exponential(&mut self.rng, self.cfg.mean_on);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Stops all active streams (end of experiment).
+    pub fn shutdown(&mut self, net: &mut SimNet) {
+        for p in &mut self.pairs {
+            if let Some(f) = p.flow.take() {
+                net.stop_flow(f);
+            }
+        }
+    }
+}
+
+fn pick_pair(hosts: &[NodeId], rng: &mut ChaCha12Rng) -> (NodeId, NodeId) {
+    let a = rng.gen_range(0..hosts.len());
+    let mut b = rng.gen_range(0..hosts.len() - 1);
+    if b >= a {
+        b += 1;
+    }
+    (hosts[a], hosts[b])
+}
+
+fn exponential(rng: &mut ChaCha12Rng, mean: f64) -> f64 {
+    let u: f64 = rng.gen_range(1e-12..1.0);
+    -mean * u.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::{LinkSpec, TopologyBuilder};
+    use crate::units::Bandwidth;
+    use std::sync::Arc;
+
+    fn star(n: usize) -> (Arc<crate::topology::Topology>, Vec<NodeId>) {
+        let mut b = TopologyBuilder::new();
+        let hosts: Vec<NodeId> = (0..n).map(|i| b.add_host(format!("h{i}"), "s", "c")).collect();
+        let sw = b.add_switch("sw", "s");
+        for &h in &hosts {
+            b.link(h, sw, LinkSpec::lan(Bandwidth::from_mbps(890.0)));
+        }
+        (Arc::new(b.build().unwrap()), hosts)
+    }
+
+    #[test]
+    fn generates_and_stops_streams() {
+        let (t, hosts) = star(8);
+        let mut net = SimNet::new(t);
+        let mut bg = BackgroundTraffic::new(&hosts, TrafficConfig { mean_on: 1.0, mean_off: 1.0, pairs: 4 }, 42);
+        let mut saw_active = false;
+        for _ in 0..200 {
+            bg.tick(&mut net);
+            net.advance(0.1);
+            saw_active |= bg.active_streams() > 0;
+        }
+        assert!(saw_active, "some streams must have run");
+        bg.shutdown(&mut net);
+        assert_eq!(bg.active_streams(), 0);
+        assert_eq!(net.active_flows(), 0);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let (t, hosts) = star(6);
+        let run = |seed: u64| {
+            let mut net = SimNet::new(t.clone());
+            let mut bg = BackgroundTraffic::new(
+                &hosts,
+                TrafficConfig { mean_on: 0.5, mean_off: 0.5, pairs: 3 },
+                seed,
+            );
+            let mut trace = Vec::new();
+            for _ in 0..100 {
+                bg.tick(&mut net);
+                net.advance(0.05);
+                trace.push(bg.active_streams());
+            }
+            trace
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8), "different seeds should differ somewhere");
+    }
+
+    #[test]
+    fn pairs_never_self_loop() {
+        let (_, hosts) = star(4);
+        let mut rng = ChaCha12Rng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let (a, b) = pick_pair(&hosts, &mut rng);
+            assert_ne!(a, b);
+        }
+    }
+
+    #[test]
+    fn exponential_mean_is_close() {
+        let mut rng = ChaCha12Rng::seed_from_u64(2);
+        let n = 20_000;
+        let mean = 3.0;
+        let sum: f64 = (0..n).map(|_| exponential(&mut rng, mean)).sum();
+        let got = sum / n as f64;
+        assert!((got - mean).abs() < 0.1, "sample mean {got}");
+    }
+}

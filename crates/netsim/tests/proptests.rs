@@ -1,0 +1,159 @@
+//! Property-based tests for the simulator's core invariants.
+
+use btt_netsim::fairness::{max_min_rates, FlowInput};
+use btt_netsim::prelude::*;
+use btt_netsim::routing::RouteTable;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Builds a random two-tier topology: `clusters` stars joined by a backbone
+/// switch, with the given per-tier capacities (Mb/s).
+fn two_tier(clusters: usize, hosts_per: usize, access_mbps: f64, trunk_mbps: f64) -> Arc<Topology> {
+    let mut b = TopologyBuilder::new();
+    let backbone = b.add_switch("backbone", "s");
+    for c in 0..clusters {
+        let sw = b.add_switch(format!("sw{c}"), "s");
+        b.link(sw, backbone, LinkSpec::lan(Bandwidth::from_mbps(trunk_mbps)));
+        for h in 0..hosts_per {
+            let host = b.add_host(format!("h{c}-{h}"), "s", format!("c{c}"));
+            b.link(host, sw, LinkSpec::lan(Bandwidth::from_mbps(access_mbps)));
+        }
+    }
+    Arc::new(b.build().unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Max-min rates never overload a channel and every flow is bottlenecked
+    /// at a saturated channel or its cap (work conservation).
+    #[test]
+    fn maxmin_feasible_and_work_conserving(
+        clusters in 2usize..4,
+        hosts_per in 2usize..5,
+        access in 100f64..1000.0,
+        trunk in 100f64..2000.0,
+        pair_seed in any::<u64>(),
+        npairs in 1usize..24,
+        cap_mbps in proptest::option::of(50f64..500.0),
+    ) {
+        let topo = two_tier(clusters, hosts_per, access, trunk);
+        let rt = RouteTable::new(topo.clone());
+        let hosts = topo.hosts().to_vec();
+
+        // Deterministic pseudo-random pair choice from the seed.
+        let mut x = pair_seed | 1;
+        let mut next = || { x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407); (x >> 33) as usize };
+        let routes: Vec<Vec<ChannelId>> = (0..npairs).map(|_| {
+            let a = hosts[next() % hosts.len()];
+            let mut bi = next() % (hosts.len() - 1);
+            if bi >= a.idx() { bi += 1; }
+            rt.route(a, hosts[bi % hosts.len()])
+        }).filter(|r| !r.is_empty()).collect();
+        prop_assume!(!routes.is_empty());
+
+        let cap = cap_mbps.map(|m| Bandwidth::from_mbps(m).bytes_per_sec());
+        let flows: Vec<FlowInput<'_>> = routes.iter().map(|r| FlowInput { route: r, cap }).collect();
+        let caps = topo.channel_capacities();
+        let rates = max_min_rates(&caps, &flows);
+
+        prop_assert_eq!(rates.len(), flows.len());
+        let mut used = vec![0.0f64; caps.len()];
+        for (f, &rate) in flows.iter().zip(&rates) {
+            prop_assert!(rate.is_finite() && rate >= 0.0);
+            if let Some(c) = cap { prop_assert!(rate <= c * (1.0 + 1e-6)); }
+            for ch in f.route { used[ch.idx()] += rate; }
+        }
+        for (c, &u) in used.iter().enumerate() {
+            prop_assert!(u <= caps[c] * (1.0 + 1e-6), "channel {} overloaded: {} > {}", c, u, caps[c]);
+        }
+        for (f, &rate) in flows.iter().zip(&rates) {
+            let capped = cap.is_some_and(|c| rate >= c * (1.0 - 1e-6));
+            let bottlenecked = f.route.iter().any(|ch| used[ch.idx()] >= caps[ch.idx()] * (1.0 - 1e-6));
+            prop_assert!(capped || bottlenecked, "flow has slack everywhere at rate {}", rate);
+        }
+    }
+
+    /// Routes are contiguous, oriented, loop-free paths.
+    #[test]
+    fn routes_are_simple_paths(
+        clusters in 2usize..5,
+        hosts_per in 1usize..5,
+    ) {
+        let topo = two_tier(clusters, hosts_per, 890.0, 890.0);
+        let rt = RouteTable::new(topo.clone());
+        let hosts = topo.hosts();
+        for &a in hosts {
+            for &b in hosts {
+                let route = rt.route(a, b);
+                if a == b {
+                    prop_assert!(route.is_empty());
+                    continue;
+                }
+                prop_assert_eq!(topo.channel_tail(route[0]), a);
+                prop_assert_eq!(topo.channel_head(*route.last().unwrap()), b);
+                for w in route.windows(2) {
+                    prop_assert_eq!(topo.channel_head(w[0]), topo.channel_tail(w[1]));
+                }
+                // Loop-free: no node visited twice.
+                let mut seen = std::collections::HashSet::new();
+                seen.insert(a);
+                for ch in &route {
+                    prop_assert!(seen.insert(topo.channel_head(*ch)), "route revisits a node");
+                }
+            }
+        }
+    }
+
+    /// Conservation in the engine: delivered bytes equal rate × time within
+    /// fluid-model tolerance, regardless of step pattern.
+    #[test]
+    fn engine_delivery_matches_rate_independent_of_steps(
+        steps in proptest::collection::vec(0.001f64..0.7, 1..30),
+        mbps in 50f64..900.0,
+    ) {
+        let mut b = TopologyBuilder::new();
+        let h0 = b.add_host("h0", "s", "c");
+        let h1 = b.add_host("h1", "s", "c");
+        b.link(h0, h1, LinkSpec { capacity: Bandwidth::from_mbps(mbps), per_flow_cap: None, latency: 0.0 });
+        let topo = Arc::new(b.build().unwrap());
+        let mut net = SimNet::new(topo);
+        let s = net.start_flow(h0, h1, None, 0);
+        let mut total = 0.0;
+        let mut time = 0.0;
+        for dt in &steps {
+            net.advance(*dt);
+            total += net.take_delivered(s);
+            time += dt;
+        }
+        let expect = Bandwidth::from_mbps(mbps).bytes_per_sec() * time;
+        prop_assert!((total - expect).abs() / expect < 1e-6, "{} vs {}", total, expect);
+    }
+
+    /// Bounded flows complete exactly once and at a time consistent with
+    /// their byte count and available bandwidth.
+    #[test]
+    fn bounded_flows_complete_once(
+        nflows in 1usize..8,
+        kb in 1f64..5_000.0,
+    ) {
+        let topo = two_tier(2, 4, 890.0, 890.0);
+        let hosts = topo.hosts().to_vec();
+        let mut net = SimNet::new(topo);
+        for i in 0..nflows {
+            let a = hosts[i % hosts.len()];
+            let b = hosts[(i + 3) % hosts.len()];
+            if a != b {
+                net.start_flow(a, b, Some(kb * 1024.0), i as u64);
+            }
+        }
+        let started = net.active_flows();
+        let done = net.run_bounded_to_completion(3_600.0);
+        prop_assert_eq!(done.len(), started);
+        let mut tags: Vec<u64> = done.iter().map(|c| c.tag).collect();
+        tags.sort_unstable();
+        tags.dedup();
+        prop_assert_eq!(tags.len(), started, "each flow completes exactly once");
+        prop_assert_eq!(net.active_flows(), 0);
+    }
+}

@@ -1,0 +1,209 @@
+//! Measurement campaigns: synchronized broadcast iterations and metric
+//! aggregation (phase 1 of the tomography method).
+//!
+//! A *campaign* runs `n` independent instrumented broadcasts over the same
+//! set of hosts, each with a fresh tracker peer graph and RNG stream, and
+//! aggregates the fragment counts into the Eq. (2) metric. Iterations are
+//! independent, so they run in parallel under rayon with per-iteration seeds
+//! derived via splitmix64 — results are identical no matter the thread count.
+
+use crate::config::SwarmConfig;
+use crate::metrics::MetricAccumulator;
+use crate::swarm::{RunOutcome, Swarm};
+use btt_netsim::routing::RouteTable;
+use btt_netsim::topology::NodeId;
+use btt_netsim::util::seed_for_iteration;
+use rayon::prelude::*;
+use std::sync::Arc;
+
+/// Result of one synchronized broadcast (paper terminology: one *iteration*
+/// of the measurement procedure).
+pub type BroadcastResult = RunOutcome;
+
+/// How the broadcast root (initial seed) is chosen across iterations.
+///
+/// The paper uses a fixed root and notes (§II-C) that rotating roots over
+/// runs is a simple fix for broadcast asymmetry; `RoundRobin`/`Random`
+/// implement that fix for the `ablation-root` experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RootPolicy {
+    /// The same host seeds every iteration.
+    Fixed(usize),
+    /// Iteration `k` is seeded by host `k mod n`.
+    RoundRobin,
+    /// Each iteration seeds from a seed-derived pseudo-random host.
+    Random,
+}
+
+impl RootPolicy {
+    /// The root index for iteration `k` of `n` hosts under `base_seed`.
+    pub fn root_for(self, k: u32, n: usize, base_seed: u64) -> usize {
+        match self {
+            RootPolicy::Fixed(r) => {
+                assert!(r < n, "fixed root out of range");
+                r
+            }
+            RootPolicy::RoundRobin => k as usize % n,
+            RootPolicy::Random => {
+                (btt_netsim::util::splitmix64(base_seed ^ (ROOT_SALT + k as u64)) % n as u64)
+                    as usize
+            }
+        }
+    }
+}
+
+/// Salt decorrelating root choice from protocol seeds.
+const ROOT_SALT: u64 = 0x0072_6f6f_7421_1111;
+
+/// Runs one synchronized instrumented broadcast and returns its outcome.
+pub fn run_broadcast(
+    routes: &Arc<RouteTable>,
+    hosts: &[NodeId],
+    root: usize,
+    cfg: &SwarmConfig,
+    seed: u64,
+) -> BroadcastResult {
+    Swarm::new(routes.clone(), hosts, root, cfg.clone(), seed).run()
+}
+
+/// A full measurement campaign: per-iteration outcomes plus the aggregated
+/// Eq. (2) metric.
+#[derive(Debug, Clone)]
+pub struct Campaign {
+    /// Outcomes in iteration order.
+    pub runs: Vec<BroadcastResult>,
+    /// Aggregated metric over **all** runs.
+    pub metric: MetricAccumulator,
+}
+
+impl Campaign {
+    /// Re-aggregates the metric over only the first `k` iterations — used to
+    /// study convergence vs iteration count (paper Fig. 13).
+    pub fn metric_after(&self, k: usize) -> MetricAccumulator {
+        let n = self.runs.first().map_or(0, |r| r.fragments.len());
+        let mut acc = MetricAccumulator::new(n);
+        for run in self.runs.iter().take(k) {
+            acc.add(&run.fragments);
+        }
+        acc
+    }
+
+    /// Sum of makespans: the total simulated measurement time the campaign
+    /// cost (what the paper compares against probing methods).
+    pub fn total_measurement_time(&self) -> f64 {
+        self.runs.iter().map(|r| r.makespan).sum()
+    }
+}
+
+/// Runs `iterations` independent broadcasts (in parallel) and aggregates.
+///
+/// `base_seed` fully determines the campaign: iteration `k` uses
+/// `seed_for_iteration(base_seed, k)` for all protocol randomness and
+/// `root_policy` for its seed host.
+pub fn run_campaign(
+    routes: &Arc<RouteTable>,
+    hosts: &[NodeId],
+    cfg: &SwarmConfig,
+    iterations: u32,
+    root_policy: RootPolicy,
+    base_seed: u64,
+) -> Campaign {
+    let runs: Vec<BroadcastResult> = (0..iterations)
+        .into_par_iter()
+        .map(|k| {
+            let seed = seed_for_iteration(base_seed, k as u64);
+            let root = root_policy.root_for(k, hosts.len(), base_seed);
+            run_broadcast(routes, hosts, root, cfg, seed)
+        })
+        .collect();
+    let mut metric = MetricAccumulator::new(hosts.len());
+    for r in &runs {
+        metric.add(&r.fragments);
+    }
+    Campaign { runs, metric }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use btt_netsim::prelude::*;
+
+    fn star(n: usize) -> (Arc<RouteTable>, Vec<NodeId>) {
+        let mut b = TopologyBuilder::new();
+        let hosts: Vec<NodeId> = (0..n).map(|i| b.add_host(format!("h{i}"), "s", "c")).collect();
+        let sw = b.add_switch("sw", "s");
+        for &h in &hosts {
+            b.link(h, sw, LinkSpec::lan(Bandwidth::from_mbps(890.0)));
+        }
+        let topo = Arc::new(b.build().unwrap());
+        (Arc::new(RouteTable::new(topo)), hosts)
+    }
+
+    fn cfg() -> SwarmConfig {
+        SwarmConfig { num_pieces: 64, endgame_pieces: 0, ..SwarmConfig::default() }
+    }
+
+    #[test]
+    fn campaign_aggregates_eq2() {
+        let (routes, hosts) = star(5);
+        let c = run_campaign(&routes, &hosts, &cfg(), 4, RootPolicy::Fixed(0), 99);
+        assert_eq!(c.runs.len(), 4);
+        assert_eq!(c.metric.iterations(), 4);
+        // w(e) should equal the mean of single-run edges.
+        let mean = c.runs.iter().map(|r| r.fragments.edge(1, 2) as f64).sum::<f64>() / 4.0;
+        assert!((c.metric.w(1, 2) - mean).abs() < 1e-9);
+        assert!(c.total_measurement_time() > 0.0);
+    }
+
+    #[test]
+    fn campaign_is_deterministic_and_parallel_safe() {
+        let (routes, hosts) = star(6);
+        let a = run_campaign(&routes, &hosts, &cfg(), 6, RootPolicy::Fixed(0), 1234);
+        let b = run_campaign(&routes, &hosts, &cfg(), 6, RootPolicy::Fixed(0), 1234);
+        for (x, y) in a.runs.iter().zip(&b.runs) {
+            assert_eq!(x.fragments, y.fragments);
+        }
+        assert_eq!(a.metric, b.metric);
+    }
+
+    #[test]
+    fn iterations_differ_from_each_other() {
+        let (routes, hosts) = star(6);
+        let c = run_campaign(&routes, &hosts, &cfg(), 3, RootPolicy::Fixed(0), 5);
+        assert_ne!(c.runs[0].fragments, c.runs[1].fragments, "runs must be stochastic");
+        assert_ne!(c.runs[1].fragments, c.runs[2].fragments);
+    }
+
+    #[test]
+    fn metric_after_prefixes() {
+        let (routes, hosts) = star(4);
+        let c = run_campaign(&routes, &hosts, &cfg(), 5, RootPolicy::Fixed(0), 77);
+        let m2 = c.metric_after(2);
+        assert_eq!(m2.iterations(), 2);
+        let manual = (c.runs[0].fragments.edge(0, 1) + c.runs[1].fragments.edge(0, 1)) as f64 / 2.0;
+        assert!((m2.w(0, 1) - manual).abs() < 1e-9);
+        let mall = c.metric_after(99);
+        assert_eq!(mall.iterations(), 5, "prefix longer than runs clamps");
+    }
+
+    #[test]
+    fn root_policies() {
+        assert_eq!(RootPolicy::Fixed(2).root_for(9, 5, 0), 2);
+        assert_eq!(RootPolicy::RoundRobin.root_for(7, 5, 0), 2);
+        let r = RootPolicy::Random.root_for(3, 5, 42);
+        assert!(r < 5);
+        // Random roots are deterministic in the seed.
+        assert_eq!(r, RootPolicy::Random.root_for(3, 5, 42));
+    }
+
+    #[test]
+    fn round_robin_rotates_roots() {
+        let (routes, hosts) = star(4);
+        let c = run_campaign(&routes, &hosts, &cfg(), 4, RootPolicy::RoundRobin, 10);
+        for (k, run) in c.runs.iter().enumerate() {
+            // The root of iteration k is host k: it receives nothing.
+            assert_eq!(run.fragments.received_by(k), 0, "iteration {k}");
+            assert_eq!(run.completion[k], Some(0.0));
+        }
+    }
+}

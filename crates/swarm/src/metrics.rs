@@ -1,0 +1,323 @@
+//! The tomography metric: fragments exchanged per peer pair.
+//!
+//! Implements §II-A of the paper. During an instrumented broadcast every
+//! client counts fragments it receives from each source peer
+//! ([`FragmentMatrix`]). The per-edge metric of Eq. (1) symmetrizes one run:
+//!
+//! ```text
+//! w(e) = (v1 →  v2) + (v2 →  v1)          for e = (v1, v2)
+//! ```
+//!
+//! and Eq. (2) averages over `n` iterations ([`MetricAccumulator`]):
+//!
+//! ```text
+//! w(e) = Σᵢ (v1 →ᵢ v2 + v2 →ᵢ v1) / n
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+/// Directed fragment counts for one broadcast: `counts[src][dst]` fragments
+/// were sent from peer `src` and received by peer `dst`.
+///
+/// Peers are swarm-local indices `0..n`, not topology node ids; callers keep
+/// the mapping.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FragmentMatrix {
+    n: usize,
+    counts: Vec<u64>,
+}
+
+impl FragmentMatrix {
+    /// A zero matrix for `n` peers.
+    pub fn new(n: usize) -> Self {
+        FragmentMatrix { n, counts: vec![0; n * n] }
+    }
+
+    /// Number of peers.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when tracking zero peers.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Records one fragment sent by `src`, received by `dst`.
+    #[inline]
+    pub fn record(&mut self, src: usize, dst: usize) {
+        debug_assert!(src != dst, "a peer cannot send to itself");
+        self.counts[src * self.n + dst] += 1;
+    }
+
+    /// Fragments sent from `src` to `dst` (directed).
+    #[inline]
+    pub fn sent(&self, src: usize, dst: usize) -> u64 {
+        self.counts[src * self.n + dst]
+    }
+
+    /// Eq. (1): the symmetric single-run edge metric
+    /// `v1 → v2 + v2 → v1`.
+    #[inline]
+    pub fn edge(&self, a: usize, b: usize) -> u64 {
+        self.sent(a, b) + self.sent(b, a)
+    }
+
+    /// Total fragments received by `dst` from all sources.
+    pub fn received_by(&self, dst: usize) -> u64 {
+        (0..self.n).map(|src| self.sent(src, dst)).sum()
+    }
+
+    /// Total fragments sent by `src` to all destinations.
+    pub fn sent_by(&self, src: usize) -> u64 {
+        (0..self.n).map(|dst| self.sent(src, dst)).sum()
+    }
+
+    /// Total fragments exchanged in the run.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+}
+
+/// Eq. (2): accumulates [`FragmentMatrix`] runs into the averaged edge metric.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricAccumulator {
+    n: usize,
+    /// Symmetric sums of `edge(a,b)` over runs, upper triangle flattened.
+    sums: Vec<f64>,
+    iterations: u32,
+}
+
+impl MetricAccumulator {
+    /// An empty accumulator for `n` peers.
+    pub fn new(n: usize) -> Self {
+        MetricAccumulator { n, sums: vec![0.0; n * (n.saturating_sub(1)) / 2], iterations: 0 }
+    }
+
+    #[inline]
+    fn tri_index(&self, a: usize, b: usize) -> usize {
+        debug_assert!(a != b && a < self.n && b < self.n);
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        // Index into the flattened strict upper triangle.
+        lo * self.n - lo * (lo + 1) / 2 + (hi - lo - 1)
+    }
+
+    /// Number of peers.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when tracking zero peers.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Number of accumulated iterations.
+    pub fn iterations(&self) -> u32 {
+        self.iterations
+    }
+
+    /// Adds one broadcast's fragment matrix.
+    pub fn add(&mut self, m: &FragmentMatrix) {
+        assert_eq!(m.len(), self.n, "matrix size mismatch");
+        for a in 0..self.n {
+            for b in (a + 1)..self.n {
+                let idx = self.tri_index(a, b);
+                self.sums[idx] += m.edge(a, b) as f64;
+            }
+        }
+        self.iterations += 1;
+    }
+
+    /// Eq. (2): the averaged metric `w(e)` for edge `(a, b)`.
+    pub fn w(&self, a: usize, b: usize) -> f64 {
+        if self.iterations == 0 {
+            return 0.0;
+        }
+        self.sums[self.tri_index(a, b)] / self.iterations as f64
+    }
+
+    /// All edges with nonzero metric as `(a, b, w)` triples, `a < b`.
+    ///
+    /// This is the weighted measurement graph handed to the clustering phase.
+    pub fn edges(&self) -> Vec<(u32, u32, f64)> {
+        let mut out = Vec::new();
+        for a in 0..self.n {
+            for b in (a + 1)..self.n {
+                let w = self.w(a, b);
+                if w > 0.0 {
+                    out.push((a as u32, b as u32, w));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// A sliding-window variant of [`MetricAccumulator`] for networks whose
+/// topology changes over time.
+///
+/// The paper's conclusion (§V) singles out overlay/virtualized networks
+/// "which may have a dynamically altering underlying topology" as a target.
+/// Averaging over *all* history (Eq. 2) then mixes pre- and post-change
+/// measurements; keeping only the last `window` iterations lets the metric
+/// track the current topology.
+#[derive(Debug, Clone)]
+pub struct WindowedMetric {
+    n: usize,
+    window: usize,
+    matrices: std::collections::VecDeque<FragmentMatrix>,
+}
+
+impl WindowedMetric {
+    /// A sliding window over the last `window` iterations for `n` peers.
+    pub fn new(n: usize, window: usize) -> Self {
+        assert!(window >= 1);
+        WindowedMetric { n, window, matrices: std::collections::VecDeque::new() }
+    }
+
+    /// Number of peers.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when tracking zero peers.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Iterations currently inside the window.
+    pub fn occupancy(&self) -> usize {
+        self.matrices.len()
+    }
+
+    /// Pushes one broadcast's counts, evicting the oldest beyond the window.
+    pub fn push(&mut self, m: &FragmentMatrix) {
+        assert_eq!(m.len(), self.n, "matrix size mismatch");
+        if self.matrices.len() == self.window {
+            self.matrices.pop_front();
+        }
+        self.matrices.push_back(m.clone());
+    }
+
+    /// The Eq. (2) metric over the window's iterations only.
+    pub fn snapshot(&self) -> MetricAccumulator {
+        let mut acc = MetricAccumulator::new(self.n);
+        for m in &self.matrices {
+            acc.add(m);
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_read_back() {
+        let mut m = FragmentMatrix::new(3);
+        m.record(0, 1);
+        m.record(0, 1);
+        m.record(1, 0);
+        m.record(2, 1);
+        assert_eq!(m.sent(0, 1), 2);
+        assert_eq!(m.sent(1, 0), 1);
+        assert_eq!(m.edge(0, 1), 3);
+        assert_eq!(m.edge(1, 0), 3, "edge metric is symmetric");
+        assert_eq!(m.received_by(1), 3);
+        assert_eq!(m.sent_by(0), 2);
+        assert_eq!(m.total(), 4);
+    }
+
+    #[test]
+    fn accumulator_averages_eq2() {
+        let mut acc = MetricAccumulator::new(3);
+        let mut m1 = FragmentMatrix::new(3);
+        m1.record(0, 1); // edge(0,1) = 1
+        let mut m2 = FragmentMatrix::new(3);
+        for _ in 0..3 {
+            m2.record(1, 0); // edge(0,1) = 3
+        }
+        acc.add(&m1);
+        acc.add(&m2);
+        assert_eq!(acc.iterations(), 2);
+        assert!((acc.w(0, 1) - 2.0).abs() < 1e-12);
+        assert!((acc.w(1, 0) - 2.0).abs() < 1e-12);
+        assert_eq!(acc.w(0, 2), 0.0);
+    }
+
+    #[test]
+    fn edges_lists_nonzero_only() {
+        let mut acc = MetricAccumulator::new(4);
+        let mut m = FragmentMatrix::new(4);
+        m.record(2, 3);
+        m.record(0, 1);
+        acc.add(&m);
+        let edges = acc.edges();
+        assert_eq!(edges, vec![(0, 1, 1.0), (2, 3, 1.0)]);
+    }
+
+    #[test]
+    fn tri_index_covers_all_pairs_uniquely() {
+        let acc = MetricAccumulator::new(10);
+        let mut seen = std::collections::HashSet::new();
+        for a in 0..10 {
+            for b in 0..10 {
+                if a != b {
+                    let i = acc.tri_index(a, b);
+                    assert_eq!(acc.tri_index(b, a), i);
+                    if a < b {
+                        assert!(seen.insert(i));
+                    }
+                    assert!(i < acc.sums.len());
+                }
+            }
+        }
+        assert_eq!(seen.len(), 45);
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn size_mismatch_panics() {
+        let mut acc = MetricAccumulator::new(3);
+        acc.add(&FragmentMatrix::new(4));
+    }
+
+    #[test]
+    fn windowed_metric_evicts_old_iterations() {
+        let mut w = WindowedMetric::new(2, 3);
+        // Three runs with edge(0,1) = 10, then three with edge(0,1) = 2.
+        let mk = |k: usize| {
+            let mut m = FragmentMatrix::new(2);
+            for _ in 0..k {
+                m.record(0, 1);
+            }
+            m
+        };
+        for _ in 0..3 {
+            w.push(&mk(10));
+        }
+        assert_eq!(w.occupancy(), 3);
+        assert!((w.snapshot().w(0, 1) - 10.0).abs() < 1e-12);
+        for _ in 0..3 {
+            w.push(&mk(2));
+        }
+        assert_eq!(w.occupancy(), 3, "window stays bounded");
+        assert!(
+            (w.snapshot().w(0, 1) - 2.0).abs() < 1e-12,
+            "old topology's measurements fully evicted"
+        );
+    }
+
+    #[test]
+    fn windowed_partial_fill() {
+        let mut w = WindowedMetric::new(3, 5);
+        let mut m = FragmentMatrix::new(3);
+        m.record(1, 2);
+        w.push(&m);
+        let snap = w.snapshot();
+        assert_eq!(snap.iterations(), 1);
+        assert!((snap.w(1, 2) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,320 @@
+//! Piece selection: which fragment a downloader requests next from a given
+//! uploader.
+//!
+//! Real clients use *rarest-first with random tie-breaks*, bootstrapped by a
+//! *random-first* phase, plus *endgame* duplication near the end. Exact
+//! rarest-first costs O(pieces) per pick; the default here compares a random
+//! sample of useful candidates (rarest-of-sample), which preserves the
+//! replication behaviour at O(sample) cost — see DESIGN.md §2 and the
+//! `ablation-selection` experiment.
+
+use crate::bitfield::Bitfield;
+use crate::config::SelectionPolicy;
+use rand::Rng;
+
+/// Everything a pick needs to know.
+pub struct PickContext<'a> {
+    /// Pieces the uploader can serve.
+    pub uploader_have: &'a Bitfield,
+    /// Pieces the downloader already holds.
+    pub downloader_have: &'a Bitfield,
+    /// Pieces the downloader is currently fetching from someone.
+    pub inflight: &'a Bitfield,
+    /// Availability of each piece among the downloader's neighbors.
+    pub avail: &'a [u16],
+    /// Endgame: ignore `inflight` and allow duplicate requests.
+    pub endgame: bool,
+    /// Bootstrap: pick uniformly at random instead of rarest.
+    pub random_first: bool,
+}
+
+impl PickContext<'_> {
+    /// The candidate mask for word `wi`: pieces the uploader has, the
+    /// downloader lacks, and (outside endgame) nobody is already fetching.
+    #[inline]
+    fn candidate_word(&self, wi: usize) -> u64 {
+        let mut w = self.uploader_have.words()[wi] & !self.downloader_have.words()[wi];
+        if !self.endgame {
+            w &= !self.inflight.words()[wi];
+        }
+        w
+    }
+
+    fn num_words(&self) -> usize {
+        self.uploader_have.num_words()
+    }
+}
+
+/// Picks the next piece for this (uploader, downloader) pair, or `None` when
+/// no candidate exists.
+pub fn pick_piece(policy: SelectionPolicy, ctx: &PickContext<'_>, rng: &mut impl Rng) -> Option<u32> {
+    if ctx.random_first {
+        return random_candidate(ctx, rng);
+    }
+    match policy {
+        SelectionPolicy::Random => random_candidate(ctx, rng),
+        SelectionPolicy::SampledRarest { sample } => {
+            let mut best: Option<(u16, u32)> = None;
+            for _ in 0..sample {
+                let Some(p) = random_candidate(ctx, rng) else { break };
+                let a = ctx.avail[p as usize];
+                if best.is_none_or(|(ba, _)| a < ba) {
+                    best = Some((a, p));
+                }
+            }
+            best.map(|(_, p)| p)
+        }
+        SelectionPolicy::ExactRarest => exact_rarest(ctx, rng),
+    }
+}
+
+/// A uniformly-ish random candidate piece.
+///
+/// Strategy: probe a few random words for a nonzero candidate mask, then fall
+/// back to a circular scan from a random offset. The word-level probe gives
+/// exact uniformity when candidates are dense; the fallback introduces a mild
+/// bias towards candidates after gaps, which is irrelevant to the tomography
+/// metric (confirmed by the selection ablation).
+fn random_candidate(ctx: &PickContext<'_>, rng: &mut impl Rng) -> Option<u32> {
+    let n = ctx.num_words();
+    if n == 0 {
+        return None;
+    }
+    const PROBES: usize = 8;
+    for _ in 0..PROBES {
+        let wi = rng.gen_range(0..n);
+        let w = ctx.candidate_word(wi);
+        if w != 0 {
+            return Some(random_bit(w, wi, rng));
+        }
+    }
+    let start = rng.gen_range(0..n);
+    for off in 0..n {
+        let wi = (start + off) % n;
+        let w = ctx.candidate_word(wi);
+        if w != 0 {
+            return Some(random_bit(w, wi, rng));
+        }
+    }
+    None
+}
+
+/// Exact global rarest-first with reservoir-sampled tie-breaking (ablation
+/// baseline; O(pieces)).
+fn exact_rarest(ctx: &PickContext<'_>, rng: &mut impl Rng) -> Option<u32> {
+    let mut best_avail = u16::MAX;
+    let mut ties = 0u32;
+    let mut chosen = None;
+    for wi in 0..ctx.num_words() {
+        let mut w = ctx.candidate_word(wi);
+        while w != 0 {
+            let b = w.trailing_zeros();
+            w &= w - 1;
+            let p = (wi * 64) as u32 + b;
+            let a = ctx.avail[p as usize];
+            if a < best_avail {
+                best_avail = a;
+                ties = 1;
+                chosen = Some(p);
+            } else if a == best_avail {
+                ties += 1;
+                // Reservoir: replace with probability 1/ties for a uniform
+                // choice among equally-rare pieces.
+                if rng.gen_range(0..ties) == 0 {
+                    chosen = Some(p);
+                }
+            }
+        }
+    }
+    chosen
+}
+
+/// Picks a uniformly random set bit of `w` in word `wi`, returning the piece
+/// index.
+#[inline]
+fn random_bit(w: u64, wi: usize, rng: &mut impl Rng) -> u32 {
+    debug_assert!(w != 0);
+    let k = rng.gen_range(0..w.count_ones());
+    (wi * 64) as u32 + select_nth_set_bit(w, k)
+}
+
+/// Index of the `k`-th (0-based) set bit of `w`.
+#[inline]
+fn select_nth_set_bit(mut w: u64, k: u32) -> u32 {
+    debug_assert!(k < w.count_ones());
+    for _ in 0..k {
+        w &= w - 1;
+    }
+    w.trailing_zeros()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha12Rng;
+
+    fn rng() -> ChaCha12Rng {
+        ChaCha12Rng::seed_from_u64(99)
+    }
+
+    fn ctx<'a>(
+        up: &'a Bitfield,
+        down: &'a Bitfield,
+        inflight: &'a Bitfield,
+        avail: &'a [u16],
+    ) -> PickContext<'a> {
+        PickContext {
+            uploader_have: up,
+            downloader_have: down,
+            inflight,
+            avail,
+            endgame: false,
+            random_first: false,
+        }
+    }
+
+    #[test]
+    fn select_nth_bit_works() {
+        let w = 0b1011_0100u64;
+        assert_eq!(select_nth_set_bit(w, 0), 2);
+        assert_eq!(select_nth_set_bit(w, 1), 4);
+        assert_eq!(select_nth_set_bit(w, 2), 5);
+        assert_eq!(select_nth_set_bit(w, 3), 7);
+    }
+
+    #[test]
+    fn no_candidates_returns_none() {
+        let up = Bitfield::empty(128);
+        let down = Bitfield::empty(128);
+        let inf = Bitfield::empty(128);
+        let avail = vec![0u16; 128];
+        for policy in [
+            SelectionPolicy::Random,
+            SelectionPolicy::ExactRarest,
+            SelectionPolicy::SampledRarest { sample: 8 },
+        ] {
+            assert_eq!(pick_piece(policy, &ctx(&up, &down, &inf, &avail), &mut rng()), None);
+        }
+    }
+
+    #[test]
+    fn only_useful_pieces_are_picked() {
+        let mut up = Bitfield::empty(256);
+        for p in [3, 70, 130, 200] {
+            up.set(p);
+        }
+        let mut down = Bitfield::empty(256);
+        down.set(3);
+        let mut inf = Bitfield::empty(256);
+        inf.set(70);
+        let avail = vec![1u16; 256];
+        let mut r = rng();
+        for _ in 0..200 {
+            let p = pick_piece(SelectionPolicy::Random, &ctx(&up, &down, &inf, &avail), &mut r).unwrap();
+            assert!(p == 130 || p == 200, "picked {p}");
+        }
+    }
+
+    #[test]
+    fn endgame_ignores_inflight() {
+        let mut up = Bitfield::empty(64);
+        up.set(7);
+        let down = Bitfield::empty(64);
+        let mut inf = Bitfield::empty(64);
+        inf.set(7);
+        let avail = vec![1u16; 64];
+        let mut c = ctx(&up, &down, &inf, &avail);
+        assert_eq!(pick_piece(SelectionPolicy::Random, &c, &mut rng()), None);
+        c.endgame = true;
+        assert_eq!(pick_piece(SelectionPolicy::Random, &c, &mut rng()), Some(7));
+    }
+
+    #[test]
+    fn exact_rarest_prefers_lowest_availability() {
+        let up = Bitfield::full(512);
+        let down = Bitfield::empty(512);
+        let inf = Bitfield::empty(512);
+        let mut avail = vec![10u16; 512];
+        avail[300] = 1;
+        let p = pick_piece(SelectionPolicy::ExactRarest, &ctx(&up, &down, &inf, &avail), &mut rng());
+        assert_eq!(p, Some(300));
+    }
+
+    #[test]
+    fn exact_rarest_tie_break_is_uniformish() {
+        let up = Bitfield::full(64);
+        let down = Bitfield::empty(64);
+        let inf = Bitfield::empty(64);
+        let avail = vec![1u16; 64];
+        let mut counts = [0u32; 64];
+        let mut r = rng();
+        for _ in 0..6400 {
+            let p = pick_piece(SelectionPolicy::ExactRarest, &ctx(&up, &down, &inf, &avail), &mut r).unwrap();
+            counts[p as usize] += 1;
+        }
+        // Every piece should be picked at least once; none should dominate.
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(c > 0, "piece {i} never chosen");
+            assert!(c < 640, "piece {i} chosen {c} times");
+        }
+    }
+
+    #[test]
+    fn sampled_rarest_finds_rare_pieces_often() {
+        let up = Bitfield::full(1024);
+        let down = Bitfield::empty(1024);
+        let inf = Bitfield::empty(1024);
+        let mut avail = vec![20u16; 1024];
+        // 64 rare pieces scattered through the file.
+        for i in 0..64 {
+            avail[i * 16] = 1;
+        }
+        let c = ctx(&up, &down, &inf, &avail);
+        let mut r = rng();
+        let mut rare = 0;
+        let tries = 1000;
+        for _ in 0..tries {
+            let p =
+                pick_piece(SelectionPolicy::SampledRarest { sample: 16 }, &c, &mut r).unwrap();
+            if avail[p as usize] == 1 {
+                rare += 1;
+            }
+        }
+        // 64/1024 = 6.25% of pieces are rare, but sampling 16 candidates
+        // should find one most of the time (1 - (1 - 1/16)^16 ≈ 64%).
+        assert!(rare > tries / 2, "only {rare}/{tries} picks were rare");
+    }
+
+    #[test]
+    fn random_first_overrides_rarest() {
+        let up = Bitfield::full(64);
+        let down = Bitfield::empty(64);
+        let inf = Bitfield::empty(64);
+        let mut avail = vec![5u16; 64];
+        avail[0] = 1;
+        let mut c = ctx(&up, &down, &inf, &avail);
+        c.random_first = true;
+        let mut r = rng();
+        let picks: std::collections::HashSet<u32> = (0..200)
+            .map(|_| pick_piece(SelectionPolicy::ExactRarest, &c, &mut r).unwrap())
+            .collect();
+        assert!(picks.len() > 10, "random-first must spread picks, got {}", picks.len());
+    }
+
+    #[test]
+    fn sparse_candidates_found_by_fallback_scan() {
+        // One candidate in a 15259-piece file: the probe will usually miss,
+        // the circular scan must find it.
+        let mut up = Bitfield::empty(15_259);
+        up.set(11_111);
+        let down = Bitfield::empty(15_259);
+        let inf = Bitfield::empty(15_259);
+        let avail = vec![0u16; 15_259];
+        let c = ctx(&up, &down, &inf, &avail);
+        let mut r = rng();
+        for _ in 0..50 {
+            assert_eq!(pick_piece(SelectionPolicy::Random, &c, &mut r), Some(11_111));
+        }
+    }
+}

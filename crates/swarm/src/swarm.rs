@@ -1,0 +1,816 @@
+//! The instrumented BitTorrent swarm engine.
+//!
+//! One [`Swarm`] simulates a single *synchronized broadcast* (paper §II-A):
+//! a root seed holds the file, every other client starts empty at t = 0, and
+//! the run ends when all clients hold all fragments. The protocol mechanisms
+//! the paper identifies as the sources of measurement randomness are all
+//! modelled:
+//!
+//! * random initial peer sets capped at 35 ([`crate::tracker`]);
+//! * at most 4 parallel uploads: 3 reciprocal tit-for-tat slots plus an
+//!   optimistic slot rotated every 30 s (the choker below);
+//! * rarest-first piece selection with a random-first bootstrap and endgame
+//!   duplication ([`crate::selection`]);
+//! * broadcast asymmetry: peers closer to the root naturally receive more
+//!   fragments from it.
+//!
+//! Transfers between an unchoked/interested pair run as open streams on the
+//! fluid network engine; every completed 16 KiB fragment increments the
+//! per-(source, destination) counter that phase 2 of the tomography method
+//! consumes — exactly the hash-table-of-counters instrumentation described in
+//! §II-A of the paper.
+
+use crate::bitfield::Bitfield;
+use crate::config::SwarmConfig;
+use crate::metrics::FragmentMatrix;
+use crate::rate::RateEstimator;
+use crate::selection::{pick_piece, PickContext};
+use crate::tracker::PeerGraph;
+use btt_netsim::engine::{FlowId, SimNet};
+use btt_netsim::routing::RouteTable;
+use btt_netsim::topology::NodeId;
+use btt_netsim::util::FxHashMap;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha12Rng;
+use std::sync::Arc;
+
+/// An active download stream from one neighbor.
+#[derive(Debug)]
+struct Transfer {
+    flow: FlowId,
+    /// Piece currently being fetched on this stream.
+    piece: u32,
+    /// Bytes accumulated towards the current piece.
+    got: f64,
+}
+
+/// Per-neighbor protocol state, one per edge direction.
+#[derive(Debug)]
+struct Nbr {
+    /// Swarm index of the neighbor.
+    peer: u32,
+    /// Our position inside the neighbor's `nbrs` list (mirror index).
+    pos_at_peer: u32,
+    /// We want pieces this neighbor has.
+    im_interested: bool,
+    /// The neighbor wants pieces we have (mirror of their `im_interested`).
+    they_interested: bool,
+    /// We are currently unchoking this neighbor.
+    am_unchoking: bool,
+    /// Bytes/sec we receive *from* this neighbor (tit-for-tat ranking).
+    rate_from: RateEstimator,
+    /// Bytes/sec we send *to* this neighbor (seed ranking).
+    rate_to: RateEstimator,
+    /// Our active download from this neighbor, if any.
+    transfer: Option<Transfer>,
+}
+
+/// One simulated BitTorrent client.
+#[derive(Debug)]
+struct Peer {
+    host: NodeId,
+    have: Bitfield,
+    /// Pieces currently being fetched from someone (duplicate suppression).
+    inflight: Bitfield,
+    /// Per-piece availability among this peer's neighbors.
+    avail: Vec<u16>,
+    nbrs: Vec<Nbr>,
+    /// Time the download finished; the root starts complete at 0.0.
+    completed_at: Option<f64>,
+    /// Positions (into `nbrs`) currently holding optimistic unchokes.
+    optimistic: Vec<u32>,
+}
+
+impl Peer {
+    fn remaining(&self) -> u32 {
+        self.have.len() - self.have.count()
+    }
+}
+
+/// Grabs mutable references to two distinct slice elements.
+fn two_mut<T>(v: &mut [T], i: usize, j: usize) -> (&mut T, &mut T) {
+    assert_ne!(i, j);
+    if i < j {
+        let (a, b) = v.split_at_mut(j);
+        (&mut a[i], &mut b[0])
+    } else {
+        let (a, b) = v.split_at_mut(i);
+        (&mut b[0], &mut a[j])
+    }
+}
+
+/// A running broadcast simulation.
+///
+/// Most users should go through [`crate::broadcast::run_broadcast`]; the
+/// `Swarm` type is public for callers that want to drive steps manually or
+/// inspect state mid-run.
+#[derive(Debug)]
+pub struct Swarm {
+    cfg: SwarmConfig,
+    net: SimNet,
+    rng: ChaCha12Rng,
+    peers: Vec<Peer>,
+    fragments: FragmentMatrix,
+    /// (owner, piece) HAVE announcements queued within the current step.
+    have_queue: Vec<(u32, u32)>,
+    /// Leechers that have not finished downloading yet.
+    incomplete: usize,
+    root: usize,
+    steps: usize,
+    next_rechoke: f64,
+    rechoke_round: u64,
+}
+
+impl Swarm {
+    /// Builds a broadcast swarm over `hosts` (topology node ids of the
+    /// participating compute nodes), with `hosts[root]` as the initial seed.
+    ///
+    /// `seed` drives all protocol randomness: tracker peer sets, choke
+    /// tie-breaking, piece selection. Same seed ⇒ identical run.
+    pub fn new(
+        routes: Arc<RouteTable>,
+        hosts: &[NodeId],
+        root: usize,
+        cfg: SwarmConfig,
+        seed: u64,
+    ) -> Self {
+        cfg.validate();
+        let n = hosts.len();
+        assert!(n >= 2, "a broadcast needs a seed and at least one leecher");
+        assert!(root < n, "root index out of range");
+
+        let mut rng = ChaCha12Rng::seed_from_u64(seed);
+        let graph = PeerGraph::random(n, cfg.max_peers, &mut rng);
+
+        // Mirror positions: pos_of[u][i] = index of i in u's neighbor list.
+        let pos_of: Vec<FxHashMap<u32, u32>> = (0..n)
+            .map(|u| {
+                graph
+                    .neighbors(u)
+                    .iter()
+                    .enumerate()
+                    .map(|(pos, &p)| (p, pos as u32))
+                    .collect()
+            })
+            .collect();
+
+        let pieces = cfg.num_pieces;
+        let mut peers: Vec<Peer> = (0..n)
+            .map(|i| {
+                let is_root = i == root;
+                let root_is_nbr = pos_of[i].contains_key(&(root as u32));
+                let avail = if !is_root && root_is_nbr {
+                    vec![1u16; pieces as usize]
+                } else {
+                    vec![0u16; pieces as usize]
+                };
+                Peer {
+                    host: hosts[i],
+                    have: if is_root { Bitfield::full(pieces) } else { Bitfield::empty(pieces) },
+                    inflight: Bitfield::empty(pieces),
+                    avail,
+                    nbrs: graph
+                        .neighbors(i)
+                        .iter()
+                        .map(|&p| Nbr {
+                            peer: p,
+                            pos_at_peer: pos_of[p as usize][&(i as u32)],
+                            im_interested: !is_root && p as usize == root,
+                            they_interested: false,
+                            am_unchoking: false,
+                            rate_from: RateEstimator::new(cfg.rate_window),
+                            rate_to: RateEstimator::new(cfg.rate_window),
+                            transfer: None,
+                        })
+                        .collect(),
+                    completed_at: is_root.then_some(0.0),
+                    optimistic: Vec::new(),
+                }
+            })
+            .collect();
+
+        // Mirror initial interest: every root neighbor is interested in it.
+        for j in 0..peers[root].nbrs.len() {
+            peers[root].nbrs[j].they_interested = true;
+        }
+
+        let net = SimNet::with_routes(routes.topology().clone(), routes);
+        Swarm {
+            fragments: FragmentMatrix::new(n),
+            cfg,
+            net,
+            rng,
+            peers,
+            have_queue: Vec::new(),
+            incomplete: n - 1,
+            root,
+            steps: 0,
+            next_rechoke: 0.0,
+            rechoke_round: 0,
+        }
+    }
+
+    /// Swarm index of the root seed.
+    pub fn root(&self) -> usize {
+        self.root
+    }
+
+    /// Number of leechers still downloading.
+    pub fn incomplete(&self) -> usize {
+        self.incomplete
+    }
+
+    /// The simulated clock.
+    pub fn time(&self) -> f64 {
+        self.net.time()
+    }
+
+    /// The fragment counters accumulated so far.
+    pub fn fragments(&self) -> &FragmentMatrix {
+        &self.fragments
+    }
+
+    /// True when every leecher holds the whole file.
+    pub fn is_complete(&self) -> bool {
+        self.incomplete == 0
+    }
+
+    /// Runs protocol timers and one fluid step. Returns the new sim time.
+    pub fn step(&mut self) -> f64 {
+        self.step_with(&mut |_| {})
+    }
+
+    /// Like [`step`](Self::step), invoking `hook` on the network before the
+    /// fluid advance. Used to inject competing traffic (e.g.
+    /// [`btt_netsim::traffic::BackgroundTraffic`]) while the broadcast runs.
+    pub fn step_with(&mut self, hook: &mut dyn FnMut(&mut SimNet)) -> f64 {
+        if self.net.time() + 1e-9 >= self.next_rechoke {
+            let rounds_per_optimistic = (self.cfg.optimistic_interval / self.cfg.rechoke_interval)
+                .round()
+                .max(1.0) as u64;
+            let rotate = self.rechoke_round % rounds_per_optimistic == 0;
+            self.rechoke_all(rotate);
+            self.rechoke_round += 1;
+            self.next_rechoke += self.cfg.rechoke_interval;
+        }
+
+        hook(&mut self.net);
+        self.net.advance(self.cfg.step);
+        self.steps += 1;
+
+        // Service every pair: drain active transfers, try to start idle ones.
+        for d in 0..self.peers.len() {
+            if self.peers[d].completed_at.is_some() {
+                continue;
+            }
+            for j in 0..self.peers[d].nbrs.len() {
+                if self.peers[d].completed_at.is_some() {
+                    break; // completed mid-loop via an earlier pair
+                }
+                if self.peers[d].nbrs[j].transfer.is_some() {
+                    self.service_pair(d, j);
+                } else {
+                    let (u, pos, interested) = {
+                        let nb = &self.peers[d].nbrs[j];
+                        (nb.peer as usize, nb.pos_at_peer as usize, nb.im_interested)
+                    };
+                    if interested && self.peers[u].nbrs[pos].am_unchoking {
+                        self.try_start_transfer(d, j);
+                    }
+                }
+            }
+        }
+        self.finalize_completed();
+        self.flush_haves();
+        self.net.time()
+    }
+
+    /// Drains one active transfer, completing fragments and re-picking.
+    fn service_pair(&mut self, d: usize, j: usize) {
+        let now = self.net.time();
+        let piece_bytes = self.cfg.piece_bytes;
+        let (flow, u, pos) = {
+            let nb = &self.peers[d].nbrs[j];
+            match &nb.transfer {
+                Some(t) => (t.flow, nb.peer as usize, nb.pos_at_peer as usize),
+                None => return,
+            }
+        };
+        let bytes = self.net.take_delivered(flow);
+        if bytes > 0.0 {
+            self.peers[d].nbrs[j].rate_from.add(bytes, now);
+            self.peers[u].nbrs[pos].rate_to.add(bytes, now);
+            self.peers[d].nbrs[j].transfer.as_mut().expect("transfer present").got += bytes;
+        }
+
+        loop {
+            let (piece, complete) = {
+                let t = self.peers[d].nbrs[j].transfer.as_mut().expect("transfer present");
+                if t.got + 1e-6 >= piece_bytes {
+                    t.got -= piece_bytes;
+                    (t.piece, true)
+                } else {
+                    (t.piece, false)
+                }
+            };
+            if !complete {
+                break;
+            }
+
+            // One fragment received from u by d: the paper's counter.
+            self.fragments.record(u, d);
+            self.peers[d].inflight.clear(piece);
+            if self.peers[d].have.set(piece) {
+                self.have_queue.push((d as u32, piece));
+                if self.peers[d].have.is_full() {
+                    self.peers[d].completed_at = Some(now);
+                    self.incomplete -= 1;
+                    let t = self.peers[d].nbrs[j].transfer.take().expect("transfer present");
+                    self.net.stop_flow(t.flow);
+                    return;
+                }
+            }
+
+            // Choose the next piece on this stream.
+            let picked = {
+                let Self { cfg, peers, rng, .. } = self;
+                let (dp, up) = two_mut(peers, d, u);
+                let ctx = PickContext {
+                    uploader_have: &up.have,
+                    downloader_have: &dp.have,
+                    inflight: &dp.inflight,
+                    avail: &dp.avail,
+                    endgame: dp.remaining() <= cfg.endgame_pieces,
+                    random_first: dp.have.count() < cfg.random_first_pieces,
+                };
+                pick_piece(cfg.selection, &ctx, rng)
+            };
+            match picked {
+                Some(p) => {
+                    self.peers[d].inflight.set(p);
+                    self.peers[d].nbrs[j].transfer.as_mut().expect("transfer present").piece = p;
+                }
+                None => {
+                    // Nothing fetchable from u right now: stop the stream so
+                    // it stops consuming bandwidth. Drop interest only if u
+                    // truly has nothing we lack (otherwise pieces are merely
+                    // inflight elsewhere and we retry next step).
+                    let t = self.peers[d].nbrs[j].transfer.take().expect("transfer present");
+                    self.net.stop_flow(t.flow);
+                    let still = {
+                        let (dp, up) = two_mut(&mut self.peers, d, u);
+                        dp.have.is_interested_in(&up.have)
+                    };
+                    if !still {
+                        self.peers[d].nbrs[j].im_interested = false;
+                        self.peers[u].nbrs[pos].they_interested = false;
+                        // Original-client behaviour: losing an interested
+                        // customer frees a slot worth re-evaluating now, not
+                        // at the next 10 s boundary (stragglers would stall).
+                        if self.peers[u].nbrs[pos].am_unchoking {
+                            self.rechoke_peer(u, false);
+                        }
+                    }
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Starts a download stream from neighbor `j` of peer `d` if a piece is
+    /// available. Caller must ensure the uploader is unchoking `d`.
+    fn try_start_transfer(&mut self, d: usize, j: usize) {
+        if self.peers[d].completed_at.is_some() || self.peers[d].nbrs[j].transfer.is_some() {
+            return;
+        }
+        let (u, pos) = {
+            let nb = &self.peers[d].nbrs[j];
+            (nb.peer as usize, nb.pos_at_peer as usize)
+        };
+        if !self.peers[u].nbrs[pos].am_unchoking {
+            return;
+        }
+        let picked = {
+            let Self { cfg, peers, rng, .. } = self;
+            let (dp, up) = two_mut(peers, d, u);
+            let ctx = PickContext {
+                uploader_have: &up.have,
+                downloader_have: &dp.have,
+                inflight: &dp.inflight,
+                avail: &dp.avail,
+                endgame: dp.remaining() <= cfg.endgame_pieces,
+                random_first: dp.have.count() < cfg.random_first_pieces,
+            };
+            pick_piece(cfg.selection, &ctx, rng)
+        };
+        if let Some(p) = picked {
+            self.peers[d].inflight.set(p);
+            let flow = self.net.start_flow(self.peers[u].host, self.peers[d].host, None, 0);
+            self.peers[d].nbrs[j].transfer = Some(Transfer { flow, piece: p, got: 0.0 });
+        }
+    }
+
+    /// Stops the download stream from neighbor `j` of peer `d` (choked).
+    /// Partial fragment progress is discarded, mirroring a request queue
+    /// flush; at fluid rates this loses well under one fragment per rechoke.
+    fn halt_transfer(&mut self, d: usize, j: usize) {
+        if let Some(t) = self.peers[d].nbrs[j].transfer.take() {
+            self.net.stop_flow(t.flow);
+            self.peers[d].inflight.clear(t.piece);
+        }
+    }
+
+    /// Cleans up peers that completed during this step: stop their downloads,
+    /// withdraw their interest everywhere, and re-evaluate chokes — both for
+    /// the new seed (its ranking policy flips to upload rate) and for any
+    /// uploader that just lost a customer.
+    fn finalize_completed(&mut self) {
+        let mut rechoke: Vec<usize> = Vec::new();
+        for d in 0..self.peers.len() {
+            if self.peers[d].completed_at.is_none() {
+                continue;
+            }
+            let mut acted = false;
+            for j in 0..self.peers[d].nbrs.len() {
+                if self.peers[d].nbrs[j].transfer.is_some() {
+                    self.halt_transfer(d, j);
+                    acted = true;
+                }
+                if self.peers[d].nbrs[j].im_interested {
+                    let (u, pos) = {
+                        let nb = &self.peers[d].nbrs[j];
+                        (nb.peer as usize, nb.pos_at_peer as usize)
+                    };
+                    self.peers[d].nbrs[j].im_interested = false;
+                    self.peers[u].nbrs[pos].they_interested = false;
+                    if self.peers[u].nbrs[pos].am_unchoking {
+                        rechoke.push(u);
+                    }
+                    acted = true;
+                }
+            }
+            if acted {
+                rechoke.push(d);
+            }
+        }
+        rechoke.sort_unstable();
+        rechoke.dedup();
+        for p in rechoke {
+            self.rechoke_peer(p, false);
+        }
+    }
+
+    /// Propagates queued HAVE announcements: availability counts, interest
+    /// flags, waking dormant unchoked pairs, and eager slot filling.
+    fn flush_haves(&mut self) {
+        let queue = std::mem::take(&mut self.have_queue);
+        for (owner, piece) in queue {
+            let owner = owner as usize;
+            for j in 0..self.peers[owner].nbrs.len() {
+                let (u, pos) = {
+                    let nb = &self.peers[owner].nbrs[j];
+                    (nb.peer as usize, nb.pos_at_peer as usize)
+                };
+                self.peers[u].avail[piece as usize] =
+                    self.peers[u].avail[piece as usize].saturating_add(1);
+                if self.peers[u].completed_at.is_some() || self.peers[u].have.get(piece) {
+                    continue;
+                }
+                // u is now (still) interested in owner.
+                if !self.peers[u].nbrs[pos].im_interested {
+                    self.peers[u].nbrs[pos].im_interested = true;
+                    self.peers[owner].nbrs[j].they_interested = true;
+                    // Original-client behaviour: an interest change triggers a
+                    // choke re-evaluation if the uploader has slots to spare.
+                    if self.unchoked_count(owner) < self.cfg.upload_slots {
+                        self.rechoke_peer(owner, false);
+                    }
+                }
+                // Wake a dormant unchoked pair.
+                if self.peers[owner].nbrs[j].am_unchoking
+                    && self.peers[u].nbrs[pos].transfer.is_none()
+                {
+                    self.try_start_transfer(u, pos);
+                }
+            }
+        }
+    }
+
+    fn unchoked_count(&self, p: usize) -> usize {
+        self.peers[p].nbrs.iter().filter(|nb| nb.am_unchoking && nb.they_interested).count()
+    }
+
+    /// Runs the choking algorithm for every peer.
+    fn rechoke_all(&mut self, rotate_optimistic: bool) {
+        for p in 0..self.peers.len() {
+            self.rechoke_peer(p, rotate_optimistic);
+        }
+    }
+
+    /// The choking algorithm for peer `p` (paper constants: 3 reciprocal
+    /// slots ranked by rate, 1 optimistic slot rotated every 30 s).
+    ///
+    /// Leechers rank interested neighbors by *download* rate received from
+    /// them (tit-for-tat); seeds and finished peers rank by *upload* rate to
+    /// the neighbor, as the original client's seed policy does.
+    fn rechoke_peer(&mut self, p: usize, rotate_optimistic: bool) {
+        let now = self.net.time();
+        let decisions: Vec<(usize, bool)> = {
+            let Self { cfg, peers, rng, .. } = self;
+            let completed = peers[p].completed_at.is_some();
+            let pr = &mut peers[p];
+
+            // Score interested neighbors.
+            let mut cands: Vec<(f64, u64, u32)> = Vec::with_capacity(pr.nbrs.len());
+            for (j, nb) in pr.nbrs.iter_mut().enumerate() {
+                if !nb.they_interested {
+                    continue;
+                }
+                let score =
+                    if completed { nb.rate_to.rate(now) } else { nb.rate_from.rate(now) };
+                cands.push((score, rng.gen::<u64>(), j as u32));
+            }
+            // Highest score first; random tie-break.
+            cands.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
+            let regular: Vec<u32> =
+                cands.iter().take(cfg.regular_slots).map(|&(_, _, j)| j).collect();
+
+            // Optimistic slots among the remaining interested neighbors.
+            let opt_slots = cfg.upload_slots - cfg.regular_slots.min(cfg.upload_slots);
+            let pool: Vec<u32> = cands
+                .iter()
+                .map(|&(_, _, j)| j)
+                .filter(|j| !regular.contains(j))
+                .collect();
+            if rotate_optimistic {
+                pr.optimistic.clear();
+            } else {
+                // Keep holders that are still eligible.
+                let keep: Vec<u32> =
+                    pr.optimistic.iter().copied().filter(|j| pool.contains(j)).collect();
+                pr.optimistic = keep;
+            }
+            while pr.optimistic.len() < opt_slots {
+                let fresh: Vec<u32> =
+                    pool.iter().copied().filter(|j| !pr.optimistic.contains(j)).collect();
+                match fresh.choose(rng) {
+                    Some(&j) => pr.optimistic.push(j),
+                    None => break,
+                }
+            }
+
+            let mut unchoke = vec![false; pr.nbrs.len()];
+            for &j in regular.iter().chain(pr.optimistic.iter()) {
+                unchoke[j as usize] = true;
+            }
+            (0..pr.nbrs.len())
+                .filter(|&j| pr.nbrs[j].am_unchoking != unchoke[j])
+                .map(|j| (j, unchoke[j]))
+                .collect()
+        };
+
+        for (j, unchoke) in decisions {
+            self.peers[p].nbrs[j].am_unchoking = unchoke;
+            let (d, pos, interested) = {
+                let nb = &self.peers[p].nbrs[j];
+                (nb.peer as usize, nb.pos_at_peer as usize, nb.they_interested)
+            };
+            if unchoke {
+                if interested {
+                    self.try_start_transfer(d, pos);
+                }
+            } else {
+                self.halt_transfer(d, pos);
+            }
+        }
+    }
+
+    /// Drives the simulation until every leecher completes or the safety
+    /// time limit is hit, returning the final state summary.
+    pub fn run(self) -> RunOutcome {
+        self.run_with(&mut |_| {})
+    }
+
+    /// Like [`run`](Self::run), invoking `hook` before every fluid step —
+    /// the entry point for measuring under background load.
+    pub fn run_with(mut self, hook: &mut dyn FnMut(&mut SimNet)) -> RunOutcome {
+        while self.incomplete > 0 && self.net.time() < self.cfg.max_sim_time {
+            self.step_with(hook);
+        }
+        let completion: Vec<Option<f64>> = self.peers.iter().map(|p| p.completed_at).collect();
+        let makespan = completion
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != self.root)
+            .map(|(_, t)| t.unwrap_or(self.cfg.max_sim_time))
+            .fold(0.0f64, f64::max);
+        RunOutcome {
+            fragments: self.fragments,
+            completion,
+            makespan,
+            finished: self.incomplete == 0,
+            sim_steps: self.steps,
+        }
+    }
+}
+
+/// Raw outcome of a single swarm run (see
+/// [`BroadcastResult`](crate::broadcast::BroadcastResult) for the
+/// user-facing wrapper).
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// Directed fragment counts (paper Eq. 1 inputs).
+    pub fragments: FragmentMatrix,
+    /// Per-peer completion times; the root is 0.0, unfinished peers `None`.
+    pub completion: Vec<Option<f64>>,
+    /// Max leecher completion time — the paper's broadcast reference time.
+    pub makespan: f64,
+    /// Whether all leechers finished within the safety limit.
+    pub finished: bool,
+    /// Number of protocol steps executed.
+    pub sim_steps: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use btt_netsim::prelude::*;
+
+    fn star_hosts(n: usize, mbps: f64) -> (Arc<RouteTable>, Vec<NodeId>) {
+        let mut b = TopologyBuilder::new();
+        let hosts: Vec<NodeId> = (0..n).map(|i| b.add_host(format!("h{i}"), "s", "c")).collect();
+        let sw = b.add_switch("sw", "s");
+        for &h in &hosts {
+            b.link(h, sw, LinkSpec::lan(Bandwidth::from_mbps(mbps)));
+        }
+        let topo = Arc::new(b.build().unwrap());
+        (Arc::new(RouteTable::new(topo)), hosts)
+    }
+
+    fn quick_cfg(pieces: u32) -> SwarmConfig {
+        SwarmConfig {
+            num_pieces: pieces,
+            endgame_pieces: 0, // exact conservation in tests
+            max_sim_time: 600.0,
+            ..SwarmConfig::default()
+        }
+    }
+
+    #[test]
+    fn tiny_swarm_completes_and_conserves_fragments() {
+        let (routes, hosts) = star_hosts(4, 890.0);
+        let swarm = Swarm::new(routes, &hosts, 0, quick_cfg(128), 42);
+        let out = swarm.run();
+        assert!(out.finished, "swarm must complete");
+        // Conservation: every leecher received exactly num_pieces fragments
+        // (endgame disabled). The root receives none.
+        assert_eq!(out.fragments.received_by(0), 0);
+        for d in 1..4 {
+            assert_eq!(out.fragments.received_by(d), 128, "leecher {d}");
+        }
+        // All fragments originate somewhere: total sent == total received.
+        assert_eq!(out.fragments.total(), 3 * 128);
+        // Root completion is t=0; leechers positive.
+        assert_eq!(out.completion[0], Some(0.0));
+        for d in 1..4 {
+            assert!(out.completion[d].unwrap() > 0.0);
+        }
+        assert!(out.makespan > 0.0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (routes, hosts) = star_hosts(8, 500.0);
+        let run = |seed| Swarm::new(routes.clone(), &hosts, 0, quick_cfg(64), seed).run();
+        let a = run(7);
+        let b = run(7);
+        assert_eq!(a.fragments, b.fragments);
+        assert_eq!(a.completion, b.completion);
+        let c = run(8);
+        assert_ne!(a.fragments, c.fragments, "different seeds should differ");
+    }
+
+    #[test]
+    fn makespan_scales_linearly_in_message_size() {
+        // §II-B: broadcast time is O(M). Double the pieces, roughly double
+        // the time (generous tolerance — protocol effects are not exactly
+        // linear at small sizes).
+        // Files must be big enough that the makespan spans many 50 ms steps,
+        // otherwise step quantization hides the trend.
+        let (routes, hosts) = star_hosts(6, 890.0);
+        let t1 = Swarm::new(routes.clone(), &hosts, 0, quick_cfg(4096), 3).run().makespan;
+        let t2 = Swarm::new(routes.clone(), &hosts, 0, quick_cfg(8192), 3).run().makespan;
+        let ratio = t2 / t1;
+        assert!(ratio > 1.5 && ratio < 2.7, "ratio {ratio} (t1={t1}, t2={t2})");
+    }
+
+    #[test]
+    fn root_choice_matters() {
+        let (routes, hosts) = star_hosts(6, 890.0);
+        let out = Swarm::new(routes, &hosts, 3, quick_cfg(64), 11).run();
+        assert!(out.finished);
+        assert_eq!(out.completion[3], Some(0.0), "root 3 starts complete");
+        assert_eq!(out.fragments.received_by(3), 0);
+        assert!(out.fragments.sent_by(3) > 0, "root must upload");
+    }
+
+    #[test]
+    fn seed_uploads_at_most_upload_slots_concurrently() {
+        // Structural check: after the first rechoke, the root has at most 4
+        // active upload streams (its unchoke set).
+        let (routes, hosts) = star_hosts(12, 890.0);
+        let mut swarm = Swarm::new(routes, &hosts, 0, quick_cfg(2048), 5);
+        swarm.step();
+        let root_unchoked = swarm.peers[0]
+            .nbrs
+            .iter()
+            .filter(|nb| nb.am_unchoking && nb.they_interested)
+            .count();
+        assert!(root_unchoked <= 4, "{root_unchoked} > 4 upload slots");
+        assert!(root_unchoked >= 1, "root must serve someone");
+    }
+
+    #[test]
+    fn endgame_duplicates_are_bounded() {
+        let (routes, hosts) = star_hosts(5, 890.0);
+        let cfg = SwarmConfig {
+            num_pieces: 64,
+            endgame_pieces: 16,
+            ..SwarmConfig::default()
+        };
+        let out = Swarm::new(routes, &hosts, 0, cfg, 123).run();
+        assert!(out.finished);
+        for d in 1..5 {
+            let got = out.fragments.received_by(d);
+            assert!(got >= 64, "leecher {d} must receive the whole file");
+            assert!(got <= 64 + 32, "duplicates should be bounded, got {got}");
+        }
+    }
+
+    #[test]
+    fn mirror_invariants_hold_mid_run() {
+        let (routes, hosts) = star_hosts(10, 400.0);
+        let mut swarm = Swarm::new(routes, &hosts, 0, quick_cfg(256), 77);
+        for _ in 0..40 {
+            swarm.step();
+        }
+        for d in 0..swarm.peers.len() {
+            for j in 0..swarm.peers[d].nbrs.len() {
+                let (u, pos, im) = {
+                    let nb = &swarm.peers[d].nbrs[j];
+                    (nb.peer as usize, nb.pos_at_peer as usize, nb.im_interested)
+                };
+                let mirror = &swarm.peers[u].nbrs[pos];
+                assert_eq!(mirror.peer as usize, d, "mirror index must point back");
+                assert_eq!(
+                    mirror.they_interested, im,
+                    "interest mirror out of sync between {d} and {u}"
+                );
+                // A transfer may only run while the uploader unchokes us.
+                if swarm.peers[d].nbrs[j].transfer.is_some() {
+                    assert!(mirror.am_unchoking, "transfer without unchoke {u}->{d}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn background_load_slows_the_broadcast_but_it_still_completes() {
+        use btt_netsim::traffic::{BackgroundTraffic, TrafficConfig};
+        let (routes, hosts) = star_hosts(8, 890.0);
+        let quiet = Swarm::new(routes.clone(), &hosts, 0, quick_cfg(4096), 3).run();
+        assert!(quiet.finished);
+
+        // Heavy, immediately-on competing load.
+        let mut bg = BackgroundTraffic::new(
+            &hosts,
+            TrafficConfig { mean_on: 30.0, mean_off: 0.01, pairs: 12 },
+            99,
+        );
+        let loaded = Swarm::new(routes, &hosts, 0, quick_cfg(4096), 3)
+            .run_with(&mut |net| bg.tick(net));
+        assert!(loaded.finished, "must complete under load");
+        assert!(
+            loaded.makespan > quiet.makespan,
+            "competing traffic should cost time: {} vs {}",
+            loaded.makespan,
+            quiet.makespan
+        );
+        // Conservation still holds under load.
+        for d in 1..8 {
+            assert_eq!(loaded.fragments.received_by(d), 4096);
+        }
+    }
+
+    #[test]
+    fn two_mut_panics_on_same_index() {
+        let mut v = [1, 2, 3];
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = two_mut(&mut v, 1, 1);
+        }));
+        assert!(r.is_err());
+        let (a, b) = two_mut(&mut v, 2, 0);
+        assert_eq!((*a, *b), (3, 1));
+    }
+}

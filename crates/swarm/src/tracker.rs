@@ -1,0 +1,222 @@
+//! The tracker: hands every joining client a bounded random peer set.
+//!
+//! The paper (§II-C) highlights two tracker-driven sources of measurement
+//! randomness: clients choose initial peers randomly, and the peer set is
+//! capped at 35. For swarms larger than 36 nodes a single broadcast therefore
+//! observes only a *subset* of all possible edges — which is why the metric
+//! must be aggregated over iterations. Re-randomizing the peer graph every
+//! iteration (fresh tracker state per broadcast) is what makes aggregation
+//! cover the whole graph.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// An undirected peer graph: `neighbors[i]` lists the peers client `i` is
+/// connected to. Symmetric, self-loop-free, degree ≤ the tracker cap.
+#[derive(Debug, Clone)]
+pub struct PeerGraph {
+    neighbors: Vec<Vec<u32>>,
+}
+
+impl PeerGraph {
+    /// Builds a random peer graph for `n` clients with per-client degree cap
+    /// `max_peers`, using the supplied RNG.
+    ///
+    /// Mimics tracker behaviour: clients in random order repeatedly request
+    /// peers and connect to random targets that still have connection slots.
+    /// If the greedy pass leaves the graph disconnected (possible only for
+    /// tiny caps), bridging edges are added, slightly exceeding the cap —
+    /// real clients also accept above-cap inbound connections rather than
+    /// partition the swarm.
+    pub fn random(n: usize, max_peers: usize, rng: &mut impl Rng) -> Self {
+        assert!(n >= 2, "a swarm needs at least two clients");
+        let cap = max_peers.max(1);
+        let mut neighbors: Vec<Vec<u32>> = vec![Vec::new(); n];
+        let mut adj = vec![false; n * n];
+
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        order.shuffle(rng);
+        for &i in &order {
+            let iu = i as usize;
+            if neighbors[iu].len() >= cap {
+                continue;
+            }
+            // Candidate targets in random order.
+            let mut targets: Vec<u32> = (0..n as u32).filter(|&j| j != i).collect();
+            targets.shuffle(rng);
+            for j in targets {
+                if neighbors[iu].len() >= cap {
+                    break;
+                }
+                let ju = j as usize;
+                if neighbors[ju].len() >= cap || adj[iu * n + ju] {
+                    continue;
+                }
+                adj[iu * n + ju] = true;
+                adj[ju * n + iu] = true;
+                neighbors[iu].push(j);
+                neighbors[ju].push(i);
+            }
+        }
+
+        let mut g = PeerGraph { neighbors };
+        g.bridge_components(&mut adj, n, rng);
+        g
+    }
+
+    /// Connects disconnected components with random bridging edges.
+    fn bridge_components(&mut self, adj: &mut [bool], n: usize, rng: &mut impl Rng) {
+        loop {
+            let comp = self.components();
+            let ncomp = *comp.iter().max().unwrap() + 1;
+            if ncomp <= 1 {
+                return;
+            }
+            // Bridge component 0 to some node of another component.
+            let a_nodes: Vec<u32> = (0..n as u32).filter(|&i| comp[i as usize] == 0).collect();
+            let b_nodes: Vec<u32> = (0..n as u32).filter(|&i| comp[i as usize] != 0).collect();
+            let a = *a_nodes.choose(rng).expect("component 0 nonempty");
+            let b = *b_nodes.choose(rng).expect("other components nonempty");
+            let (au, bu) = (a as usize, b as usize);
+            if !adj[au * n + bu] {
+                adj[au * n + bu] = true;
+                adj[bu * n + au] = true;
+                self.neighbors[au].push(b);
+                self.neighbors[bu].push(a);
+            }
+        }
+    }
+
+    fn components(&self) -> Vec<usize> {
+        let n = self.neighbors.len();
+        let mut comp = vec![usize::MAX; n];
+        let mut next = 0;
+        for start in 0..n {
+            if comp[start] != usize::MAX {
+                continue;
+            }
+            let mut stack = vec![start];
+            comp[start] = next;
+            while let Some(u) = stack.pop() {
+                for &v in &self.neighbors[u] {
+                    if comp[v as usize] == usize::MAX {
+                        comp[v as usize] = next;
+                        stack.push(v as usize);
+                    }
+                }
+            }
+            next += 1;
+        }
+        comp
+    }
+
+    /// Number of clients.
+    pub fn len(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// True if the graph has no clients.
+    pub fn is_empty(&self) -> bool {
+        self.neighbors.is_empty()
+    }
+
+    /// Neighbors of client `i`.
+    pub fn neighbors(&self, i: usize) -> &[u32] {
+        &self.neighbors[i]
+    }
+
+    /// True if the peer graph is connected (it always should be).
+    pub fn is_connected(&self) -> bool {
+        self.components().iter().all(|&c| c == 0)
+    }
+
+    /// Total number of undirected edges.
+    pub fn num_edges(&self) -> usize {
+        self.neighbors.iter().map(|v| v.len()).sum::<usize>() / 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha12Rng;
+
+    fn rng(seed: u64) -> ChaCha12Rng {
+        ChaCha12Rng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn small_swarm_is_complete() {
+        // 4 clients with cap 35: everyone connects to everyone.
+        let g = PeerGraph::random(4, 35, &mut rng(1));
+        for i in 0..4 {
+            assert_eq!(g.neighbors(i).len(), 3);
+        }
+        assert_eq!(g.num_edges(), 6);
+    }
+
+    #[test]
+    fn degree_cap_respected_in_normal_regime() {
+        let g = PeerGraph::random(128, 35, &mut rng(2));
+        for i in 0..128 {
+            assert!(g.neighbors(i).len() <= 36, "degree {}", g.neighbors(i).len());
+            assert!(!g.neighbors(i).is_empty(), "no isolated client");
+        }
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn symmetric_and_simple() {
+        let g = PeerGraph::random(64, 35, &mut rng(3));
+        for i in 0..64usize {
+            let mut seen = std::collections::HashSet::new();
+            for &j in g.neighbors(i) {
+                assert_ne!(j as usize, i, "self-loop");
+                assert!(seen.insert(j), "duplicate edge");
+                assert!(g.neighbors(j as usize).contains(&(i as u32)), "asymmetric edge");
+            }
+        }
+    }
+
+    #[test]
+    fn connected_even_with_tiny_cap() {
+        for seed in 0..20 {
+            let g = PeerGraph::random(50, 2, &mut rng(seed));
+            assert!(g.is_connected(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_graphs() {
+        let a = PeerGraph::random(64, 35, &mut rng(10));
+        let b = PeerGraph::random(64, 35, &mut rng(11));
+        let edges = |g: &PeerGraph| {
+            let mut e: Vec<(u32, u32)> = (0..64u32)
+                .flat_map(|i| g.neighbors(i as usize).iter().map(move |&j| (i.min(j), i.max(j))))
+                .collect();
+            e.sort_unstable();
+            e.dedup();
+            e
+        };
+        assert_ne!(edges(&a), edges(&b));
+    }
+
+    #[test]
+    fn same_seed_reproduces_graph() {
+        let a = PeerGraph::random(64, 35, &mut rng(7));
+        let b = PeerGraph::random(64, 35, &mut rng(7));
+        for i in 0..64 {
+            assert_eq!(a.neighbors(i), b.neighbors(i));
+        }
+    }
+
+    /// §II-C: with more than 36 nodes, one broadcast cannot observe all edges.
+    #[test]
+    fn large_swarm_observes_subset_of_edges() {
+        let n = 64;
+        let g = PeerGraph::random(n, 35, &mut rng(4));
+        let all_pairs = n * (n - 1) / 2;
+        assert!(g.num_edges() < all_pairs, "{} of {}", g.num_edges(), all_pairs);
+    }
+}

@@ -1,0 +1,105 @@
+//! Property-based tests for swarm invariants.
+
+use btt_netsim::prelude::*;
+use btt_swarm::prelude::*;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn star(n: usize, mbps: f64) -> (Arc<RouteTable>, Vec<NodeId>) {
+    let mut b = TopologyBuilder::new();
+    let hosts: Vec<NodeId> = (0..n).map(|i| b.add_host(format!("h{i}"), "s", "c")).collect();
+    let sw = b.add_switch("sw", "s");
+    for &h in &hosts {
+        b.link(h, sw, LinkSpec::lan(Bandwidth::from_mbps(mbps)));
+    }
+    let topo = Arc::new(b.build().unwrap());
+    (Arc::new(RouteTable::new(topo)), hosts)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The paper's conservation property: in every broadcast, every leecher
+    /// receives exactly `num_pieces` fragments (with endgame duplication
+    /// disabled), and the root receives none.
+    #[test]
+    fn every_leecher_receives_exactly_the_file(
+        n in 3usize..9,
+        pieces in 16u32..200,
+        seed in any::<u64>(),
+        root_frac in 0.0f64..1.0,
+    ) {
+        let (routes, hosts) = star(n, 890.0);
+        let root = ((root_frac * n as f64) as usize).min(n - 1);
+        let cfg = SwarmConfig { num_pieces: pieces, endgame_pieces: 0, ..SwarmConfig::default() };
+        let out = run_broadcast(&routes, &hosts, root, &cfg, seed);
+        prop_assert!(out.finished, "swarm must complete");
+        for d in 0..n {
+            if d == root {
+                prop_assert_eq!(out.fragments.received_by(d), 0);
+            } else {
+                prop_assert_eq!(out.fragments.received_by(d), pieces as u64, "leecher {}", d);
+            }
+        }
+        prop_assert_eq!(out.fragments.total(), (n as u64 - 1) * pieces as u64);
+    }
+
+    /// With endgame enabled, every leecher still gets the file; duplicates
+    /// only ever add fragments, bounded by the endgame window per peer.
+    #[test]
+    fn endgame_never_loses_fragments(
+        n in 3usize..7,
+        seed in any::<u64>(),
+    ) {
+        let pieces = 96u32;
+        let (routes, hosts) = star(n, 890.0);
+        let cfg = SwarmConfig { num_pieces: pieces, endgame_pieces: 12, ..SwarmConfig::default() };
+        let out = run_broadcast(&routes, &hosts, 0, &cfg, seed);
+        prop_assert!(out.finished);
+        for d in 1..n {
+            let got = out.fragments.received_by(d);
+            prop_assert!(got >= pieces as u64, "leecher {} received {}", d, got);
+        }
+    }
+
+    /// Completion times respect a physical lower bound: the file must cross
+    /// the root's uplink at least once.
+    #[test]
+    fn makespan_respects_capacity_lower_bound(
+        n in 3usize..8,
+        pieces in 64u32..512,
+        seed in any::<u64>(),
+    ) {
+        let mbps = 890.0;
+        let (routes, hosts) = star(n, mbps);
+        let cfg = SwarmConfig { num_pieces: pieces, endgame_pieces: 0, ..SwarmConfig::default() };
+        let out = run_broadcast(&routes, &hosts, 0, &cfg, seed);
+        prop_assert!(out.finished);
+        let file_bytes = pieces as f64 * cfg.piece_bytes;
+        let uplink = Bandwidth::from_mbps(mbps).bytes_per_sec();
+        let lower = file_bytes / uplink;
+        prop_assert!(out.makespan >= lower * 0.99,
+            "makespan {} below physical bound {}", out.makespan, lower);
+        // Completion times are sorted ≤ makespan and positive.
+        for (i, t) in out.completion.iter().enumerate() {
+            let t = t.expect("finished run has all completions");
+            if i == 0 { prop_assert_eq!(t, 0.0); } else {
+                prop_assert!(t > 0.0 && t <= out.makespan + 1e-9);
+            }
+        }
+    }
+
+    /// Campaign determinism under arbitrary seeds (rayon-parallel execution
+    /// must not leak scheduling nondeterminism into results).
+    #[test]
+    fn campaigns_reproduce_bitwise(seed in any::<u64>()) {
+        let (routes, hosts) = star(5, 500.0);
+        let cfg = SwarmConfig { num_pieces: 48, ..SwarmConfig::default() };
+        let a = run_campaign(&routes, &hosts, &cfg, 3, RootPolicy::RoundRobin, seed);
+        let b = run_campaign(&routes, &hosts, &cfg, 3, RootPolicy::RoundRobin, seed);
+        for (x, y) in a.runs.iter().zip(&b.runs) {
+            prop_assert_eq!(&x.fragments, &y.fragments);
+            prop_assert_eq!(&x.completion, &y.completion);
+        }
+    }
+}

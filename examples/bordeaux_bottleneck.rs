@@ -1,0 +1,57 @@
+//! The paper's single-site experiment (§IV-B2, Figs. 7/8): find the
+//! Dell↔Cisco 1 GbE bottleneck inside the Bordeaux site from BitTorrent
+//! broadcasts alone.
+//!
+//! Even with the physical wiring diagram in hand, "it still is not obvious
+//! where the bottlenecks are in terms of achievable bandwidth" — the site
+//! administrator had to point out the trunk. This example recovers it
+//! blindly.
+//!
+//! ```sh
+//! cargo run --release --example bordeaux_bottleneck
+//! ```
+
+use bittorrent_tomography::prelude::*;
+
+fn main() {
+    // 64 nodes: 32 Bordeplage (behind the Cisco switch), 5 Borderline and
+    // 27 Bordereau (behind the Dell switch). Paper configuration.
+    let report = TomographySession::new(Dataset::B)
+        .pieces(4_000) // ~64 MB file: same shape, faster demo
+        .iterations(12)
+        .seed(2012)
+        .run();
+
+    println!("{}", convergence_table(&report));
+
+    let scenario = Dataset::B.build();
+    println!("{}", cluster_listing(&report, &scenario.labels));
+
+    match report.converged_at(0.999) {
+        Some(k) => println!(
+            "the Dell<->Cisco trunk was identified after {k} broadcast iteration(s) \
+             (paper: 2 iterations)."
+        ),
+        None => println!("did not converge — try more iterations"),
+    }
+
+    // Map the logical split back to the physical culprit.
+    let diagnosed =
+        diagnosed_bottlenecks(&scenario.routes, &scenario.hosts, &report.final_partition);
+    for b in &diagnosed {
+        println!(
+            "diagnosed physical bottleneck: {} (crossed by {} inter-cluster pairs)",
+            b.endpoints, b.pairs
+        );
+    }
+
+    // Contrast: a NetPIPE-style probe across the trunk sees nothing.
+    let bp = scenario.hosts[0]; // a bordeplage node
+    let bd = scenario.hosts[40]; // a dell-side node
+    let probe = netpipe(&scenario.routes, bp, bd, 3, 1.0);
+    println!(
+        "\npoint-to-point probe across the trunk: {:.0} Mb/s — identical to intra-cluster; \
+         the bottleneck is invisible without collective load (the paper's motivation).",
+        probe.bandwidth.mbps()
+    );
+}

@@ -1,0 +1,85 @@
+//! Tracking a changing topology — the paper's §V claim that the method
+//! suits "overlay networks, or networks of virtual machines, which may have
+//! a dynamically altering underlying topology".
+//!
+//! A 24-node overlay starts on a flat network; mid-campaign the provider
+//! migrates half the VMs behind a 1 GbE trunk. Tomography keeps running
+//! with a sliding-window metric; the demo shows the window picking up the
+//! new bottleneck within a few iterations and the diagnosis naming the
+//! culprit link.
+//!
+//! ```sh
+//! cargo run --release --example dynamic_overlay
+//! ```
+
+use bittorrent_tomography::prelude::*;
+use bittorrent_tomography::netsim::util::seed_for_iteration;
+use std::sync::Arc;
+
+fn main() {
+    // Epoch 1: a flat site — no bottleneck anywhere.
+    let flat = Grid5000::builder().flat_site("cloud", 24).build();
+    let flat_routes = Arc::new(RouteTable::new(flat.topology.clone()));
+    let flat_hosts = flat.all_hosts();
+
+    // Epoch 2: the same 24 VMs, now split 12/12 across a trunk.
+    let split = Grid5000::builder().bordeaux(12, 0, 12).build();
+    let split_routes = Arc::new(RouteTable::new(split.topology.clone()));
+    let split_hosts = split.all_hosts();
+
+    let cfg = SwarmConfig::small(2_000);
+    let mut window = WindowedMetric::new(24, 4);
+    let seed = 77u64;
+
+    // On a homogeneous network, modularity still "finds" noise clusters —
+    // the pitfall Good et al. (cited in §III-D) warn about. Two defences,
+    // combined: the clustering must repeat across consecutive windows (the
+    // paper's own convergence reading of Fig. 13: "remains so during all
+    // additional iterations"), and its modularity must beat a
+    // weight-shuffled null. Noise clusterings fail the stability check —
+    // they reshuffle every iteration.
+    const Z_ACCEPT: f64 = 5.0;
+    let mut previous: Option<Partition> = None;
+
+    println!("iter  epoch   clusters  z-score  stable  verdict");
+    for k in 0..12u64 {
+        let migrated = k >= 6;
+        let outcome = if migrated {
+            run_broadcast(&split_routes, &split_hosts, 0, &cfg, seed_for_iteration(seed, k))
+        } else {
+            run_broadcast(&flat_routes, &flat_hosts, 0, &cfg, seed_for_iteration(seed, k))
+        };
+        window.push(&outcome.fragments);
+        let graph = metric_graph(&window.snapshot());
+        let clusters = louvain(&graph, seed).best().clone();
+        let sig = significance(&graph, &clusters, 16, seed ^ k);
+        let stable = previous.as_ref().is_some_and(|p| p.same_clustering(&clusters));
+        previous = Some(clusters.clone());
+        let real = stable && sig.z >= Z_ACCEPT && clusters.num_clusters() > 1;
+        println!(
+            "{:>4}  {:7} {:>8}  {:>7.1}  {:>6}  {}",
+            k + 1,
+            if migrated { "split" } else { "flat" },
+            clusters.num_clusters(),
+            sig.z,
+            stable,
+            if real { "structure" } else { "noise" }
+        );
+
+        // Once a significant split appears, diagnose the physical culprit.
+        if migrated && real {
+            let found = diagnosed_bottlenecks(&split_routes, &split_hosts, &clusters);
+            for b in &found {
+                println!("      -> diagnosed bottleneck link: {}", b.endpoints);
+            }
+            if !found.is_empty() {
+                println!(
+                    "topology change detected {} iteration(s) after migration",
+                    k + 1 - 6
+                );
+                return;
+            }
+        }
+    }
+    println!("window never isolated the new bottleneck — increase iterations");
+}

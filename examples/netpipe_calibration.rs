@@ -1,0 +1,35 @@
+//! Reproduces the paper's point-to-point calibration numbers (§II-C, §IV-A)
+//! with the NetPIPE baseline: ~890 Mb/s within an Ethernet cluster,
+//! ~787 Mb/s across Renater, low variance throughout — and the classic
+//! NetPIPE block-size curve.
+//!
+//! ```sh
+//! cargo run --release --example netpipe_calibration
+//! ```
+
+use bittorrent_tomography::prelude::*;
+use std::sync::Arc;
+
+fn main() {
+    let grid = Grid5000::builder().bordeaux(2, 0, 2).flat_site("toulouse", 2).build();
+    let routes = Arc::new(RouteTable::new(grid.topology.clone()));
+    let bordeplage = grid.sites[0].clusters[0].1.clone();
+    let toulouse = grid.sites[1].clusters[0].1.clone();
+
+    println!("pair                              mean Mb/s   stddev");
+    for (label, a, b) in [
+        ("bordeplage <-> bordeplage (local)", bordeplage[0], bordeplage[1]),
+        ("bordeplage <-> toulouse (Renater)", bordeplage[0], toulouse[0]),
+    ] {
+        let r = netpipe(&routes, a, b, 8, 1.0);
+        println!("{label:34} {:>8.1}   {:>6.3}", r.mean_mbps(), r.stddev_mbps());
+    }
+    println!("(paper: 890 Mb/s intra-cluster, 787 Mb/s Bordeaux<->Toulouse)\n");
+
+    println!("block-size sweep (local pair):");
+    let sizes: Vec<f64> = (0..10).map(|i| 16.0 * 1024.0 * (4.0f64).powi(i)).collect();
+    for (bytes, mbps) in block_size_sweep(&routes, bordeplage[0], bordeplage[1], &sizes) {
+        println!("  {:>12.0} B  {:>8.1} Mb/s", bytes, mbps);
+    }
+    println!("(small blocks are latency-bound; large blocks approach line rate)");
+}
