@@ -218,7 +218,7 @@ impl Topology {
     /// The node a channel transmits *towards*.
     pub fn channel_head(&self, ch: ChannelId) -> NodeId {
         let link = self.link(ch.link());
-        if ch.idx() % 2 == 0 {
+        if ch.idx().is_multiple_of(2) {
             link.b
         } else {
             link.a
@@ -228,7 +228,7 @@ impl Topology {
     /// The node a channel transmits *from*.
     pub fn channel_tail(&self, ch: ChannelId) -> NodeId {
         let link = self.link(ch.link());
-        if ch.idx() % 2 == 0 {
+        if ch.idx().is_multiple_of(2) {
             link.a
         } else {
             link.b

@@ -249,7 +249,7 @@ impl Swarm {
             let rounds_per_optimistic = (self.cfg.optimistic_interval / self.cfg.rechoke_interval)
                 .round()
                 .max(1.0) as u64;
-            let rotate = self.rechoke_round % rounds_per_optimistic == 0;
+            let rotate = self.rechoke_round.is_multiple_of(rounds_per_optimistic);
             self.rechoke_all(rotate);
             self.rechoke_round += 1;
             self.next_rechoke += self.cfg.rechoke_interval;

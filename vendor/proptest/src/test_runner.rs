@@ -1,0 +1,126 @@
+//! Case execution: deterministic per-case RNG streams and the pass /
+//! fail / reject protocol the assertion macros speak.
+
+use rand::{RngCore, SeedableRng};
+use rand_chacha::ChaCha12Rng;
+
+/// How many cases a `proptest!` block runs (per test function).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted (non-rejected) cases required.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` accepted cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` failed; the case is re-drawn without counting.
+    Reject(String),
+    /// A `prop_assert*` failed; the whole test fails.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// A rejection with the given reason.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// Result type of one sampled case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// The RNG handed to strategies: a ChaCha12 stream keyed by test name and
+/// case index, so every run of the suite draws identical inputs. Implements
+/// [`RngCore`], so strategies sample through `rand`'s own machinery rather
+/// than a second implementation.
+pub struct TestRng(ChaCha12Rng);
+
+impl TestRng {
+    fn for_case(test_name: &str, case: u64) -> Self {
+        // FNV-1a over the name, mixed with the case index.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng(ChaCha12Rng::seed_from_u64(h ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15)))
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        use rand::Rng;
+        self.gen::<f64>()
+    }
+
+    /// Uniform `u64` in `[0, bound)`; `bound` must be positive.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        use rand::Rng;
+        self.gen_range(0..bound)
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u32(&mut self) -> u32 {
+        self.0.next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.0.fill_bytes(dest)
+    }
+}
+
+/// Drives `body` for `config.cases` accepted cases, with a bounded budget
+/// for `prop_assume!` rejections. Called by the generated test functions.
+pub fn run_cases(
+    config: &ProptestConfig,
+    test_name: &str,
+    body: impl Fn(&mut TestRng) -> TestCaseResult,
+) {
+    let mut accepted: u32 = 0;
+    let mut draws: u64 = 0;
+    let max_draws = (config.cases as u64).saturating_mul(20).max(1000);
+    while accepted < config.cases {
+        if draws >= max_draws {
+            panic!(
+                "{test_name}: gave up after {draws} draws with only {accepted}/{} accepted \
+                 cases (prop_assume! rejects nearly everything)",
+                config.cases
+            );
+        }
+        let mut rng = TestRng::for_case(test_name, draws);
+        draws += 1;
+        match body(&mut rng) {
+            Ok(()) => accepted += 1,
+            Err(TestCaseError::Reject(_)) => continue,
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "{test_name}: property failed at deterministic case #{} (draw {}): {}",
+                    accepted,
+                    draws - 1,
+                    msg
+                );
+            }
+        }
+    }
+}

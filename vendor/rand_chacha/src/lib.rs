@@ -1,0 +1,189 @@
+//! Offline stand-in for `rand_chacha`: a genuine ChaCha12 keystream
+//! generator (djb's original 64-bit-counter variant, 12 rounds) implementing
+//! the local [`rand`] crate's [`RngCore`]/[`SeedableRng`] traits.
+//!
+//! The workspace only requires determinism — every simulation seed flows
+//! through [`ChaCha12Rng`] — not bit-compatibility with the crates.io
+//! implementation, but ChaCha12 itself is implemented faithfully so stream
+//! quality matches the upstream crate.
+
+pub use rand::{RngCore, SeedableRng};
+
+/// Re-export mirroring `rand_chacha::rand_core` (some call sites import
+/// `SeedableRng` from here).
+pub mod rand_core {
+    pub use rand::{RngCore, SeedableRng};
+}
+
+const ROUNDS: usize = 12;
+
+/// A ChaCha generator with 12 rounds, seeded with a 256-bit key.
+#[derive(Clone, Debug)]
+pub struct ChaCha12Rng {
+    /// Key words 4..12 of the initial state.
+    key: [u32; 8],
+    /// 64-bit block counter (state words 12..14); words 14..16 (the nonce)
+    /// stay zero, as in `ChaChaRng::from_seed` upstream.
+    counter: u64,
+    /// The current 16-word output block.
+    block: [u32; 16],
+    /// Next word to emit from `block`; 16 means "exhausted".
+    word_pos: usize,
+}
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+/// One ChaCha block (djb variant: 64-bit counter in words 12–13, 64-bit
+/// zero nonce in words 14–15) with the given number of rounds. Kept as a
+/// free function so tests can run it at 20 rounds against the published
+/// ChaCha20 keystream vectors, validating the quarter-round and state
+/// layout shared with the 12-round generator.
+fn chacha_block(key: &[u32; 8], counter: u64, rounds: usize) -> [u32; 16] {
+    let mut state: [u32; 16] = [0; 16];
+    // "expand 32-byte k"
+    state[0] = 0x6170_7865;
+    state[1] = 0x3320_646e;
+    state[2] = 0x7962_2d32;
+    state[3] = 0x6b20_6574;
+    state[4..12].copy_from_slice(key);
+    state[12] = counter as u32;
+    state[13] = (counter >> 32) as u32;
+    let input = state;
+    for _ in 0..rounds / 2 {
+        // Column round.
+        quarter_round(&mut state, 0, 4, 8, 12);
+        quarter_round(&mut state, 1, 5, 9, 13);
+        quarter_round(&mut state, 2, 6, 10, 14);
+        quarter_round(&mut state, 3, 7, 11, 15);
+        // Diagonal round.
+        quarter_round(&mut state, 0, 5, 10, 15);
+        quarter_round(&mut state, 1, 6, 11, 12);
+        quarter_round(&mut state, 2, 7, 8, 13);
+        quarter_round(&mut state, 3, 4, 9, 14);
+    }
+    for (out, inp) in state.iter_mut().zip(input.iter()) {
+        *out = out.wrapping_add(*inp);
+    }
+    state
+}
+
+impl ChaCha12Rng {
+    fn refill(&mut self) {
+        self.block = chacha_block(&self.key, self.counter, ROUNDS);
+        self.counter = self.counter.wrapping_add(1);
+        self.word_pos = 0;
+    }
+
+    #[inline]
+    fn next_word(&mut self) -> u32 {
+        if self.word_pos >= 16 {
+            self.refill();
+        }
+        let w = self.block[self.word_pos];
+        self.word_pos += 1;
+        w
+    }
+}
+
+impl SeedableRng for ChaCha12Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: [u8; 32]) -> Self {
+        let mut key = [0u32; 8];
+        for (i, chunk) in seed.chunks_exact(4).enumerate() {
+            key[i] = u32::from_le_bytes(chunk.try_into().unwrap());
+        }
+        ChaCha12Rng {
+            key,
+            counter: 0,
+            block: [0; 16],
+            word_pos: 16,
+        }
+    }
+}
+
+impl RngCore for ChaCha12Rng {
+    fn next_u32(&mut self) -> u32 {
+        self.next_word()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_word() as u64;
+        let hi = self.next_word() as u64;
+        lo | (hi << 32)
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(4) {
+            let w = self.next_word().to_le_bytes();
+            chunk.copy_from_slice(&w[..chunk.len()]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chacha20_known_answer_vector() {
+        // ECRYPT/djb ChaCha20 keystream, all-zero 256-bit key, all-zero
+        // 64-bit nonce, block counter 0 — the canonical first 64 bytes.
+        // Running the shared block machinery at 20 rounds against it pins
+        // the quarter-round constants and state layout that ChaCha12 uses.
+        const EXPECT: [u8; 64] = [
+            0x76, 0xb8, 0xe0, 0xad, 0xa0, 0xf1, 0x3d, 0x90, 0x40, 0x5d, 0x6a, 0xe5, 0x53, 0x86,
+            0xbd, 0x28, 0xbd, 0xd2, 0x19, 0xb8, 0xa0, 0x8d, 0xed, 0x1a, 0xa8, 0x36, 0xef, 0xcc,
+            0x8b, 0x77, 0x0d, 0xc7, 0xda, 0x41, 0x59, 0x7c, 0x51, 0x57, 0x48, 0x8d, 0x77, 0x24,
+            0xe0, 0x3f, 0xb8, 0xd8, 0x4a, 0x37, 0x6a, 0x43, 0xb8, 0xf4, 0x15, 0x18, 0xa1, 0x1c,
+            0xc3, 0x87, 0xb6, 0x69, 0xb2, 0xee, 0x65, 0x86,
+        ];
+        let block = chacha_block(&[0u32; 8], 0, 20);
+        let mut out = [0u8; 64];
+        for (i, w) in block.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&w.to_le_bytes());
+        }
+        assert_eq!(out, EXPECT);
+    }
+
+    #[test]
+    fn chacha12_stream_determinism() {
+        // Same-seed streams reproduce; distinct seeds diverge.
+        let a: Vec<u64> = {
+            let mut r = ChaCha12Rng::seed_from_u64(1);
+            (0..64).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = ChaCha12Rng::seed_from_u64(1);
+            (0..64).map(|_| r.next_u64()).collect()
+        };
+        let c: Vec<u64> = {
+            let mut r = ChaCha12Rng::seed_from_u64(2);
+            (0..64).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn fill_bytes_matches_word_stream() {
+        let mut r1 = ChaCha12Rng::seed_from_u64(9);
+        let mut r2 = ChaCha12Rng::seed_from_u64(9);
+        let mut buf = [0u8; 16];
+        r1.fill_bytes(&mut buf);
+        let words: Vec<u32> = (0..4).map(|_| r2.next_u32()).collect();
+        for (i, w) in words.iter().enumerate() {
+            assert_eq!(&buf[i * 4..i * 4 + 4], &w.to_le_bytes());
+        }
+    }
+}

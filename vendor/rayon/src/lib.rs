@@ -1,0 +1,184 @@
+//! Offline stand-in for the subset of `rayon` this workspace uses:
+//! `into_par_iter().map(..).collect::<Vec<_>>()` over broadcast iterations.
+//!
+//! Unlike a purely sequential shim, `collect` genuinely fans work out over
+//! `std::thread::scope` with one worker per available core (work-stealing
+//! via a shared atomic cursor), and results are written back by index so
+//! ordering — and therefore the deterministic-seeding guarantee — is
+//! identical to sequential execution.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The rayon-style glob import.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelIterator};
+}
+
+/// Conversion into a parallel iterator.
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item: Send;
+    /// The parallel iterator produced.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<I> IntoParallelIterator for I
+where
+    I: IntoIterator,
+    I::Item: Send,
+{
+    type Item = I::Item;
+    type Iter = ParIter<I::Item>;
+
+    fn into_par_iter(self) -> ParIter<I::Item> {
+        ParIter {
+            items: self.into_iter().collect(),
+        }
+    }
+}
+
+/// An in-memory parallel iterator (items are materialized up front).
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+/// A mapped parallel iterator.
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+/// The subset of rayon's `ParallelIterator` the workspace consumes.
+pub trait ParallelIterator: Sized {
+    /// Element type.
+    type Item: Send;
+
+    /// Maps every element through `f` (evaluated in parallel at `collect`).
+    fn map<R, F>(self, f: F) -> ParMap<Self::Item, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync;
+
+    /// Executes the pipeline and gathers results in input order.
+    fn collect<C>(self) -> C
+    where
+        C: FromParallelIterator<Self::Item>;
+}
+
+impl<T: Send> ParallelIterator for ParIter<T> {
+    type Item = T;
+
+    fn map<R, F>(self, f: F) -> ParMap<T, F>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    fn collect<C>(self) -> C
+    where
+        C: FromParallelIterator<T>,
+    {
+        C::from_ordered_vec(self.items)
+    }
+}
+
+impl<T, R, F> ParallelIterator for ParMap<T, F>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    type Item = R;
+
+    fn map<R2, F2>(self, _f: F2) -> ParMap<R, F2>
+    where
+        R2: Send,
+        F2: Fn(R) -> R2 + Sync,
+    {
+        ParMap {
+            items: par_map(self.items, &self.f),
+            f: _f,
+        }
+    }
+
+    fn collect<C>(self) -> C
+    where
+        C: FromParallelIterator<R>,
+    {
+        C::from_ordered_vec(par_map(self.items, &self.f))
+    }
+}
+
+/// Collection from an order-preserving parallel computation.
+pub trait FromParallelIterator<T: Send> {
+    /// Builds the collection from results already in input order.
+    fn from_ordered_vec(v: Vec<T>) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_ordered_vec(v: Vec<T>) -> Self {
+        v
+    }
+}
+
+/// Order-preserving parallel map: a shared cursor hands out indices, workers
+/// write results into per-slot cells, and the output is reassembled by
+/// index.
+fn par_map<T: Send, R: Send>(items: Vec<T>, f: &(impl Fn(T) -> R + Sync)) -> Vec<R> {
+    let n = items.len();
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n.max(1));
+    if workers <= 1 || n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|x| Mutex::new(Some(x))).collect();
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = slots[i].lock().unwrap().take().expect("slot taken twice");
+                let out = f(item);
+                *results[i].lock().unwrap() = Some(out);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|cell| cell.into_inner().unwrap().expect("worker died before writing slot"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let out: Vec<u64> = (0u64..500).into_par_iter().map(|x| x * x).collect();
+        let expect: Vec<u64> = (0u64..500).map(|x| x * x).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let out: Vec<u32> = Vec::<u32>::new().into_par_iter().map(|x| x).collect();
+        assert!(out.is_empty());
+        let one: Vec<u32> = vec![7].into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(one, vec![8]);
+    }
+}

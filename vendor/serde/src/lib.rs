@@ -1,0 +1,20 @@
+//! Offline stand-in for `serde`. The workspace derives `Serialize` /
+//! `Deserialize` on its config and report types but never actually runs a
+//! serializer (there is no `serde_json`/`bincode` anywhere), so marker
+//! traits with blanket impls plus no-op derive macros are fully sufficient
+//! for the build. When a future PR adds real wire formats, this crate is the
+//! single place to replace with the genuine dependency.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker for types that would be serializable under real serde.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker for types that would be deserializable under real serde.
+pub trait Deserialize<'de>: Sized {}
+impl<'de, T> Deserialize<'de> for T {}
+
+/// Owned-deserialization alias, for parity with real serde bounds.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T> DeserializeOwned for T {}

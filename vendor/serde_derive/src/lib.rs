@@ -1,0 +1,22 @@
+//! No-op derive macros backing the offline `serde` stand-in. The companion
+//! `serde` crate blanket-implements its marker traits for every type, so the
+//! derives have nothing to emit; they exist so `#[derive(Serialize,
+//! Deserialize)]` and `#[serde(...)]` attributes on workspace types compile
+//! unchanged.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` (and `#[serde(...)]` field/container
+/// attributes) and emits nothing; the blanket impl in `serde` covers the
+/// trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and emits nothing; the blanket impl in
+/// `serde` covers the trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
