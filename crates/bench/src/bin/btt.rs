@@ -1,0 +1,194 @@
+//! `btt` — the campaign CLI: sweep scenarios, emit structured artifacts.
+//!
+//! ```text
+//! btt sweep [OPTIONS]        run a (scenario × algorithm × seed) campaign
+//! btt list                   show scenario syntax and algorithm names
+//! btt check <DIR>            validate campaign artifacts (JSON/CSV parse)
+//!
+//! Sweep options:
+//!   --scenarios <S,S,...>    scenario specs (default: 2x2,star:3x6:0.1:6,wan:3x4:0.2)
+//!   --algorithms <A,A,...>   clustering algorithms (default: louvain,label-propagation)
+//!   --seeds <N,N,...>        master seeds (default: 2012)
+//!   --iterations <N>         broadcast iterations per run (default: 10; or use
+//!                            per-scenario defaults with --paper-iterations)
+//!   --paper-iterations       use each scenario's default iteration count
+//!   --pieces <N>             file size in 16 KiB fragments (default: 512)
+//!   --quick                  shrink to 3 iterations × 128 fragments
+//!   --out <DIR>              artifact directory (default: out/campaign)
+//! ```
+//!
+//! Exit status is non-zero on bad arguments or (for `check`) invalid
+//! artifacts, so CI can smoke-run the binary directly.
+
+use btt_bench::campaign::{
+    check_outputs, run_sweep, summary_table, write_outputs, SweepSpec,
+};
+use btt_core::pipeline::ClusteringAlgorithm;
+use btt_core::scenarios::ScenarioSpec;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  btt sweep [--scenarios S,S] [--algorithms A,A] [--seeds N,N] \
+         [--iterations N | --paper-iterations] [--pieces N] [--quick] [--out DIR]\n  \
+         btt list\n  btt check <DIR>\n\nrun `btt list` for scenario syntax"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("sweep") => sweep(&args[1..]),
+        Some("list") => list(),
+        Some("check") => check(&args[1..]),
+        _ => usage(),
+    }
+}
+
+fn list() -> ExitCode {
+    println!("scenario specs (comma-separate for --scenarios):");
+    println!("  paper datasets: B  B-T  G-T  B-G-T  B-G-T-L  2x2");
+    println!("  fat-tree:<pods>x<racks>x<hosts>[:<edge_oversub>[:<core_oversub>]]");
+    println!("      e.g. fat-tree:2x2x4:8:1  (rack uplinks 8x oversubscribed)");
+    println!("  star:<arms>x<hosts>[:<uplink_ratio>[:<hub_hosts>]]");
+    println!("      e.g. star:3x4:0.1:4     (arm uplinks at 10% of demand)");
+    println!("  wan:<sites>x<hosts>[:<bottleneck_ratio>]");
+    println!("      e.g. wan:3x8:0.5        (WAN segments at 50% of site demand)");
+    println!();
+    println!("algorithms (comma-separate for --algorithms):");
+    for a in ClusteringAlgorithm::ALL {
+        println!("  {}", a.name());
+    }
+    ExitCode::SUCCESS
+}
+
+fn check(args: &[String]) -> ExitCode {
+    let [dir] = args else { return usage() };
+    match check_outputs(&PathBuf::from(dir)) {
+        Ok((jsons, csvs)) => {
+            println!("ok: {jsons} JSON record(s) and {csvs} CSV file(s) parse cleanly");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("check failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn sweep(args: &[String]) -> ExitCode {
+    let mut spec = SweepSpec::default_smoke();
+    let mut out = PathBuf::from("out/campaign");
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let mut value = || {
+            i += 1;
+            args.get(i).cloned()
+        };
+        match flag {
+            "--scenarios" => {
+                let Some(v) = value() else { return usage() };
+                match ScenarioSpec::parse_list(&v) {
+                    Ok(s) if !s.is_empty() => spec.scenarios = s,
+                    Ok(_) => return usage(),
+                    Err(e) => {
+                        eprintln!("btt: {e}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--algorithms" => {
+                let Some(v) = value() else { return usage() };
+                let mut algorithms = Vec::new();
+                for name in v.split(',').filter(|s| !s.trim().is_empty()) {
+                    match ClusteringAlgorithm::from_name(name.trim()) {
+                        Some(a) => algorithms.push(a),
+                        None => {
+                            eprintln!("btt: unknown algorithm {name:?} (see `btt list`)");
+                            return ExitCode::from(2);
+                        }
+                    }
+                }
+                if algorithms.is_empty() {
+                    return usage();
+                }
+                spec.algorithms = algorithms;
+            }
+            "--seeds" => {
+                let Some(v) = value() else { return usage() };
+                let seeds: Result<Vec<u64>, _> =
+                    v.split(',').filter(|s| !s.trim().is_empty()).map(|s| s.trim().parse()).collect();
+                match seeds {
+                    Ok(s) if !s.is_empty() => spec.seeds = s,
+                    _ => return usage(),
+                }
+            }
+            "--iterations" => {
+                let Some(n) = value().and_then(|v| v.parse::<u32>().ok()).filter(|&n| n > 0)
+                else {
+                    return usage();
+                };
+                spec.iterations = Some(n);
+            }
+            "--paper-iterations" => spec.iterations = None,
+            "--pieces" => {
+                let Some(n) = value().and_then(|v| v.parse::<u32>().ok()).filter(|&n| n > 0)
+                else {
+                    return usage();
+                };
+                spec.pieces = n;
+            }
+            "--quick" => {
+                spec.iterations = Some(3);
+                spec.pieces = 128;
+            }
+            "--out" => {
+                let Some(v) = value() else { return usage() };
+                out = PathBuf::from(v);
+            }
+            _ => return usage(),
+        }
+        i += 1;
+    }
+
+    let runs = spec.expand();
+    println!(
+        "btt sweep: {} scenario(s) x {} algorithm(s) x {} seed(s) = {} run(s), pieces={}, iterations={}",
+        spec.scenarios.len(),
+        spec.algorithms.len(),
+        spec.seeds.len(),
+        runs.len(),
+        spec.pieces,
+        spec.iterations.map_or("per-scenario".to_string(), |n| n.to_string()),
+    );
+    let wall = std::time::Instant::now();
+    let records = run_sweep(&spec);
+    println!("measured + clustered in {:.1?}\n", wall.elapsed());
+
+    print!("{}", summary_table(&records));
+    for record in &records {
+        if record.final_onmi() < 0.999 {
+            println!(
+                "note: {} with {} ended at oNMI {:.3} (structure not fully recovered)",
+                record.scenario_id,
+                record.algorithm,
+                record.final_onmi()
+            );
+        }
+    }
+
+    match write_outputs(&out, &runs, &records) {
+        Ok(paths) => {
+            println!("\nwrote {} artifact(s) to {}/", paths.len(), out.display());
+            println!("  summary: {}", paths.last().expect("summary path").display());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("btt: writing artifacts failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

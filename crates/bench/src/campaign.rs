@@ -1,0 +1,495 @@
+//! Scenario-sweep campaigns: the engine behind the `btt` CLI.
+//!
+//! A campaign is the cross product (scenario × algorithm × seed) of a
+//! [`SweepSpec`], run in parallel via rayon and written out as structured
+//! artifacts:
+//!
+//! * `<out>/<scenario>__<algorithm>__s<seed>.json` — one
+//!   [`ReportRecord`] per run (schema `btt-report-v1`);
+//! * `<out>/summary.csv` — one row per run, in deterministic
+//!   (scenario, algorithm, seed) order.
+//!
+//! Determinism: every run derives all randomness from its own seed, the
+//! rayon shim preserves input order, and all floats are rendered with the
+//! round-trip formatter — so a same-spec re-run produces byte-identical
+//! files regardless of thread count. That property is what makes campaign
+//! outputs diffable across PRs (the ROADMAP's perf/accuracy trajectory).
+
+use btt_core::pipeline::ClusteringAlgorithm;
+use btt_core::prelude::*;
+use btt_core::scenarios::ScenarioSpec;
+use btt_core::serialize::{convergence_csv, csv, json};
+use rayon::prelude::*;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// What to sweep: every combination of scenario, algorithm, and seed runs
+/// once.
+#[derive(Debug, Clone)]
+pub struct SweepSpec {
+    /// Scenarios to run.
+    pub scenarios: Vec<ScenarioSpec>,
+    /// Phase-2 algorithms to run on each scenario's measurements.
+    pub algorithms: Vec<ClusteringAlgorithm>,
+    /// Master seeds (one full campaign per seed).
+    pub seeds: Vec<u64>,
+    /// Measurement iterations per run; `None` = each scenario's default.
+    pub iterations: Option<u32>,
+    /// File size in 16 KiB fragments.
+    pub pieces: u32,
+}
+
+impl SweepSpec {
+    /// The CLI's default sweep: three small scenarios (one paper dataset,
+    /// one star, one WAN) × Louvain + label propagation × one seed, sized to
+    /// finish in seconds.
+    pub fn default_smoke() -> SweepSpec {
+        SweepSpec {
+            scenarios: ScenarioSpec::parse_list("2x2,star:3x6:0.1:6,wan:3x4:0.2")
+                .expect("default scenarios parse"),
+            algorithms: vec![ClusteringAlgorithm::Louvain, ClusteringAlgorithm::LabelPropagation],
+            seeds: vec![2012],
+            iterations: Some(10),
+            pieces: 512,
+        }
+    }
+
+    /// Upper bound on the number of runs (the raw cross-product size;
+    /// [`SweepSpec::expand`] may collapse duplicate coordinates).
+    pub fn num_runs(&self) -> usize {
+        self.scenarios.len() * self.algorithms.len() * self.seeds.len()
+    }
+
+    /// The cross product, in deterministic (scenario, algorithm, seed)
+    /// order. Duplicate coordinates — repeated seeds/algorithms, or two
+    /// spellings of the same scenario (e.g. `star:3x8` and its canonical
+    /// id `star:3x8:0.25:4`) — collapse to one run, since they would name
+    /// the same output files.
+    pub fn expand(&self) -> Vec<RunSpec> {
+        let mut runs: Vec<RunSpec> = Vec::with_capacity(self.num_runs());
+        for scenario in &self.scenarios {
+            for &algorithm in &self.algorithms {
+                for &seed in &self.seeds {
+                    let candidate = RunSpec {
+                        scenario: scenario.clone(),
+                        algorithm,
+                        seed,
+                        iterations: self.iterations,
+                        pieces: self.pieces,
+                    };
+                    if !runs.iter().any(|r| r.file_stem() == candidate.file_stem()) {
+                        runs.push(candidate);
+                    }
+                }
+            }
+        }
+        runs
+    }
+}
+
+/// One fully-specified run of a sweep.
+#[derive(Debug, Clone)]
+pub struct RunSpec {
+    /// The scenario to measure.
+    pub scenario: ScenarioSpec,
+    /// The clustering algorithm for phase 2.
+    pub algorithm: ClusteringAlgorithm,
+    /// Master seed.
+    pub seed: u64,
+    /// Iteration override (`None` = scenario default).
+    pub iterations: Option<u32>,
+    /// File size in fragments.
+    pub pieces: u32,
+}
+
+impl RunSpec {
+    /// The session this run configures (phase-2 algorithm excluded — it is
+    /// passed explicitly at analysis time so campaigns can be shared).
+    fn session(&self) -> TomographySession {
+        let mut session =
+            TomographySession::over(self.scenario.build()).pieces(self.pieces).seed(self.seed);
+        if let Some(n) = self.iterations {
+            session = session.iterations(n);
+        }
+        session
+    }
+
+    /// Executes measurement + analysis and projects the record.
+    pub fn run(&self) -> ReportRecord {
+        let session = self.session();
+        ReportRecord::new(&session.analyze_with(session.measure(), self.algorithm), self.pieces)
+    }
+
+    /// The per-run artifact stem, e.g. `star-3x4-0.1-4__louvain__s2012`
+    /// (scenario ids are sanitized for the filesystem: `:` becomes `-`).
+    pub fn file_stem(&self) -> String {
+        format!(
+            "{}__{}__s{}",
+            sanitize(&self.scenario.id()),
+            self.algorithm.name(),
+            self.seed
+        )
+    }
+}
+
+/// Makes a scenario id filesystem-friendly (`:` → `-`).
+fn sanitize(id: &str) -> String {
+    id.replace(':', "-")
+}
+
+/// True for file names this module itself writes — the only files
+/// [`write_outputs`] is allowed to delete when refreshing a directory.
+fn is_campaign_artifact(name: &str) -> bool {
+    name == "summary.csv"
+        || ((name.ends_with(".json") || name.ends_with(".convergence.csv"))
+            && name.contains("__s")
+            && name.contains("__"))
+}
+
+/// Runs every combination of the spec in parallel. Results come back in
+/// [`SweepSpec::expand`] order regardless of scheduling.
+///
+/// The broadcast simulation (the dominant cost) depends only on
+/// (scenario, seed, iterations, pieces), not on the phase-2 algorithm, so
+/// each such group is measured **once** and then analyzed per algorithm —
+/// sweeping all four algorithms costs one simulation, not four.
+pub fn run_sweep(spec: &SweepSpec) -> Vec<ReportRecord> {
+    let runs = spec.expand();
+    // Unique (scenario, seed) groups, in first-appearance order.
+    let mut groups: Vec<(&RunSpec, Vec<usize>)> = Vec::new();
+    for (i, run) in runs.iter().enumerate() {
+        match groups
+            .iter_mut()
+            .find(|(g, _)| g.seed == run.seed && g.scenario.id() == run.scenario.id())
+        {
+            Some((_, members)) => members.push(i),
+            None => groups.push((run, vec![i])),
+        }
+    }
+    // Phase 1 (simulation) in parallel, one campaign per group; phase 2
+    // (clustering, comparatively cheap) per member run. Records are written
+    // back by expand-order index, so output order is deterministic.
+    let mut records: Vec<Option<ReportRecord>> = vec![None; runs.len()];
+    let analyzed: Vec<Vec<(usize, ReportRecord)>> = groups
+        .into_par_iter()
+        .map(|(leader, members)| {
+            let session = leader.session();
+            // `analyze_with` hands ownership of the campaign to the report,
+            // so k algorithms need k-1 clones of the measurement data; the
+            // last member takes the original by move.
+            let mut campaign = Some(session.measure());
+            let last = members.len() - 1;
+            members
+                .into_iter()
+                .enumerate()
+                .map(|(j, i)| {
+                    let c = if j == last {
+                        campaign.take().expect("campaign moved only once")
+                    } else {
+                        campaign.as_ref().expect("campaign still owned").clone()
+                    };
+                    let report = session.analyze_with(c, runs[i].algorithm);
+                    (i, ReportRecord::new(&report, runs[i].pieces))
+                })
+                .collect()
+        })
+        .collect();
+    for (i, record) in analyzed.into_iter().flatten() {
+        records[i] = Some(record);
+    }
+    records.into_iter().map(|r| r.expect("every run analyzed")).collect()
+}
+
+/// Header of `summary.csv`, in column order.
+pub const SUMMARY_COLUMNS: [&str; 13] = [
+    "scenario",
+    "algorithm",
+    "seed",
+    "hosts",
+    "iterations",
+    "pieces",
+    "clusters_found",
+    "clusters_truth",
+    "final_onmi",
+    "final_nmi",
+    "final_modularity",
+    "converged_at",
+    "measurement_time_s",
+];
+
+/// Renders the campaign-level summary CSV, one row per record, in input
+/// order. `converged_at` is empty when the run never converged.
+pub fn summary_csv(records: &[ReportRecord]) -> String {
+    let mut t = csv::Table::new(&SUMMARY_COLUMNS);
+    for r in records {
+        let last_nmi = r.convergence.last().map_or(0.0, |p| p.nmi);
+        let last_q = r.convergence.last().map_or(0.0, |p| p.modularity);
+        t.row(&[
+            r.scenario_id.clone(),
+            r.algorithm.clone(),
+            r.seed.to_string(),
+            r.hosts.to_string(),
+            r.convergence.len().to_string(),
+            r.pieces.to_string(),
+            r.final_partition.num_clusters().to_string(),
+            r.ground_truth.num_clusters().to_string(),
+            json::fmt_f64(r.final_onmi()),
+            json::fmt_f64(last_nmi),
+            json::fmt_f64(last_q),
+            r.converged_at.map_or(String::new(), |k| k.to_string()),
+            json::fmt_f64(r.measurement_time()),
+        ]);
+    }
+    t.finish()
+}
+
+/// Writes all campaign artifacts under `out`: one pretty-printed JSON per
+/// run, a convergence CSV per run, and `summary.csv`. Returns the paths
+/// written, `summary.csv` last.
+///
+/// Pre-existing **campaign artifacts** in `out` (files matching this
+/// module's own naming patterns: `*__*__s*.json`, `*.convergence.csv`,
+/// `summary.csv`) are removed first, so the directory always reflects
+/// exactly this campaign — re-sweeping a smaller spec into the same
+/// `--out` cannot leave stale records behind to confuse `btt check` or
+/// cross-campaign diffs. Files the campaign writer never produces are left
+/// alone, so pointing `--out` at a directory with unrelated data is safe.
+pub fn write_outputs(
+    out: &Path,
+    runs: &[RunSpec],
+    records: &[ReportRecord],
+) -> io::Result<Vec<PathBuf>> {
+    assert_eq!(runs.len(), records.len());
+    fs::create_dir_all(out)?;
+    for entry in fs::read_dir(out)? {
+        let path = entry?.path();
+        let is_ours = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .is_some_and(is_campaign_artifact);
+        if is_ours {
+            fs::remove_file(&path)?;
+        }
+    }
+    let mut paths = Vec::with_capacity(records.len() * 2 + 1);
+    for (run, record) in runs.iter().zip(records) {
+        let stem = run.file_stem();
+        let json_path = out.join(format!("{stem}.json"));
+        fs::write(&json_path, record.to_json().render_pretty())?;
+        paths.push(json_path);
+        let csv_path = out.join(format!("{stem}.convergence.csv"));
+        fs::write(&csv_path, convergence_csv(record))?;
+        paths.push(csv_path);
+    }
+    let summary = out.join("summary.csv");
+    fs::write(&summary, summary_csv(records))?;
+    paths.push(summary);
+    Ok(paths)
+}
+
+/// Validates every campaign artifact in `dir`: `.json` files must parse as
+/// `btt-report-v1` records, `.csv` files must parse with consistent column
+/// counts. Only files matching the campaign naming patterns are examined —
+/// unrelated files sharing the extensions are ignored, consistent with
+/// [`write_outputs`] preserving them. Returns `(json_count, csv_count)` or
+/// the first failure.
+pub fn check_outputs(dir: &Path) -> Result<(usize, usize), String> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)
+        .map_err(|e| format!("cannot read {}: {e}", dir.display()))?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| {
+            p.file_name().and_then(|n| n.to_str()).is_some_and(is_campaign_artifact)
+        })
+        .collect();
+    entries.sort();
+    let (mut jsons, mut csvs) = (0usize, 0usize);
+    for path in entries {
+        let name = path.display();
+        match path.extension().and_then(|e| e.to_str()) {
+            Some("json") => {
+                let text =
+                    fs::read_to_string(&path).map_err(|e| format!("read {name}: {e}"))?;
+                let value = json::parse(&text).map_err(|e| format!("{name}: {e}"))?;
+                ReportRecord::from_json(&value).map_err(|e| format!("{name}: {e}"))?;
+                jsons += 1;
+            }
+            Some("csv") => {
+                let text =
+                    fs::read_to_string(&path).map_err(|e| format!("read {name}: {e}"))?;
+                let rows = csv::parse(&text).map_err(|e| format!("{name}: {e}"))?;
+                let width = rows.first().map_or(0, Vec::len);
+                if width == 0 {
+                    return Err(format!("{name}: empty CSV"));
+                }
+                if let Some(bad) = rows.iter().find(|r| r.len() != width) {
+                    return Err(format!("{name}: ragged row {bad:?}"));
+                }
+                csvs += 1;
+            }
+            _ => {}
+        }
+    }
+    if jsons == 0 && csvs == 0 {
+        return Err(format!("{}: no .json or .csv artifacts found", dir.display()));
+    }
+    Ok((jsons, csvs))
+}
+
+/// Renders the paper-style fixed-width summary table for stdout.
+pub fn summary_table(records: &[ReportRecord]) -> String {
+    let mut rows = vec![vec![
+        "scenario".to_string(),
+        "algorithm".to_string(),
+        "seed".to_string(),
+        "hosts".to_string(),
+        "clusters".to_string(),
+        "oNMI".to_string(),
+        "converged@".to_string(),
+        "meas(s)".to_string(),
+    ]];
+    for r in records {
+        rows.push(vec![
+            r.scenario_id.clone(),
+            r.algorithm.clone(),
+            r.seed.to_string(),
+            r.hosts.to_string(),
+            format!("{}/{}", r.final_partition.num_clusters(), r.ground_truth.num_clusters()),
+            format!("{:.3}", r.final_onmi()),
+            r.converged_at.map_or_else(|| "never".to_string(), |k| k.to_string()),
+            format!("{:.1}", r.measurement_time()),
+        ]);
+    }
+    crate::ctx::text_table(&rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec() -> SweepSpec {
+        SweepSpec {
+            scenarios: ScenarioSpec::parse_list("2x2,wan:2x2:0.25").unwrap(),
+            algorithms: vec![ClusteringAlgorithm::Louvain, ClusteringAlgorithm::LabelPropagation],
+            seeds: vec![7],
+            iterations: Some(2),
+            pieces: 48,
+        }
+    }
+
+    #[test]
+    fn expand_order_is_deterministic() {
+        let spec = tiny_spec();
+        assert_eq!(spec.num_runs(), 4);
+        let runs = spec.expand();
+        assert_eq!(runs.len(), 4);
+        assert_eq!(runs[0].scenario.id(), "2x2");
+        assert_eq!(runs[0].algorithm, ClusteringAlgorithm::Louvain);
+        assert_eq!(runs[1].algorithm, ClusteringAlgorithm::LabelPropagation);
+        assert_eq!(runs[2].scenario.id(), "wan:2x2:0.25");
+    }
+
+    #[test]
+    fn expand_collapses_aliased_coordinates() {
+        let mut spec = tiny_spec();
+        // "star:3x8" and its canonical id are the same scenario; duplicate
+        // seeds collide too. Neither may produce colliding output files.
+        spec.scenarios = ScenarioSpec::parse_list("star:3x8,star:3x8:0.25:4").unwrap();
+        spec.seeds = vec![7, 7];
+        let runs = spec.expand();
+        assert_eq!(runs.len(), spec.algorithms.len(), "aliases and repeats collapse");
+        let stems: std::collections::HashSet<String> =
+            runs.iter().map(RunSpec::file_stem).collect();
+        assert_eq!(stems.len(), runs.len());
+    }
+
+    #[test]
+    fn sweep_produces_one_record_per_run() {
+        let spec = tiny_spec();
+        let records = run_sweep(&spec);
+        assert_eq!(records.len(), 4);
+        for (run, rec) in spec.expand().iter().zip(&records) {
+            assert_eq!(rec.scenario_id, run.scenario.id());
+            assert_eq!(rec.algorithm, run.algorithm.name());
+            assert_eq!(rec.seed, 7);
+            assert_eq!(rec.convergence.len(), 2);
+        }
+    }
+
+    #[test]
+    fn summary_csv_is_well_formed() {
+        let records = run_sweep(&tiny_spec());
+        let text = summary_csv(&records);
+        let rows = csv::parse(&text).unwrap();
+        assert_eq!(rows.len(), 5);
+        assert_eq!(rows[0], SUMMARY_COLUMNS.to_vec());
+        for row in &rows[1..] {
+            assert_eq!(row.len(), SUMMARY_COLUMNS.len());
+        }
+    }
+
+    #[test]
+    fn file_stems_are_filesystem_safe() {
+        for run in tiny_spec().expand() {
+            let stem = run.file_stem();
+            assert!(
+                stem.chars().all(|c| c.is_ascii_alphanumeric() || "-_.".contains(c)),
+                "{stem}"
+            );
+        }
+    }
+
+    #[test]
+    fn write_outputs_clears_stale_artifacts() {
+        let dir = std::env::temp_dir().join(format!("btt-stale-test-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        // Leftovers from a previous, larger campaign: must be removed.
+        fs::write(dir.join("wan-9x9-0.5__infomap__s42.json"), "{}").unwrap();
+        fs::write(dir.join("wan-9x9-0.5__infomap__s42.convergence.csv"), "a\n").unwrap();
+        // Foreign files that merely share the extensions: must survive.
+        fs::write(dir.join("notes.json"), "{}").unwrap();
+        fs::write(dir.join("data.csv"), "a,b\n").unwrap();
+        let spec = SweepSpec {
+            scenarios: ScenarioSpec::parse_list("2x2").unwrap(),
+            algorithms: vec![ClusteringAlgorithm::Louvain],
+            seeds: vec![1],
+            iterations: Some(1),
+            pieces: 48,
+        };
+        write_outputs(&dir, &spec.expand(), &run_sweep(&spec)).unwrap();
+        assert!(!dir.join("wan-9x9-0.5__infomap__s42.json").exists(), "stale record removed");
+        assert!(
+            !dir.join("wan-9x9-0.5__infomap__s42.convergence.csv").exists(),
+            "stale csv removed"
+        );
+        assert!(dir.join("notes.json").exists(), "foreign JSON is kept");
+        assert!(dir.join("data.csv").exists(), "foreign CSV is kept");
+        assert!(dir.join("summary.csv").exists());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn check_outputs_accepts_what_write_outputs_writes() {
+        let dir = std::env::temp_dir().join(format!("btt-campaign-test-{}", std::process::id()));
+        let spec = SweepSpec {
+            scenarios: ScenarioSpec::parse_list("2x2").unwrap(),
+            algorithms: vec![ClusteringAlgorithm::Louvain],
+            seeds: vec![3],
+            iterations: Some(2),
+            pieces: 48,
+        };
+        let runs = spec.expand();
+        let records = run_sweep(&spec);
+        let paths = write_outputs(&dir, &runs, &records).unwrap();
+        assert_eq!(paths.len(), 3, "json + convergence csv + summary");
+        let (jsons, csvs) = check_outputs(&dir).unwrap();
+        assert_eq!((jsons, csvs), (1, 2));
+        // Foreign files write_outputs preserves must not fail the check.
+        fs::write(dir.join("notes.json"), "not even json").unwrap();
+        assert_eq!(check_outputs(&dir).unwrap(), (1, 2), "foreign files are ignored");
+        // Corrupt a campaign artifact: check must now fail.
+        fs::write(&paths[0], "{not json").unwrap();
+        assert!(check_outputs(&dir).is_err());
+        fs::remove_dir_all(&dir).ok();
+    }
+}

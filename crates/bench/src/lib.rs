@@ -1,10 +1,12 @@
 //! # btt-bench — the reproduction harness
 //!
-//! Shared infrastructure for the `repro` binary (one generator per paper
-//! figure/table, see DESIGN.md §4) and the criterion benchmarks.
+//! Shared infrastructure for the two binaries — `repro` (one generator per
+//! paper figure/table, see DESIGN.md §4) and `btt` (structured scenario
+//! sweeps, see [`campaign`]) — and the criterion benchmarks.
 
 #![warn(missing_docs)]
 
+pub mod campaign;
 pub mod ctx;
 pub mod experiments;
 

@@ -121,10 +121,23 @@ impl Dataset {
 
 /// A fully-prepared experiment: topology, hosts, labels, routes, and the
 /// ground-truth logical clustering.
+///
+/// Scenarios come from two sources: the paper's [`Dataset`]s (via
+/// [`Dataset::build`]) and the parameterized synthetic generators (via
+/// [`crate::scenarios::ScenarioSpec`]).
 #[derive(Debug, Clone)]
 pub struct Scenario {
-    /// Which dataset this is.
-    pub dataset: Dataset,
+    /// Stable identifier — the paper's Fig. 13 legend name for datasets
+    /// (e.g. `"B-G-T"`), or the canonical spec string for synthetic
+    /// scenarios (e.g. `"fat-tree:2x2x4:4:1"`). Used in reports and
+    /// (sanitized) campaign output file names.
+    pub id: String,
+    /// The paper dataset this scenario was built from, if any.
+    pub dataset: Option<Dataset>,
+    /// Default number of measurement iterations for sessions over this
+    /// scenario (the paper's per-dataset counts, or a sweep-friendly
+    /// default for synthetic scenarios).
+    pub default_iterations: u32,
     /// The underlying simulated grid.
     pub grid: Grid5000,
     /// Participating hosts; index in this vector = swarm peer index.
@@ -139,11 +152,32 @@ pub struct Scenario {
 
 impl Scenario {
     fn new(dataset: Dataset, grid: Grid5000) -> Self {
+        let mut s = Scenario::custom(dataset.id(), grid, dataset.paper_iterations());
+        s.dataset = Some(dataset);
+        s
+    }
+
+    /// Builds a scenario over an arbitrary [`Grid5000`]-shaped network.
+    ///
+    /// The ground truth defaults to [`logical_clusters`] (one cluster per
+    /// site, with the Bordeaux special case); callers with finer-grained
+    /// structure — e.g. per-rack fat-tree truths — overwrite
+    /// [`Scenario::ground_truth`] after construction.
+    pub fn custom(id: impl Into<String>, grid: Grid5000, default_iterations: u32) -> Self {
         let hosts = grid.all_hosts();
         let ground_truth = logical_clusters(&grid, &hosts);
         let labels = ip_labels(&grid, &hosts);
         let routes = Arc::new(RouteTable::new(grid.topology.clone()));
-        Scenario { dataset, grid, hosts, labels, ground_truth, routes }
+        Scenario {
+            id: id.into(),
+            dataset: None,
+            default_iterations,
+            grid,
+            hosts,
+            labels,
+            ground_truth,
+            routes,
+        }
     }
 
     /// Number of participating hosts.

@@ -13,7 +13,11 @@
 //!
 //! The paper's Grid'5000 datasets are prepackaged in [`dataset`] (B, B-T,
 //! G-T, B-G-T, B-G-T-L plus the 2×2 warm-up), with physical-topology-derived
-//! ground truths per §IV-A.
+//! ground truths per §IV-A. Beyond the paper, [`scenarios`] parses textual
+//! specs for parameterized synthetic topologies (fat-tree / star-of-stars /
+//! heterogeneous WAN), and [`serialize`] gives reports dependency-free
+//! JSON/CSV output with round-trip-tested readers — the foundation of the
+//! `btt` campaign CLI in `btt-bench`.
 //!
 //! ```no_run
 //! use btt_core::prelude::*;
@@ -32,6 +36,8 @@ pub mod dataset;
 pub mod diagnosis;
 pub mod pipeline;
 pub mod report;
+pub mod scenarios;
+pub mod serialize;
 pub mod session;
 
 /// Commonly used items, including re-exports of the phase crates' preludes.
@@ -46,6 +52,8 @@ pub mod prelude {
         TomographyReport,
     };
     pub use crate::report::{cluster_listing, convergence_table, summary_line};
+    pub use crate::scenarios::ScenarioSpec;
+    pub use crate::serialize::{convergence_csv, ReportRecord};
     pub use crate::session::TomographySession;
     pub use btt_cluster::prelude::*;
     pub use btt_swarm::prelude::*;

@@ -32,6 +32,26 @@ pub enum ClusteringAlgorithm {
 }
 
 impl ClusteringAlgorithm {
+    /// All algorithms, in a stable sweep order.
+    pub const ALL: [ClusteringAlgorithm; 4] = [
+        ClusteringAlgorithm::Louvain,
+        ClusteringAlgorithm::Infomap,
+        ClusteringAlgorithm::LabelPropagation,
+        ClusteringAlgorithm::HierarchicalLouvain,
+    ];
+
+    /// Parses the name produced by [`ClusteringAlgorithm::name`]
+    /// (case-insensitive); `"lp"` and `"hlouvain"` are accepted shorthands.
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name.to_ascii_lowercase().as_str() {
+            "louvain" => Some(ClusteringAlgorithm::Louvain),
+            "infomap" => Some(ClusteringAlgorithm::Infomap),
+            "label-propagation" | "lp" => Some(ClusteringAlgorithm::LabelPropagation),
+            "hierarchical-louvain" | "hlouvain" => Some(ClusteringAlgorithm::HierarchicalLouvain),
+            _ => None,
+        }
+    }
+
     /// Human-readable name.
     pub fn name(self) -> &'static str {
         match self {
@@ -78,8 +98,13 @@ pub struct ConvergencePoint {
 /// Full output of a tomography run on one scenario.
 #[derive(Debug, Clone)]
 pub struct TomographyReport {
-    /// Dataset id (paper legend name).
-    pub dataset_id: String,
+    /// Scenario id (the paper legend name for datasets, or the canonical
+    /// parameter string for synthetic scenarios).
+    pub scenario_id: String,
+    /// The phase-2 algorithm that produced [`TomographyReport::final_partition`].
+    pub algorithm: ClusteringAlgorithm,
+    /// The master seed the run derived all randomness from.
+    pub seed: u64,
     /// The raw measurement campaign.
     pub campaign: Campaign,
     /// Quality after each iteration count `1..=n` (Fig. 13 series).
@@ -155,7 +180,9 @@ pub fn analyze(
     let g = metric_graph(&campaign.metric);
     let final_partition = algorithm.cluster(&g, splitmix64(seed ^ 0xFFFF_FFFF));
     TomographyReport {
-        dataset_id: scenario.dataset.id().to_string(),
+        scenario_id: scenario.id.clone(),
+        algorithm,
+        seed,
         campaign,
         convergence,
         final_partition,
@@ -214,7 +241,9 @@ mod tests {
     #[test]
     fn converged_at_requires_stability() {
         let mk = |onmis: &[f64]| TomographyReport {
-            dataset_id: "t".into(),
+            scenario_id: "t".into(),
+            algorithm: ClusteringAlgorithm::Louvain,
+            seed: 0,
             campaign: fake_campaign(4, 1, &[(0, 1)]),
             convergence: onmis
                 .iter()

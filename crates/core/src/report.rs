@@ -8,7 +8,7 @@ use std::fmt::Write;
 /// per iteration count.
 pub fn convergence_table(report: &TomographyReport) -> String {
     let mut out = String::new();
-    writeln!(out, "dataset {}: NMI vs measurement iterations", report.dataset_id).unwrap();
+    writeln!(out, "dataset {}: NMI vs measurement iterations", report.scenario_id).unwrap();
     writeln!(out, "{:>5}  {:>8}  {:>8}  {:>8}  {:>10}", "iters", "oNMI", "NMI", "clusters", "modularity")
         .unwrap();
     for p in &report.convergence {
@@ -53,7 +53,7 @@ pub fn cluster_listing(report: &TomographyReport, labels: &[String]) -> String {
 pub fn summary_line(report: &TomographyReport) -> String {
     format!(
         "{:8} hosts={:<3} iters={:<3} clusters={}/{} oNMI={:.3} converged@{} meas={:.1}s-sim",
-        report.dataset_id,
+        report.scenario_id,
         report.ground_truth.len(),
         report.convergence.len(),
         report.final_partition.num_clusters(),

@@ -39,7 +39,7 @@ impl TomographySession {
 
     /// A session over a custom scenario.
     pub fn over(scenario: Scenario) -> Self {
-        let iterations = scenario.dataset.paper_iterations();
+        let iterations = scenario.default_iterations;
         TomographySession {
             scenario,
             cfg: SwarmConfig::paper(),
@@ -96,15 +96,32 @@ impl TomographySession {
 
     /// Runs both phases and produces the report.
     pub fn run(&self) -> TomographyReport {
-        let campaign = run_campaign(
+        self.analyze_with(self.measure(), self.algorithm)
+    }
+
+    /// Runs phase 1 only: the broadcast measurement campaign. The campaign
+    /// depends on everything in the session *except* the clustering
+    /// algorithm, so sweeps over several algorithms can measure once and
+    /// [`TomographySession::analyze_with`] each.
+    pub fn measure(&self) -> btt_swarm::broadcast::Campaign {
+        run_campaign(
             &self.scenario.routes,
             &self.scenario.hosts,
             &self.cfg,
             self.iterations,
             self.root_policy,
             self.seed,
-        );
-        analyze(&self.scenario, campaign, self.algorithm, self.seed)
+        )
+    }
+
+    /// Runs phase 2 on a previously-measured campaign with the given
+    /// algorithm. `run()` is exactly `analyze_with(measure(), algorithm)`.
+    pub fn analyze_with(
+        &self,
+        campaign: btt_swarm::broadcast::Campaign,
+        algorithm: ClusteringAlgorithm,
+    ) -> TomographyReport {
+        analyze(&self.scenario, campaign, algorithm, self.seed)
     }
 }
 
@@ -119,7 +136,7 @@ mod tests {
             .pieces(64)
             .seed(42)
             .run();
-        assert_eq!(report.dataset_id, "2x2");
+        assert_eq!(report.scenario_id, "2x2");
         assert_eq!(report.convergence.len(), 3);
         assert_eq!(report.campaign.runs.len(), 3);
         for run in &report.campaign.runs {

@@ -1,0 +1,90 @@
+//! Golden-file tests pinning the exact bytes of the structured output
+//! formats. If these fail, the output format changed: bump
+//! [`btt_core::serialize::REPORT_SCHEMA`] and regenerate the goldens
+//! (`BTT_REGEN_GOLDEN=1 cargo test -p btt-core --test serialize_golden`)
+//! only when the change is intentional — campaign artifacts are diffed
+//! across PRs and silent format drift would corrupt those comparisons.
+
+use btt_cluster::partition::Partition;
+use btt_core::pipeline::ConvergencePoint;
+use btt_core::serialize::{convergence_csv, csv, json, ReportRecord};
+
+/// A fully hand-constructed record exercising the tricky cases: a u64 seed
+/// above 2^53, negative modularity, integral floats, a never-converged run
+/// (`converged_at: null`), and a scenario id with CSV/JSON-special
+/// characters.
+fn golden_record() -> ReportRecord {
+    ReportRecord {
+        scenario_id: "golden, \"v1\"".to_string(),
+        algorithm: "louvain".to_string(),
+        seed: u64::MAX,
+        hosts: 4,
+        pieces: 128,
+        convergence: vec![
+            ConvergencePoint {
+                iterations: 1,
+                onmi: 0.5,
+                nmi: 0.25,
+                clusters: 3,
+                modularity: -0.125,
+            },
+            ConvergencePoint {
+                iterations: 2,
+                onmi: 1.0,
+                nmi: 1.0,
+                clusters: 2,
+                modularity: 1.0 / 3.0,
+            },
+        ],
+        final_partition: Partition::from_assignments(&[0, 0, 1, 1]),
+        ground_truth: Partition::from_assignments(&[0, 0, 1, 1]),
+        run_makespans: vec![1.5, 2.25],
+        converged_at: None,
+    }
+}
+
+fn check_golden(name: &str, actual: &str) {
+    let path = format!("{}/tests/golden/{name}", env!("CARGO_MANIFEST_DIR"));
+    if std::env::var_os("BTT_REGEN_GOLDEN").is_some() {
+        std::fs::write(&path, actual).expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden {path}: {e} (regen with BTT_REGEN_GOLDEN=1)"));
+    assert_eq!(actual, expected, "{name} drifted from its golden copy");
+}
+
+#[test]
+fn report_json_matches_golden() {
+    check_golden("report.json", &golden_record().to_json().render_pretty());
+}
+
+#[test]
+fn report_json_compact_matches_golden() {
+    let mut compact = golden_record().to_json().render();
+    compact.push('\n');
+    check_golden("report.compact.json", &compact);
+}
+
+#[test]
+fn convergence_csv_matches_golden() {
+    check_golden("convergence.csv", &convergence_csv(&golden_record()));
+}
+
+#[test]
+fn goldens_parse_back_to_the_record() {
+    if std::env::var_os("BTT_REGEN_GOLDEN").is_some() {
+        return; // the other tests are still writing the files
+    }
+    // The goldens are not just frozen bytes — they must stay readable.
+    let record = golden_record();
+    for name in ["report.json", "report.compact.json"] {
+        let path = format!("{}/tests/golden/{name}", env!("CARGO_MANIFEST_DIR"));
+        let text = std::fs::read_to_string(&path).expect("golden exists");
+        let back = ReportRecord::from_json(&json::parse(&text).expect("golden parses")).unwrap();
+        assert_eq!(back, record, "{name}");
+    }
+    let path = format!("{}/tests/golden/convergence.csv", env!("CARGO_MANIFEST_DIR"));
+    let rows = csv::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+    assert_eq!(rows.len(), 1 + record.convergence.len());
+}

@@ -1,0 +1,137 @@
+//! Property tests for the hand-rolled JSON/CSV serializer: everything the
+//! writer can produce, the reader must take back unchanged.
+
+use btt_cluster::partition::Partition;
+use btt_core::pipeline::ConvergencePoint;
+use btt_core::serialize::{convergence_csv, csv, json, ReportRecord};
+use json::Json;
+use proptest::prelude::*;
+
+/// Deterministically grows an arbitrary JSON value from a seed, recursing
+/// with a depth bound. (The proptest stand-in has no recursive-strategy
+/// combinator, so the recursion lives in plain code.)
+fn gen_json(seed: u64, depth: u32) -> Json {
+    // splitmix64 step for child seeds.
+    fn mix(s: u64) -> u64 {
+        let mut z = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+    let pick = if depth == 0 { seed % 6 } else { seed % 8 };
+    match pick {
+        0 => Json::Null,
+        1 => Json::Bool(seed & 8 != 0),
+        2 => Json::UInt(mix(seed)),
+        // Strictly negative so the token re-parses as Int (non-negative
+        // integers always classify as UInt).
+        3 => Json::Int(-((mix(seed) >> 1).max(1) as i64)),
+        4 => {
+            // A finite float spanning magnitudes, including integral values
+            // (which exercise the forced ".0" rendering).
+            let raw = mix(seed);
+            let x = (raw as f64 / u64::MAX as f64 - 0.5) * 1e9;
+            Json::Float(if raw & 4 == 0 { x.trunc() } else { x })
+        }
+        5 => Json::Str(gen_string(mix(seed))),
+        6 => Json::Array(
+            (0..(seed % 4)).map(|i| gen_json(mix(seed ^ i), depth - 1)).collect(),
+        ),
+        _ => Json::Object(
+            (0..(seed % 4))
+                .map(|i| (format!("k{i}-{}", gen_string(mix(seed ^ (i << 8)))), gen_json(mix(seed ^ i ^ 0xF00D), depth - 1)))
+                .collect(),
+        ),
+    }
+}
+
+/// Strings biased towards serializer-hostile content.
+fn gen_string(seed: u64) -> String {
+    const PIECES: [&str; 12] = [
+        "plain", "with space", "comma,comma", "\"quoted\"", "back\\slash", "new\nline",
+        "tab\there", "\r", "unicode é😀", "\u{1}control", "trailing ", "",
+    ];
+    let mut out = String::new();
+    let mut s = seed;
+    for _ in 0..(seed % 4) {
+        out.push_str(PIECES[(s % PIECES.len() as u64) as usize]);
+        s = s.rotate_left(13) ^ 0xABCD;
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(160))]
+
+    /// parse ∘ render = identity on the JSON value model, compact and
+    /// pretty.
+    #[test]
+    fn json_round_trips(seed in any::<u64>()) {
+        let v = gen_json(seed, 3);
+        let compact = v.render();
+        prop_assert_eq!(json::parse(&compact).expect("compact parses"), v.clone());
+        let pretty = v.render_pretty();
+        prop_assert_eq!(json::parse(&pretty).expect("pretty parses"), v);
+    }
+
+    /// CSV writer output parses back to the exact same fields.
+    #[test]
+    fn csv_round_trips(seed in any::<u64>(), rows in 1usize..6, cols in 1usize..5) {
+        let mut s = seed;
+        let mut next = || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s
+        };
+        let header: Vec<String> = (0..cols).map(|c| format!("col{c}")).collect();
+        let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+        let mut table = csv::Table::new(&header_refs);
+        let mut expected = vec![header.clone()];
+        for _ in 0..rows {
+            let row: Vec<String> = (0..cols).map(|_| gen_string(next())).collect();
+            table.row(&row);
+            expected.push(row);
+        }
+        let text = table.finish();
+        prop_assert_eq!(csv::parse(&text).expect("csv parses"), expected);
+    }
+
+    /// ReportRecord → JSON text → ReportRecord is lossless for arbitrary
+    /// records, including u64 seeds and canonical partitions.
+    #[test]
+    fn report_record_round_trips(
+        seed in any::<u64>(),
+        hosts in 2usize..12,
+        points in 1usize..6,
+        assign in proptest::collection::vec(0u32..4, 12),
+    ) {
+        let onmi = |i: usize| ((seed >> (i % 48)) & 1023) as f64 / 1023.0;
+        let record = ReportRecord {
+            scenario_id: gen_string(seed),
+            algorithm: "louvain".to_string(),
+            seed,
+            hosts,
+            pieces: (seed % 10_000) as u32 + 1,
+            convergence: (0..points)
+                .map(|i| ConvergencePoint {
+                    iterations: i as u32 + 1,
+                    onmi: onmi(i),
+                    nmi: onmi(i + 7),
+                    clusters: (i % 5) + 1,
+                    modularity: onmi(i + 3) - 0.5,
+                })
+                .collect(),
+            final_partition: Partition::from_assignments(&assign[..hosts]),
+            ground_truth: Partition::from_assignments(&assign[12 - hosts..]),
+            run_makespans: (0..points).map(|i| onmi(i) * 40.0).collect(),
+            converged_at: if seed & 1 == 0 { None } else { Some((seed % 30) as u32) },
+        };
+        let text = record.to_json().render_pretty();
+        let back = ReportRecord::from_json(&json::parse(&text).expect("record json parses"))
+            .expect("record fields read back");
+        prop_assert_eq!(back, record.clone());
+
+        // The convergence CSV stays rectangular and parseable for any record.
+        let rows = csv::parse(&convergence_csv(&record)).expect("convergence csv parses");
+        prop_assert_eq!(rows.len(), record.convergence.len() + 1);
+    }
+}

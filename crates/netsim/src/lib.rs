@@ -8,6 +8,8 @@
 //!   faithful builders for the paper's Bordeaux site (Fig. 7) and the
 //!   Renater-connected multi-site grid (Fig. 6) in [`grid5000`];
 //! * [`routing`] — deterministic BFS shortest-path routes as channel lists;
+//! * [`synthetic`] — parameterized fat-tree / star-of-stars / heterogeneous
+//!   WAN generators for scenario sweeps beyond the paper's datasets;
 //! * [`fairness`] — max-min fair bandwidth sharing (progressive filling),
 //!   the same fluid model family as SimGrid, which the paper's related work
 //!   used for exactly this purpose;
@@ -44,6 +46,7 @@ pub mod engine;
 pub mod fairness;
 pub mod grid5000;
 pub mod routing;
+pub mod synthetic;
 pub mod topology;
 pub mod traffic;
 pub mod units;
@@ -54,6 +57,7 @@ pub mod prelude {
     pub use crate::engine::{Completion, FlowId, FlowStats, SimNet};
     pub use crate::grid5000::{Grid5000, Grid5000Builder, SiteHosts};
     pub use crate::routing::RouteTable;
+    pub use crate::synthetic::{FatTree, HeteroWan, StarOfStars, WanSite};
     pub use crate::topology::{ChannelId, LinkId, LinkSpec, NodeId, Topology, TopologyBuilder};
     pub use crate::units::{Bandwidth, Bytes, SimTime, FRAGMENT_BYTES};
 }

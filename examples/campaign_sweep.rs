@@ -1,0 +1,58 @@
+//! Campaign sweep: synthetic topology generators + structured output.
+//!
+//! Runs the paper's method over three generated scenario families — a
+//! fat-tree with oversubscribed rack uplinks, a star-of-stars with starved
+//! arm uplinks, and a heterogeneous WAN — then writes the structured
+//! artifacts the `btt` CLI produces: one JSON record per run plus a
+//! machine-readable convergence CSV.
+//!
+//! ```sh
+//! cargo run --release --example campaign_sweep
+//! ```
+//!
+//! (For the full parallel cross-product driver with a campaign-level
+//! `summary.csv`, use the CLI: `cargo run --release -p btt-bench --bin btt
+//! -- sweep`.)
+
+use bittorrent_tomography::prelude::*;
+use std::fs;
+
+fn main() {
+    let out = std::path::Path::new("out/example-campaign");
+    fs::create_dir_all(out).expect("create output directory");
+
+    // ── 1. Describe scenarios the paper never ran, textually. Each spec
+    //       names a topology family and its bottleneck severity; `id()` is
+    //       the canonical, re-parseable form.
+    let specs = ["fat-tree:2x2x4:8:1", "star:3x6:0.1:6", "wan:3x4:0.2"];
+
+    for text in specs {
+        let spec = ScenarioSpec::parse(text).expect("spec parses");
+        let scenario = spec.build();
+        println!(
+            "{}: {} hosts, ground truth {} clusters",
+            spec.id(),
+            scenario.num_hosts(),
+            scenario.ground_truth.num_clusters()
+        );
+
+        // ── 2. Measure and analyze, exactly like a dataset session.
+        let report = TomographySession::over(scenario)
+            .iterations(8)
+            .pieces(512)
+            .seed(2012)
+            .run();
+        println!("{}", convergence_table(&report));
+
+        // ── 3. Project into the structured record and write JSON + CSV.
+        //       Same-seed reruns are byte-identical, so these artifacts can
+        //       be diffed across code versions.
+        let record = ReportRecord::new(&report, 512);
+        let stem = spec.id().replace(':', "-");
+        let json_path = out.join(format!("{stem}.json"));
+        fs::write(&json_path, record.to_json().render_pretty()).expect("write json");
+        let csv_path = out.join(format!("{stem}.convergence.csv"));
+        fs::write(&csv_path, convergence_csv(&record)).expect("write csv");
+        println!("  -> wrote {} and {}\n", json_path.display(), csv_path.display());
+    }
+}
