@@ -14,6 +14,8 @@
 //!   --paper-iterations       use each scenario's default iteration count
 //!   --pieces <N>             file size in 16 KiB fragments (default: 512)
 //!   --quick                  shrink to 3 iterations × 128 fragments
+//!   --bench                  also run the standardized engine benchmark and
+//!                            write BENCH_engine.json (perf trajectory)
 //!   --out <DIR>              artifact directory (default: out/campaign)
 //! ```
 //!
@@ -21,7 +23,7 @@
 //! artifacts, so CI can smoke-run the binary directly.
 
 use btt_bench::campaign::{
-    check_outputs, run_sweep, summary_table, write_outputs, SweepSpec,
+    check_outputs, run_sweep, summary_table, write_engine_bench, write_outputs, SweepSpec,
 };
 use btt_core::pipeline::ClusteringAlgorithm;
 use btt_core::scenarios::ScenarioSpec;
@@ -31,7 +33,7 @@ use std::process::ExitCode;
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  btt sweep [--scenarios S,S] [--algorithms A,A] [--seeds N,N] \
-         [--iterations N | --paper-iterations] [--pieces N] [--quick] [--out DIR]\n  \
+         [--iterations N | --paper-iterations] [--pieces N] [--quick] [--bench] [--out DIR]\n  \
          btt list\n  btt check <DIR>\n\nrun `btt list` for scenario syntax"
     );
     ExitCode::from(2)
@@ -54,8 +56,14 @@ fn list() -> ExitCode {
     println!("      e.g. fat-tree:2x2x4:8:1  (rack uplinks 8x oversubscribed)");
     println!("  star:<arms>x<hosts>[:<uplink_ratio>[:<hub_hosts>]]");
     println!("      e.g. star:3x4:0.1:4     (arm uplinks at 10% of demand)");
-    println!("  wan:<sites>x<hosts>[:<bottleneck_ratio>]");
+    println!("  wan:<sites>x<hosts>[:<bottleneck_ratio>[:<access_mbps>]]");
     println!("      e.g. wan:3x8:0.5        (WAN segments at 50% of site demand)");
+    println!("      e.g. wan:16x64:0.5:20   (1024 consumer-edge hosts at 20 Mb/s)");
+    println!();
+    println!("scale presets (shorthands for the standard large scenarios):");
+    for (name, spec) in btt_core::scenarios::SCALE_PRESETS {
+        println!("  {name:12} = {spec}");
+    }
     println!();
     println!("algorithms (comma-separate for --algorithms):");
     for a in ClusteringAlgorithm::ALL {
@@ -81,6 +89,7 @@ fn check(args: &[String]) -> ExitCode {
 fn sweep(args: &[String]) -> ExitCode {
     let mut spec = SweepSpec::default_smoke();
     let mut out = PathBuf::from("out/campaign");
+    let mut bench = false;
     let mut i = 0;
     while i < args.len() {
         let flag = args[i].as_str();
@@ -145,6 +154,7 @@ fn sweep(args: &[String]) -> ExitCode {
                 spec.iterations = Some(3);
                 spec.pieces = 128;
             }
+            "--bench" => bench = true,
             "--out" => {
                 let Some(v) = value() else { return usage() };
                 out = PathBuf::from(v);
@@ -184,11 +194,22 @@ fn sweep(args: &[String]) -> ExitCode {
         Ok(paths) => {
             println!("\nwrote {} artifact(s) to {}/", paths.len(), out.display());
             println!("  summary: {}", paths.last().expect("summary path").display());
-            ExitCode::SUCCESS
         }
         Err(e) => {
             eprintln!("btt: writing artifacts failed: {e}");
-            ExitCode::FAILURE
+            return ExitCode::FAILURE;
         }
     }
+    if bench {
+        println!("\nengine benchmark ({} broadcasts)...", btt_bench::campaign::ENGINE_BENCH_SUITE.len());
+        let wall = std::time::Instant::now();
+        match write_engine_bench(&out) {
+            Ok(path) => println!("  -> {} in {:.1?}", path.display(), wall.elapsed()),
+            Err(e) => {
+                eprintln!("btt: engine benchmark failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
 }

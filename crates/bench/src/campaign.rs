@@ -201,6 +201,197 @@ pub fn run_sweep(spec: &SweepSpec) -> Vec<ReportRecord> {
     records.into_iter().map(|r| r.expect("every run analyzed")).collect()
 }
 
+/// One scenario×size point of the standardized engine benchmark suite.
+#[derive(Debug, Clone)]
+pub struct EngineBenchPoint {
+    /// Scenario spec string (preset names allowed).
+    pub scenario: &'static str,
+    /// File size in 16 KiB fragments.
+    pub pieces: u32,
+    /// Fairness re-solve quantum override for the run (`None` = default).
+    pub rate_refresh: Option<f64>,
+    /// Wall-clock of the same broadcast on the pre-refactor fixed-step
+    /// engine (milliseconds), measured once at the event-engine PR on its
+    /// reference machine. `None` where no baseline was recorded. Absolute
+    /// values are machine-dependent; the recorded speedups are the
+    /// comparable quantity.
+    pub baseline_pre_refactor_ms: Option<f64>,
+}
+
+/// The standardized engine benchmark: one instrumented broadcast per point,
+/// all at seed 2012 with default protocol constants. The slow consumer-edge
+/// points are where the event calendar beats fixed stepping hardest (the
+/// old engine paid per 50 ms step *and* polled idle pairs every step); the
+/// fat-tree points pin that datacenter-speed swarms stay at parity.
+///
+/// `edge-2k` runs with a 0.5 s re-solve quantum: at a ~40 s makespan that
+/// staleness is around 1 %, and it is the documented fidelity/speed dial
+/// for 1000+ host simulations.
+pub const ENGINE_BENCH_SUITE: &[EngineBenchPoint] = &[
+    EngineBenchPoint {
+        scenario: "fat-tree-512",
+        pieces: 512,
+        rate_refresh: None,
+        baseline_pre_refactor_ms: Some(379.1),
+    },
+    EngineBenchPoint {
+        scenario: "fat-tree-1k",
+        pieces: 256,
+        rate_refresh: None,
+        baseline_pre_refactor_ms: Some(428.0),
+    },
+    EngineBenchPoint {
+        scenario: "wan-512",
+        pieces: 512,
+        rate_refresh: None,
+        baseline_pre_refactor_ms: Some(376.8),
+    },
+    EngineBenchPoint {
+        scenario: "edge-512",
+        pieces: 256,
+        rate_refresh: None,
+        baseline_pre_refactor_ms: Some(413.4),
+    },
+    EngineBenchPoint {
+        scenario: "edge-1k",
+        pieces: 256,
+        rate_refresh: None,
+        baseline_pre_refactor_ms: Some(1540.0),
+    },
+    EngineBenchPoint {
+        scenario: "edge-2k",
+        pieces: 64,
+        rate_refresh: Some(0.5),
+        baseline_pre_refactor_ms: Some(6600.0),
+    },
+];
+
+/// Master seed shared by every engine-bench broadcast.
+pub const ENGINE_BENCH_SEED: u64 = 2012;
+
+/// Builds and times one engine-bench broadcast (the single shared
+/// implementation behind `BENCH_engine.json`, the `scale` experiment, and
+/// any future consumer — so every surface measures the same configuration).
+/// Returns `(outcome, wall_ms, hosts)`.
+pub fn run_bench_broadcast(
+    point: &EngineBenchPoint,
+    pieces: u32,
+) -> (btt_swarm::swarm::RunOutcome, f64, usize) {
+    use btt_netsim::routing::RouteTable;
+    use btt_swarm::broadcast::run_broadcast;
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    let spec = ScenarioSpec::parse(point.scenario).expect("suite scenarios parse");
+    let scenario = spec.build();
+    let hosts = scenario.hosts.clone();
+    let routes = Arc::new(RouteTable::new(scenario.grid.topology.clone()));
+    let cfg = SwarmConfig {
+        num_pieces: pieces,
+        rate_refresh: point.rate_refresh,
+        ..SwarmConfig::default()
+    };
+    let wall = Instant::now();
+    let out = run_broadcast(&routes, &hosts, 0, &cfg, ENGINE_BENCH_SEED);
+    let wall_ms = wall.elapsed().as_secs_f64() * 1e3;
+    (out, wall_ms, hosts.len())
+}
+
+/// Runs one point of the engine benchmark, returning the record as a JSON
+/// object (timings in milliseconds).
+fn run_engine_bench_point(point: &EngineBenchPoint) -> json::Json {
+    let spec = ScenarioSpec::parse(point.scenario).expect("suite scenarios parse");
+    let (out, wall_ms, hosts) = run_bench_broadcast(point, point.pieces);
+
+    let (baseline, speedup) = match point.baseline_pre_refactor_ms {
+        Some(b) => (json::Json::Float(b), json::Json::Float(b / wall_ms)),
+        None => (json::Json::Null, json::Json::Null),
+    };
+    json::Json::obj(vec![
+        ("scenario", json::Json::Str(point.scenario.to_string())),
+        ("scenario_id", json::Json::Str(spec.id())),
+        ("hosts", json::Json::UInt(hosts as u64)),
+        ("pieces", json::Json::UInt(point.pieces as u64)),
+        ("seed", json::Json::UInt(ENGINE_BENCH_SEED)),
+        (
+            "rate_refresh_s",
+            match point.rate_refresh {
+                Some(q) => json::Json::Float(q),
+                None => json::Json::Null,
+            },
+        ),
+        ("wall_ms", json::Json::Float(wall_ms)),
+        ("makespan_sim_s", json::Json::Float(out.makespan)),
+        ("fragments", json::Json::UInt(out.fragments.total())),
+        ("events", json::Json::UInt(out.sim_steps as u64)),
+        ("finished", json::Json::Bool(out.finished)),
+        ("baseline_pre_refactor_ms", baseline),
+        ("speedup_vs_pre_refactor", speedup),
+    ])
+}
+
+/// Runs the full engine benchmark suite and renders the `BENCH_engine.json`
+/// document (schema `btt-engine-bench-v1`).
+///
+/// Wall-clock numbers are machine-dependent; the file exists so every PR
+/// from the event-engine refactor onward leaves a machine-readable point on
+/// the perf trajectory, and so the recorded pre-refactor baselines keep the
+/// refactor's speedup auditable.
+pub fn engine_bench_json() -> json::Json {
+    json::Json::obj(vec![
+        ("schema", json::Json::Str("btt-engine-bench-v1".to_string())),
+        ("seed", json::Json::UInt(ENGINE_BENCH_SEED)),
+        (
+            "note",
+            json::Json::Str(
+                "single instrumented broadcast per point, default protocol constants; \
+                 baselines measured once on the pre-refactor fixed-step engine"
+                    .to_string(),
+            ),
+        ),
+        (
+            "runs",
+            json::Json::Array(ENGINE_BENCH_SUITE.iter().map(run_engine_bench_point).collect()),
+        ),
+    ])
+}
+
+/// Name of the engine benchmark artifact.
+pub const BENCH_FILE: &str = "BENCH_engine.json";
+
+/// Runs the engine benchmark and writes `BENCH_engine.json` under `out`.
+pub fn write_engine_bench(out: &Path) -> io::Result<PathBuf> {
+    fs::create_dir_all(out)?;
+    let path = out.join(BENCH_FILE);
+    fs::write(&path, engine_bench_json().render_pretty())?;
+    Ok(path)
+}
+
+/// Validates a `BENCH_engine.json` document: schema marker plus a non-empty
+/// `runs` array whose entries carry the trajectory keys.
+pub fn check_engine_bench(text: &str) -> Result<usize, String> {
+    let doc = json::parse(text).map_err(|e| e.to_string())?;
+    let schema = doc.get("schema").and_then(json::Json::as_str);
+    if schema != Some("btt-engine-bench-v1") {
+        return Err(format!("unexpected schema {schema:?}"));
+    }
+    let runs = doc
+        .get("runs")
+        .and_then(json::Json::as_array)
+        .ok_or("missing runs array")?;
+    if runs.is_empty() {
+        return Err("empty runs array".into());
+    }
+    for (i, run) in runs.iter().enumerate() {
+        for key in ["scenario", "hosts", "pieces", "seed", "wall_ms", "makespan_sim_s"] {
+            if run.get(key).is_none() {
+                return Err(format!("run {i} missing key {key:?}"));
+            }
+        }
+    }
+    Ok(runs.len())
+}
+
 /// Header of `summary.csv`, in column order.
 pub const SUMMARY_COLUMNS: [&str; 13] = [
     "scenario",
@@ -329,6 +520,15 @@ pub fn check_outputs(dir: &Path) -> Result<(usize, usize), String> {
             }
             _ => {}
         }
+    }
+    // The engine benchmark rides along when present (written by
+    // `btt sweep --bench`): validate its schema and trajectory keys too.
+    let bench_path = dir.join(BENCH_FILE);
+    if bench_path.exists() {
+        let text = fs::read_to_string(&bench_path)
+            .map_err(|e| format!("read {}: {e}", bench_path.display()))?;
+        check_engine_bench(&text).map_err(|e| format!("{}: {e}", bench_path.display()))?;
+        jsons += 1;
     }
     if jsons == 0 && csvs == 0 {
         return Err(format!("{}: no .json or .csv artifacts found", dir.display()));

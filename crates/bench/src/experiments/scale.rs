@@ -1,0 +1,83 @@
+//! The `scale` experiment: instrumented broadcasts at 512–2048 hosts on the
+//! standard scale presets, reporting simulated makespan, protocol events,
+//! and wall-clock — the human-readable face of `BENCH_engine.json`.
+//!
+//! The presets span the two regimes that matter for the event-driven
+//! engine: datacenter-speed fat-trees (per-fragment protocol work
+//! dominates; the event calendar must stay at parity with fixed stepping)
+//! and slow consumer-edge WANs (fixed stepping pays per 50 ms of simulated
+//! time and polls idle pairs every step; completion-driven advancement
+//! skips all of it).
+
+use crate::campaign::{
+    run_bench_broadcast, EngineBenchPoint, ENGINE_BENCH_SEED, ENGINE_BENCH_SUITE,
+};
+use crate::ctx::text_table;
+use crate::ReproCtx;
+
+/// Runs the scale suite, printing the table and writing `scale.csv`.
+pub fn scale(ctx: &mut ReproCtx) {
+    let mut rows = vec![vec![
+        "scenario".into(),
+        "hosts".into(),
+        "pieces".into(),
+        "makespan (s sim)".into(),
+        "events".into(),
+        "fragments".into(),
+        "wall (ms)".into(),
+        "vs pre-refactor".into(),
+    ]];
+    let mut csv_rows = Vec::new();
+    for point in ENGINE_BENCH_SUITE {
+        let (row, csv) = run_point(point, ctx);
+        rows.push(row);
+        csv_rows.push(csv);
+    }
+    println!("{}", text_table(&rows));
+    println!(
+        "(pre-refactor baselines are wall-clock of the fixed-step engine on the \
+         reference machine at the event-engine PR; seed {ENGINE_BENCH_SEED})"
+    );
+    ctx.write_csv(
+        "scale.csv",
+        "scenario,hosts,pieces,makespan_sim_s,events,fragments,wall_ms,baseline_pre_refactor_ms",
+        &csv_rows,
+    );
+}
+
+fn run_point(point: &EngineBenchPoint, ctx: &ReproCtx) -> (Vec<String>, String) {
+    // Quick mode shrinks files, not host counts — scale is the point here.
+    let pieces = match ctx.pieces {
+        Some(p) => p.min(point.pieces),
+        None => point.pieces,
+    };
+    let (out, wall_ms, hosts) = run_bench_broadcast(point, pieces);
+    assert!(out.finished, "scale broadcast must complete ({})", point.scenario);
+    let speedup = match point.baseline_pre_refactor_ms {
+        // The baseline matches the suite's full piece count only.
+        Some(b) if pieces == point.pieces => format!("{:.1}x", b / wall_ms),
+        _ => "-".into(),
+    };
+    let row = vec![
+        point.scenario.to_string(),
+        hosts.to_string(),
+        pieces.to_string(),
+        format!("{:.2}", out.makespan),
+        out.sim_steps.to_string(),
+        out.fragments.total().to_string(),
+        format!("{wall_ms:.0}"),
+        speedup,
+    ];
+    let csv = format!(
+        "{},{},{},{:.3},{},{},{:.1},{}",
+        point.scenario,
+        hosts,
+        pieces,
+        out.makespan,
+        out.sim_steps,
+        out.fragments.total(),
+        wall_ms,
+        point.baseline_pre_refactor_ms.map_or(String::new(), |b| format!("{b:.1}")),
+    );
+    (row, csv)
+}

@@ -1,6 +1,5 @@
-//! The simulation engine: flows over a routed topology with max-min fair
-//! rate sharing, advanced in time either by fixed steps or to the next
-//! bounded-flow completion.
+//! The event-driven simulation engine: flows over a routed topology with
+//! incremental max-min fair rate sharing, advanced by an event calendar.
 //!
 //! Two kinds of flow coexist:
 //!
@@ -8,32 +7,69 @@
 //!   probes, individual transfers);
 //! * **streams** are open-ended and deliver bytes for as long as they exist
 //!   (BitTorrent transfers between an unchoked pair). Clients drain delivered
-//!   bytes with [`SimNet::take_delivered`].
+//!   bytes with [`SimNet::take_delivered`] and may schedule a **delivery
+//!   mark** ([`SimNet::set_delivery_mark`]) to be notified the instant a
+//!   stream has delivered a given number of further bytes — the hook the
+//!   swarm layer uses to advance straight to the next fragment completion.
 //!
-//! Rates are recomputed whenever the flow set changes. Within a time step the
-//! engine sub-steps at every bounded-flow completion, so completions are
-//! event-accurate even though clients drive the simulation with coarse steps.
+//! ## How time moves
+//!
+//! Between changes to the flow set, every rate is constant, so each flow's
+//! delivered bytes are a **closed-form linear function of time**: the engine
+//! stores `(accrued, accrue_from, rate)` per flow and never moves bytes
+//! step-by-step. Bounded-flow completions and delivery marks are kept in a
+//! priority queue keyed by their delivered-bytes horizon converted to a
+//! completion time; [`SimNet::advance`] jumps the clock from event to event.
+//! A crucial consequence: the simulation state at any instant is independent
+//! of how callers slice time into `advance` calls — advancing by `10.0` or
+//! by a thousand unequal sub-steps lands bit-identical state.
+//!
+//! ## How rates change
+//!
+//! Flow churn (start/stop/completion) marks the touched channels dirty in an
+//! [`IncrementalMaxMin`] solver; before the clock next moves, the solver
+//! re-solves just the dirty connected component and the engine re-keys the
+//! calendar entries of flows whose rate actually changed. Channel byte
+//! accounting is kept exact the same way: per-channel aggregate rates are
+//! re-summed from the solver after every component re-solve and accrued in
+//! closed form.
 
-use crate::fairness::{max_min_rates, FlowInput};
+use crate::fairness::IncrementalMaxMin;
 use crate::routing::RouteTable;
-use crate::topology::{ChannelId, NodeId, Topology};
+use crate::topology::{NodeId, Topology};
 use crate::units::{Bytes, SimTime};
 use crate::util::FxHashMap;
+use std::cell::RefCell;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
 use std::sync::Arc;
 
 /// Handle to a flow inside a [`SimNet`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct FlowId(u64);
 
-/// Notification that a bounded flow finished delivering all its bytes.
+/// What kind of event a [`Completion`] reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompletionKind {
+    /// A bounded flow delivered its full byte budget and was removed.
+    Finished,
+    /// A stream crossed the delivery mark set via
+    /// [`SimNet::set_delivery_mark`]; the flow keeps running and the mark is
+    /// cleared.
+    Mark,
+}
+
+/// Notification that a bounded flow finished, or a stream hit its mark.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Completion {
-    /// The finished flow.
+    /// The flow the event belongs to.
     pub id: FlowId,
     /// Caller-supplied tag from [`SimNet::start_flow`].
     pub tag: u64,
-    /// Simulated time of completion.
+    /// Simulated time of the event.
     pub at: SimTime,
+    /// Bounded completion or delivery mark.
+    pub kind: CompletionKind,
 }
 
 /// Summary returned when a flow is stopped or completes.
@@ -63,20 +99,246 @@ impl FlowStats {
 struct ActiveFlow {
     src: NodeId,
     dst: NodeId,
-    route: Box<[ChannelId]>,
-    /// Bytes still to deliver for bounded flows; `None` for streams.
-    remaining: Option<Bytes>,
-    /// Bytes delivered but not yet drained via `take_delivered`.
-    unread: Bytes,
-    total: Bytes,
-    /// Current max-min rate (bytes/sec).
+    /// Current max-min rate (bytes/sec); mirrors the solver's value.
     rate: f64,
-    /// Tightest per-flow cap along the route and/or caller-specified.
-    cap: Option<f64>,
-    /// Remaining startup latency before bytes move.
-    delay: SimTime,
+    /// Time linear accrual (re)started: flow start + route latency at first,
+    /// bumped to "now" whenever the rate changes.
+    accrue_from: SimTime,
+    /// Bytes delivered up to `accrue_from`.
+    accrued: Bytes,
+    /// Bytes already drained via [`SimNet::take_delivered`].
+    drained: Bytes,
+    /// Total byte budget for bounded flows; `None` for streams.
+    budget: Option<Bytes>,
+    /// Absolute delivered-bytes threshold of the pending mark, if any.
+    mark: Option<Bytes>,
+    /// Calendar generation: entries carrying an older generation are stale.
+    gen: u64,
+    /// Whether a live calendar entry exists for this flow. Lets small rate
+    /// changes keep their slightly-stale entry (see the undershoot guard in
+    /// `advance_until`) instead of re-keying the heap on every re-solve.
+    scheduled: bool,
+    /// The rate the live calendar entry was keyed under: the material-change
+    /// test compares against this (not the previous re-solve's rate), so
+    /// many successive sub-threshold changes cannot accumulate unbounded
+    /// event-time error.
+    keyed_rate: f64,
     started_at: SimTime,
     tag: u64,
+}
+
+impl ActiveFlow {
+    /// Bytes delivered by simulated time `t` (closed form, no mutation).
+    fn delivered_at(&self, t: SimTime) -> Bytes {
+        if t <= self.accrue_from {
+            return self.accrued;
+        }
+        if self.rate.is_infinite() {
+            // Infinitely fast path (loopback): bounded flows deliver their
+            // whole budget the moment latency elapses; streams deliver what
+            // has been accrued (nothing moves without a finite rate).
+            return self.budget.unwrap_or(self.accrued);
+        }
+        let d = self.accrued + self.rate * (t - self.accrue_from);
+        match self.budget {
+            Some(b) => d.min(b),
+            None => d,
+        }
+    }
+
+    /// The next delivered-bytes horizon that should fire an event.
+    fn horizon(&self) -> Option<(Bytes, CompletionKind)> {
+        match (self.budget, self.mark) {
+            (Some(b), Some(m)) if m < b => Some((m, CompletionKind::Mark)),
+            (Some(b), _) => Some((b, CompletionKind::Finished)),
+            (None, Some(m)) => Some((m, CompletionKind::Mark)),
+            (None, None) => None,
+        }
+    }
+
+    /// Event time for the current horizon under the current rate.
+    fn eta(&self, now: SimTime) -> Option<SimTime> {
+        let (h, _) = self.horizon()?;
+        if self.rate.is_infinite() {
+            // Bounded flows deliver their whole budget once latency elapses;
+            // streams deliver nothing at infinite rate (`delivered_at`), so
+            // an unmet mark on one can never fire — scheduling it would
+            // livelock the undershoot guard.
+            return if self.budget.is_some() || h <= self.accrued {
+                Some(self.accrue_from.max(now))
+            } else {
+                None
+            };
+        }
+        if self.rate <= 0.0 {
+            return if h <= self.accrued { Some(self.accrue_from.max(now)) } else { None };
+        }
+        let t = self.accrue_from + (h - self.accrued) / self.rate;
+        Some(t.max(now))
+    }
+}
+
+/// Calendar entry: totally ordered by (time, flow id, generation) so heap
+/// behaviour is fully deterministic, including ties.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Event {
+    at: SimTime,
+    id: u64,
+    gen: u64,
+}
+
+impl Eq for Event {}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest first.
+        other
+            .at
+            .total_cmp(&self.at)
+            .then_with(|| other.id.cmp(&self.id))
+            .then_with(|| other.gen.cmp(&self.gen))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Exact per-channel byte accounting: aggregate rate accrued in closed form.
+#[derive(Debug, Clone, Copy)]
+struct ChannelAccrual {
+    rate: f64,
+    accrued: f64,
+    from: SimTime,
+}
+
+/// The mutable core, behind a `RefCell` so read-style accessors like
+/// [`SimNet::flow_rate`] can lazily apply pending churn without `&mut self`.
+#[derive(Debug)]
+struct Core {
+    flows: FxHashMap<u64, ActiveFlow>,
+    solver: IncrementalMaxMin,
+    calendar: BinaryHeap<Event>,
+    channels: Vec<ChannelAccrual>,
+    /// Rate-refresh quantum: 0.0 re-solves at every churn instant (fully
+    /// exact); > 0.0 batches churn into one re-solve per scheduled refresh
+    /// event, bounding rate staleness by the quantum (the fidelity/speed
+    /// dial large swarms use — the legacy step engine behaved like
+    /// `quantum = step`).
+    refresh_quantum: f64,
+    /// Whether a refresh calendar event is currently scheduled.
+    refresh_scheduled: bool,
+    /// Generation of the live refresh event (stale-entry detection).
+    refresh_gen: u64,
+    // Persistent scratch to carry solver results across the borrow boundary.
+    changed_scratch: Vec<(u64, f64)>,
+    chans_scratch: Vec<u32>,
+}
+
+/// Calendar id reserved for rate-refresh events (never a flow id).
+const REFRESH_ID: u64 = u64::MAX;
+
+impl Core {
+    /// Immediate-resolve hook for the fully exact mode (`quantum == 0`);
+    /// with a positive quantum, scheduled refresh events drive `resolve`.
+    fn maybe_resolve(&mut self, now: SimTime) {
+        if self.refresh_quantum == 0.0 {
+            self.resolve(now);
+        }
+    }
+
+    /// Schedules the pending-churn refresh event when batching is on.
+    fn schedule_refresh(&mut self, now: SimTime) {
+        if self.refresh_quantum > 0.0 && !self.refresh_scheduled && self.solver.is_dirty() {
+            self.refresh_gen += 1;
+            self.refresh_scheduled = true;
+            self.calendar.push(Event {
+                at: now + self.refresh_quantum,
+                id: REFRESH_ID,
+                gen: self.refresh_gen,
+            });
+        }
+    }
+
+    /// Removes a departing flow's rate from its channels' accruals — the
+    /// mirror of the provisional-rate attach in `start_flow_capped` — so
+    /// channel byte accounting never accrues phantom bytes for dead flows
+    /// while a refresh is pending.
+    fn detach_channel_rate(&mut self, id: u64, rate: f64, now: SimTime) {
+        if rate <= 0.0 || !rate.is_finite() {
+            return;
+        }
+        let Some(route) = self.solver.route(id) else { return };
+        for ch in route {
+            let chan = &mut self.channels[ch.idx()];
+            if now > chan.from {
+                chan.accrued += chan.rate * (now - chan.from);
+                chan.from = now;
+            }
+            chan.rate = (chan.rate - rate).max(0.0);
+        }
+    }
+
+    /// Applies pending churn at time `now`: re-solves the dirty component,
+    /// materializes changed flows and touched channels, and re-keys calendar
+    /// entries. Must run before the clock moves past `now`.
+    fn resolve(&mut self, now: SimTime) {
+        if self.solver.is_dirty() {
+            {
+                let (changed, chans) = self.solver.resolve();
+                self.changed_scratch.clear();
+                self.changed_scratch.extend(changed.iter().copied());
+                self.chans_scratch.clear();
+                self.chans_scratch.extend_from_slice(chans);
+            }
+            let changed = std::mem::take(&mut self.changed_scratch);
+            let chans = std::mem::take(&mut self.chans_scratch);
+            for &(id, new_rate) in &changed {
+                let f = self.flows.get_mut(&id).expect("changed flows are live");
+                if now > f.accrue_from {
+                    f.accrued = f.delivered_at(now);
+                    f.accrue_from = now;
+                }
+                let old = f.rate;
+                f.rate = new_rate;
+                // Re-key the calendar only on material changes: a slightly
+                // stale entry fires marginally off its true instant — early
+                // fires are caught by the undershoot guard, late fires just
+                // deliver a hair past the horizon — which is far cheaper
+                // than re-pushing every flow of the component at every
+                // re-solve (stale heap entries are the real cost at scale).
+                let _ = old;
+                let keyed = f.keyed_rate;
+                let material =
+                    (f.rate - keyed).abs() > 0.01 * keyed.abs().max(f.rate.abs()).max(1.0);
+                if f.horizon().is_some() && (material || !f.scheduled) {
+                    f.gen += 1;
+                    if let Some(at) = f.eta(now) {
+                        f.scheduled = true;
+                        f.keyed_rate = f.rate;
+                        self.calendar.push(Event { at, id, gen: f.gen });
+                    } else {
+                        f.scheduled = false;
+                    }
+                }
+            }
+            for &c in &chans {
+                let ch = &mut self.channels[c as usize];
+                if now > ch.from {
+                    ch.accrued += ch.rate * (now - ch.from);
+                    ch.from = now;
+                }
+            }
+            for &c in &chans {
+                // Exact re-sum from the solver: no incremental FP drift.
+                self.channels[c as usize].rate = self.solver.channel_rate_sum(c as usize);
+            }
+            self.changed_scratch = changed;
+            self.chans_scratch = chans;
+        }
+    }
 }
 
 /// A simulated network: topology + routes + active flows + virtual clock.
@@ -84,14 +346,11 @@ struct ActiveFlow {
 pub struct SimNet {
     topo: Arc<Topology>,
     routes: Arc<RouteTable>,
-    flows: FxHashMap<u64, ActiveFlow>,
-    /// Flow ids in creation order; keeps rate computation deterministic.
-    order: Vec<u64>,
+    core: RefCell<Core>,
     next_id: u64,
     time: SimTime,
-    rates_valid: bool,
-    /// Cumulative bytes carried per channel (for utilization reports).
-    channel_bytes: Vec<f64>,
+    nflows: usize,
+    nbounded: usize,
 }
 
 impl SimNet {
@@ -106,14 +365,23 @@ impl SimNet {
     pub fn with_routes(topo: Arc<Topology>, routes: Arc<RouteTable>) -> Self {
         let channels = topo.num_channels();
         SimNet {
+            core: RefCell::new(Core {
+                flows: FxHashMap::default(),
+                solver: IncrementalMaxMin::new(topo.channel_capacities()),
+                calendar: BinaryHeap::new(),
+                channels: vec![ChannelAccrual { rate: 0.0, accrued: 0.0, from: 0.0 }; channels],
+                refresh_quantum: 0.0,
+                refresh_scheduled: false,
+                refresh_gen: 0,
+                changed_scratch: Vec::new(),
+                chans_scratch: Vec::new(),
+            }),
             topo,
             routes,
-            flows: FxHashMap::default(),
-            order: Vec::new(),
             next_id: 0,
             time: 0.0,
-            rates_valid: true,
-            channel_bytes: vec![0.0; channels],
+            nflows: 0,
+            nbounded: 0,
         }
     }
 
@@ -138,7 +406,7 @@ impl SimNet {
     /// Number of currently active flows (bounded + streams).
     #[inline]
     pub fn active_flows(&self) -> usize {
-        self.order.len()
+        self.nflows
     }
 
     /// Starts a flow from `src` to `dst`.
@@ -161,194 +429,354 @@ impl SimNet {
         extra_cap: Option<f64>,
         tag: u64,
     ) -> FlowId {
-        let route = self.routes.route(src, dst).into_boxed_slice();
+        let route = self.routes.route(src, dst);
         let link_cap = self.routes.route_flow_cap(&route);
         let cap = match (link_cap, extra_cap) {
             (Some(a), Some(b)) => Some(a.min(b)),
             (a, b) => a.or(b),
         };
-        let delay = route.iter().map(|ch| self.topo.link(ch.link()).latency).sum();
+        let delay: SimTime = route.iter().map(|ch| self.topo.link(ch.link()).latency).sum();
         let id = self.next_id;
         self.next_id += 1;
-        self.flows.insert(
-            id,
-            ActiveFlow {
-                src,
-                dst,
-                route,
-                remaining: bytes,
-                unread: 0.0,
-                total: 0.0,
-                rate: 0.0,
-                cap,
-                delay,
-                started_at: self.time,
-                tag,
-            },
-        );
-        self.order.push(id);
-        self.rates_valid = false;
+        let core = self.core.get_mut();
+        core.solver.insert(id, &route, cap);
+        // Provisional rate until the next fairness re-solve: the unused
+        // slack along the route (so aggregate channel rates can never
+        // exceed capacity), capped. Exact fair rates arrive with the
+        // refresh; meanwhile events keyed off this guess self-correct
+        // through the undershoot guard, so a stream unchoked onto idle
+        // links moves bytes immediately instead of idling at rate zero for
+        // up to a refresh quantum.
+        let rate = if route.is_empty() {
+            core.solver.rate(id)
+        } else if core.refresh_quantum == 0.0 {
+            0.0 // the exact re-solve runs before time moves anyway
+        } else {
+            let mut guess = cap.unwrap_or(f64::INFINITY);
+            for ch in &route {
+                let c = ch.idx();
+                let slack =
+                    self.topo.link(ch.link()).capacity.bytes_per_sec() - core.channels[c].rate;
+                guess = guess.min(slack);
+            }
+            guess.max(0.0)
+        };
+        let mut flow = ActiveFlow {
+            src,
+            dst,
+            rate,
+            accrue_from: self.time + delay,
+            accrued: 0.0,
+            drained: 0.0,
+            budget: bytes,
+            mark: None,
+            gen: 0,
+            scheduled: false,
+            keyed_rate: rate,
+            started_at: self.time,
+            tag,
+        };
+        // Account the provisional rate on the route's channels so channel
+        // byte accrual stays consistent with flow accrual until the refresh
+        // re-sums exactly.
+        if rate > 0.0 && rate.is_finite() {
+            for ch in &route {
+                let chan = &mut core.channels[ch.idx()];
+                if self.time > chan.from {
+                    chan.accrued += chan.rate * (self.time - chan.from);
+                    chan.from = self.time;
+                }
+                chan.rate += rate;
+            }
+        }
+        if let Some(at) = flow.eta(self.time) {
+            flow.scheduled = true;
+            flow.keyed_rate = flow.rate;
+            core.calendar.push(Event { at, id, gen: flow.gen });
+        }
+        core.flows.insert(id, flow);
+        core.schedule_refresh(self.time);
+        self.nflows += 1;
+        if bytes.is_some() {
+            self.nbounded += 1;
+        }
         FlowId(id)
+    }
+
+    /// Sets the rate-refresh quantum: `0.0` (the default) re-solves fairness
+    /// at every churn instant — exact fluid semantics; a positive value
+    /// batches all churn into one incremental re-solve per scheduled refresh
+    /// event, bounding rate staleness by the quantum. Large swarms set this
+    /// to their protocol step (the legacy fixed-step engine had exactly that
+    /// staleness); probes and baselines keep it at zero.
+    pub fn set_rate_refresh(&mut self, quantum: SimTime) {
+        assert!(quantum >= 0.0 && quantum.is_finite(), "refresh quantum must be finite and >= 0");
+        self.core.get_mut().refresh_quantum = quantum;
     }
 
     /// Stops a flow (bounded or stream) and returns its lifetime stats.
     /// Returns `None` if the flow already completed or was never started.
     pub fn stop_flow(&mut self, id: FlowId) -> Option<FlowStats> {
-        let flow = self.flows.remove(&id.0)?;
-        self.order.retain(|&f| f != id.0);
-        self.rates_valid = false;
-        Some(FlowStats { delivered: flow.total, started_at: flow.started_at, ended_at: self.time })
+        let time = self.time;
+        let core = self.core.get_mut();
+        let flow = core.flows.remove(&id.0)?;
+        core.detach_channel_rate(id.0, flow.rate, time);
+        core.solver.remove(id.0);
+        core.schedule_refresh(time);
+        self.nflows -= 1;
+        if flow.budget.is_some() {
+            self.nbounded -= 1;
+        }
+        Some(FlowStats {
+            delivered: flow.delivered_at(time),
+            started_at: flow.started_at,
+            ended_at: time,
+        })
     }
 
     /// Drains and returns bytes delivered on `id` since the last drain.
     /// Returns 0.0 for unknown/finished flows.
     pub fn take_delivered(&mut self, id: FlowId) -> Bytes {
-        match self.flows.get_mut(&id.0) {
-            Some(f) => std::mem::take(&mut f.unread),
+        let time = self.time;
+        match self.core.get_mut().flows.get_mut(&id.0) {
+            Some(f) => {
+                let d = f.delivered_at(time) - f.drained;
+                f.drained += d;
+                d
+            }
             None => 0.0,
         }
     }
 
-    /// Current max-min rate of `id` in bytes/sec (0.0 if unknown). Forces a
-    /// rate refresh if the flow set changed since the last advance.
-    pub fn flow_rate(&mut self, id: FlowId) -> f64 {
-        if !self.rates_valid {
-            self.recompute_rates();
+    /// Schedules a [`CompletionKind::Mark`] event for when `id` has
+    /// delivered `bytes_ahead` more bytes than it has *right now*. Replaces
+    /// any previous mark on the flow. No-op for unknown flows.
+    ///
+    /// This is the delivered-bytes horizon the swarm layer keys its piece
+    /// completions on: one mark per active transfer, re-armed after every
+    /// fragment.
+    pub fn set_delivery_mark(&mut self, id: FlowId, bytes_ahead: Bytes) {
+        let time = self.time;
+        let core = self.core.get_mut();
+        let Some(f) = core.flows.get_mut(&id.0) else { return };
+        f.mark = Some(f.delivered_at(time) + bytes_ahead);
+        f.gen += 1;
+        if let Some(at) = f.eta(time) {
+            f.scheduled = true;
+            f.keyed_rate = f.rate;
+            core.calendar.push(Event { at, id: id.0, gen: f.gen });
+        } else {
+            // Rate currently zero: the next re-solve re-keys unscheduled
+            // flows whose rate changes.
+            f.scheduled = false;
         }
-        self.flows.get(&id.0).map_or(0.0, |f| f.rate)
+    }
+
+    /// Current max-min rate of `id` in bytes/sec (0.0 if unknown). In exact
+    /// mode (zero refresh quantum) pending churn is applied first — hence
+    /// usable through `&self`; with a positive quantum the value may be
+    /// stale by up to the quantum, consistently with byte delivery.
+    pub fn flow_rate(&self, id: FlowId) -> f64 {
+        let mut core = self.core.borrow_mut();
+        core.maybe_resolve(self.time);
+        core.flows.get(&id.0).map_or(0.0, |f| f.rate)
     }
 
     /// Source and destination of a flow, if it is still active.
     pub fn flow_endpoints(&self, id: FlowId) -> Option<(NodeId, NodeId)> {
-        self.flows.get(&id.0).map(|f| (f.src, f.dst))
+        self.core.borrow().flows.get(&id.0).map(|f| (f.src, f.dst))
     }
 
-    /// Cumulative bytes carried by each channel so far.
-    pub fn channel_bytes(&self) -> &[f64] {
-        &self.channel_bytes
-    }
-
-    fn recompute_rates(&mut self) {
-        let caps = self.topo.channel_capacities();
-        let inputs: Vec<FlowInput<'_>> = self
-            .order
+    /// Cumulative bytes carried by each channel up to the current time.
+    pub fn channel_bytes(&self) -> Vec<f64> {
+        let time = self.time;
+        self.core
+            .borrow()
+            .channels
             .iter()
-            .map(|id| {
-                let f = &self.flows[id];
-                FlowInput { route: &f.route, cap: f.cap }
-            })
-            .collect();
-        let rates = max_min_rates(&caps, &inputs);
-        for (id, rate) in self.order.iter().zip(rates) {
-            self.flows.get_mut(id).expect("ordered flow exists").rate = rate;
-        }
-        self.rates_valid = true;
+            .map(|ch| ch.accrued + if time > ch.from { ch.rate * (time - ch.from) } else { 0.0 })
+            .collect()
     }
 
-    /// Advances simulated time by `dt`, delivering bytes at max-min rates and
-    /// returning bounded-flow completions in completion order.
-    ///
-    /// Rate recomputation happens at every completion inside the window, so
-    /// bounded flows finish at exact fluid-model times regardless of `dt`.
+    /// Advances simulated time by `dt`, jumping from event to event:
+    /// bounded-flow completions and delivery marks are returned in event
+    /// order, rates are re-solved incrementally at each event, and the state
+    /// reached is independent of how callers slice `dt`.
     pub fn advance(&mut self, dt: SimTime) -> Vec<Completion> {
         assert!(dt >= 0.0 && dt.is_finite(), "advance requires a finite non-negative dt");
-        let mut completions = Vec::new();
-        let mut left = dt;
-        // Bound iterations defensively: each inner loop either exhausts the
-        // window or completes at least one flow.
-        while left > 1e-15 {
-            if !self.rates_valid {
-                self.recompute_rates();
-            }
-            // Earliest bounded completion within this window.
-            let mut seg = left;
-            for id in &self.order {
-                let f = &self.flows[id];
-                if let Some(rem) = f.remaining {
-                    let t = if f.rate.is_infinite() {
-                        f.delay
-                    } else if f.rate > 0.0 {
-                        f.delay + rem / f.rate
-                    } else {
-                        continue;
-                    };
-                    if t < seg {
-                        seg = t;
-                    }
-                }
-            }
-            let seg = seg.max(0.0);
+        let deadline = self.time + dt;
+        self.advance_until(deadline)
+    }
 
-            // Move every flow forward by `seg`.
-            let mut finished: Vec<u64> = Vec::new();
-            for id in &self.order {
-                let f = self.flows.get_mut(id).expect("ordered flow exists");
-                let active = if f.delay >= seg {
-                    f.delay -= seg;
-                    0.0
-                } else {
-                    let a = seg - f.delay;
-                    f.delay = 0.0;
-                    a
-                };
-                let mut moved = if f.rate.is_infinite() {
-                    f.remaining.unwrap_or(0.0)
-                } else {
-                    f.rate * active
-                };
-                if let Some(rem) = f.remaining.as_mut() {
-                    if moved >= *rem - 1e-9 {
-                        moved = *rem;
-                        *rem = 0.0;
-                        finished.push(*id);
-                    } else {
-                        *rem -= moved;
+    /// Like [`advance`](Self::advance) but to an **absolute** clock value:
+    /// after the call `time() == deadline` exactly (unless the clock is
+    /// already past it, which is a no-op). Drivers that must land on shared
+    /// boundary instants (e.g. protocol timers) use this so the boundary's
+    /// clock value does not depend on how the approach was sliced.
+    pub fn advance_until(&mut self, deadline: SimTime) -> Vec<Completion> {
+        assert!(deadline.is_finite(), "advance_until requires a finite deadline");
+        let mut out = Vec::new();
+        loop {
+            let core = self.core.get_mut();
+            core.maybe_resolve(self.time);
+            // Pop the earliest still-valid event inside the window.
+            let event = loop {
+                match core.calendar.peek() {
+                    Some(e) if e.at <= deadline => {
+                        let e = *e;
+                        core.calendar.pop();
+                        let valid = if e.id == REFRESH_ID {
+                            core.refresh_scheduled && e.gen == core.refresh_gen
+                        } else {
+                            core.flows.get(&e.id).is_some_and(|f| f.gen == e.gen)
+                        };
+                        if valid {
+                            break Some(e);
+                        }
                     }
+                    _ => break None,
                 }
-                f.unread += moved;
-                f.total += moved;
-                if moved > 0.0 {
-                    for ch in f.route.iter() {
-                        self.channel_bytes[ch.idx()] += moved;
+            };
+            let Some(e) = event else { break };
+            if e.at > self.time {
+                self.time = e.at;
+            }
+            if e.id == REFRESH_ID {
+                // Scheduled rate refresh: apply batched churn at this
+                // instant, then continue with the (possibly re-keyed)
+                // calendar.
+                core.refresh_scheduled = false;
+                core.resolve(self.time);
+                continue;
+            }
+            let f = core.flows.get_mut(&e.id).expect("validated above");
+            f.scheduled = false;
+            // Undershoot guard: an entry keyed under a slightly-stale rate
+            // may fire a hair before the horizon is actually delivered;
+            // re-key it to the corrected instant instead of processing. The
+            // tolerance scales with the horizon so fp round-off on
+            // many-gigabyte accruals cannot re-key an event to `now`
+            // forever; anything inside the tolerance is snapped to the
+            // horizon below, so a fired mark always means "horizon
+            // delivered".
+            if let Some((h, _)) = f.horizon() {
+                if f.delivered_at(self.time) + 1e-6 + h.abs() * 1e-12 < h {
+                    f.gen += 1;
+                    if let Some(at) = f.eta(self.time) {
+                        f.scheduled = true;
+                        f.keyed_rate = f.rate;
+                        let ev = Event { at, id: e.id, gen: f.gen };
+                        core.calendar.push(ev);
                     }
+                    continue;
                 }
+                // Snap: materialize exactly at the horizon.
+                f.accrued = f.delivered_at(self.time).max(h);
+                f.accrue_from = self.time;
             }
-            self.time += seg;
-            left -= seg;
-
-            for id in finished {
-                let f = self.flows.remove(&id).expect("finished flow exists");
-                self.order.retain(|&x| x != id);
-                self.rates_valid = false;
-                completions.push(Completion { id: FlowId(id), tag: f.tag, at: self.time });
-            }
-            // If nothing finished and we consumed the whole window, done.
-            if seg >= left && left <= 1e-15 {
-                break;
-            }
-            if seg == 0.0 && completions.is_empty() {
-                // No progress possible (all rates zero, no completions):
-                // burn the window to avoid spinning.
-                self.time += left;
-                break;
+            match f.horizon() {
+                Some((h, CompletionKind::Finished)) => {
+                    f.accrued = h; // exact: the full budget was delivered
+                    f.accrue_from = self.time;
+                    out.push(Completion {
+                        id: FlowId(e.id),
+                        tag: f.tag,
+                        at: self.time,
+                        kind: CompletionKind::Finished,
+                    });
+                    let rate = core.flows.remove(&e.id).expect("completing flow exists").rate;
+                    core.detach_channel_rate(e.id, rate, self.time);
+                    core.solver.remove(e.id);
+                    core.schedule_refresh(self.time);
+                    self.nflows -= 1;
+                    self.nbounded -= 1;
+                }
+                Some((_, CompletionKind::Mark)) => {
+                    f.mark = None;
+                    let tag = f.tag;
+                    // Re-key in case a bounded budget remains behind the mark.
+                    f.gen += 1;
+                    if let Some(at) = f.eta(self.time) {
+                        f.scheduled = true;
+                        f.keyed_rate = f.rate;
+                        core.calendar.push(Event { at, id: e.id, gen: f.gen });
+                    }
+                    out.push(Completion {
+                        id: FlowId(e.id),
+                        tag,
+                        at: self.time,
+                        kind: CompletionKind::Mark,
+                    });
+                }
+                None => unreachable!("calendar entries always carry a horizon"),
             }
         }
-        completions
+        if deadline > self.time {
+            self.time = deadline;
+        }
+        out
+    }
+
+    /// Advances to the next event (bounded completion or delivery mark) or
+    /// by `max_dt`, whichever comes first, returning the events fired at
+    /// that instant. This is the completion-driven entry point the swarm
+    /// layer uses instead of fixed stepping.
+    pub fn advance_to_next_event(&mut self, max_dt: SimTime) -> Vec<Completion> {
+        assert!(max_dt >= 0.0, "advance_to_next_event requires a non-negative horizon");
+        self.advance_to_next_event_until(self.time + max_dt)
+    }
+
+    /// Like [`advance_to_next_event`](Self::advance_to_next_event) with an
+    /// **absolute** deadline (see [`advance_until`](Self::advance_until) for
+    /// why absolute boundaries matter to deterministic drivers).
+    pub fn advance_to_next_event_until(&mut self, deadline: SimTime) -> Vec<Completion> {
+        let eta = {
+            let core = self.core.get_mut();
+            core.maybe_resolve(self.time);
+            // Discard stale entries, then read the earliest live horizon.
+            loop {
+                match core.calendar.peek() {
+                    Some(e) => {
+                        let e = *e;
+                        let valid = if e.id == REFRESH_ID {
+                            core.refresh_scheduled && e.gen == core.refresh_gen
+                        } else {
+                            core.flows.get(&e.id).is_some_and(|f| f.gen == e.gen)
+                        };
+                        if valid {
+                            break Some(e.at);
+                        }
+                        core.calendar.pop();
+                    }
+                    None => break None,
+                }
+            }
+        };
+        let target = match eta {
+            Some(at) if at <= deadline => at,
+            _ => deadline,
+        };
+        if !target.is_finite() {
+            // No scheduled events and an unbounded horizon: nothing to do.
+            return Vec::new();
+        }
+        self.advance_until(target)
     }
 
     /// Runs until all bounded flows complete or `max_time` of simulated time
-    /// elapses. Streams keep flowing but do not block completion.
+    /// elapses. Streams keep flowing but do not block completion; the clock
+    /// stops at the last bounded completion (not at the deadline).
     pub fn run_bounded_to_completion(&mut self, max_time: SimTime) -> Vec<Completion> {
-        let mut all = Vec::new();
         let deadline = self.time + max_time;
-        while self.time < deadline {
-            let has_bounded = self.order.iter().any(|id| self.flows[id].remaining.is_some());
-            if !has_bounded {
-                break;
+        let mut all = Vec::new();
+        while self.nbounded > 0 && self.time < deadline {
+            let before = self.time;
+            let got = self.advance_to_next_event(deadline - self.time);
+            let progressed = self.time > before || !got.is_empty();
+            all.extend(got);
+            if !progressed {
+                break; // zero-rate bounded flows: nothing will ever finish
             }
-            let step = (deadline - self.time).min(1.0);
-            let mut got = self.advance(step);
-            all.append(&mut got);
         }
         all
     }
@@ -380,6 +808,7 @@ mod tests {
         let done = net.advance(10.0);
         assert_eq!(done.len(), 1);
         assert_eq!(done[0].tag, 7);
+        assert_eq!(done[0].kind, CompletionKind::Finished);
         let lat = 2.0 * 50e-6;
         assert!((done[0].at - (2.0 + lat)).abs() < 1e-6, "completed at {}", done[0].at);
     }
@@ -402,7 +831,8 @@ mod tests {
         }
         assert_eq!(c.len(), 1);
         assert_eq!(f.len(), 1);
-        assert!((c[0].at - f[0].at).abs() < 1e-6);
+        // Event times are closed-form: bit-identical however time is sliced.
+        assert_eq!(c[0].at.to_bits(), f[0].at.to_bits());
     }
 
     #[test]
@@ -473,6 +903,8 @@ mod tests {
         let done = net.run_bounded_to_completion(60.0);
         assert_eq!(done.len(), 1);
         assert_eq!(net.active_flows(), 1, "stream still active");
+        // The clock stops at the completion, not the deadline.
+        assert!(net.time() < 1.0, "time ran to {}", net.time());
     }
 
     #[test]
@@ -514,5 +946,122 @@ mod tests {
         let done = net.advance(1.0);
         assert_eq!(done.len(), 1);
         assert!(done[0].at <= 2.0 * 50e-6 + 1e-9);
+    }
+
+    #[test]
+    fn delivery_marks_fire_at_exact_horizons() {
+        let (t, h0, h1) = pair(800.0);
+        let mut net = SimNet::new(t);
+        let rate = Bandwidth::from_mbps(800.0).bytes_per_sec();
+        let s = net.start_flow(h0, h1, None, 42);
+        net.set_delivery_mark(s, rate); // one second of bytes
+        let got = net.advance_to_next_event(10.0);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].kind, CompletionKind::Mark);
+        assert_eq!(got[0].tag, 42);
+        let lat = 2.0 * 50e-6;
+        assert!((got[0].at - (1.0 + lat)).abs() < 1e-9, "at {}", got[0].at);
+        // The drained bytes at the mark equal the horizon.
+        let d = net.take_delivered(s);
+        assert!((d - rate).abs() < 1e-3, "{d}");
+        // Re-arm: the stream keeps running and fires again.
+        net.set_delivery_mark(s, rate / 2.0);
+        let again = net.advance_to_next_event(10.0);
+        assert_eq!(again.len(), 1);
+        assert!((again[0].at - (1.5 + lat)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn advance_to_next_event_respects_the_horizon_cap() {
+        let (t, h0, h1) = pair(800.0);
+        let mut net = SimNet::new(t);
+        let s = net.start_flow(h0, h1, None, 0);
+        net.set_delivery_mark(s, 1e12); // far future
+        let got = net.advance_to_next_event(0.25);
+        assert!(got.is_empty());
+        assert!((net.time() - 0.25).abs() < 1e-12, "clock capped at max_dt");
+    }
+
+    #[test]
+    fn flow_rate_reads_through_shared_reference() {
+        let (t, h0, h1) = pair(400.0);
+        let mut net = SimNet::new(t);
+        let a = net.start_flow(h0, h1, None, 0);
+        // Rates are resolved lazily: a &self read right after churn must
+        // already see the fair allocation.
+        let full = Bandwidth::from_mbps(400.0).bytes_per_sec();
+        assert!((net.flow_rate(a) - full).abs() < 1.0);
+        let b = net.start_flow(h0, h1, None, 1);
+        assert!((net.flow_rate(a) - full / 2.0).abs() < 1.0, "shared after churn");
+        assert!((net.flow_rate(b) - full / 2.0).abs() < 1.0);
+        assert_eq!(net.flow_rate(FlowId(999)), 0.0);
+    }
+
+    #[test]
+    fn mark_on_infinite_rate_stream_does_not_livelock() {
+        // A loopback stream (empty route) runs at infinite rate but
+        // delivers nothing; a mark on it can never fire and must not spin
+        // the event loop. (Regression: the undershoot guard used to re-key
+        // such marks at `now` forever.)
+        let (t, h0, _) = pair(100.0);
+        let mut net = SimNet::new(t);
+        let s = net.start_flow(h0, h0, None, 3);
+        net.set_delivery_mark(s, 1000.0);
+        let got = net.advance(1.0);
+        assert!(got.is_empty(), "unreachable mark must not fire");
+        assert!((net.time() - 1.0).abs() < 1e-12);
+        // A zero-byte-ahead mark is already met and fires immediately.
+        net.set_delivery_mark(s, 0.0);
+        let got = net.advance(0.1);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].kind, CompletionKind::Mark);
+    }
+
+    #[test]
+    fn channel_accounting_stops_when_flows_stop_under_refresh_batching() {
+        // With a positive refresh quantum, a stopped flow's rate must leave
+        // its channels immediately — not at the next refresh — or
+        // channel_bytes() accrues phantom bytes for a dead flow.
+        let (t, h0, h1) = pair(100.0);
+        let mut net = SimNet::new(t);
+        net.set_rate_refresh(0.5);
+        let s = net.start_flow(h0, h1, None, 0);
+        net.advance(1.0);
+        let f = net.stop_flow(s).unwrap();
+        let at_stop: f64 = net.channel_bytes().iter().sum();
+        net.advance(0.4); // stays inside the pending refresh window
+        let later: f64 = net.channel_bytes().iter().sum();
+        assert!(
+            (later - at_stop).abs() < 1e-6,
+            "phantom accrual after stop: {at_stop} -> {later}"
+        );
+        // Sanity: the flow really moved bytes before stopping (2 channels;
+        // channel accrual also covers the ~100 µs startup latency window,
+        // hence the loose tolerance).
+        assert!((at_stop - 2.0 * f.delivered).abs() / at_stop < 1e-3);
+    }
+
+    #[test]
+    fn state_is_bitwise_invariant_to_advance_slicing() {
+        // The core event-engine property: delivered bytes and event times do
+        // not depend on how callers slice time, to the last bit.
+        let (t, h0, h1) = pair(773.0);
+        let run = |slices: &[f64]| {
+            let mut net = SimNet::new(t.clone());
+            let s = net.start_flow(h0, h1, None, 0);
+            net.set_delivery_mark(s, 5e6);
+            let mut events = Vec::new();
+            for &dt in slices {
+                events.extend(net.advance(dt));
+            }
+            let d = net.take_delivered(s);
+            (events, d.to_bits(), net.channel_bytes().iter().map(|b| b.to_bits()).collect::<Vec<_>>())
+        };
+        let coarse = run(&[2.0]);
+        let fine = run(&[0.3, 0.45, 0.05, 0.7, 0.2, 0.3]);
+        assert_eq!(coarse.0.len(), 1);
+        assert_eq!(coarse.0, fine.0, "same events at bit-identical times");
+        assert_eq!(coarse.1, fine.1, "bit-identical delivered bytes");
+        assert_eq!(coarse.2, fine.2, "bit-identical channel accounting");
     }
 }

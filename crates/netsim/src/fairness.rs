@@ -9,6 +9,18 @@
 //! This is the same fluid model class SimGrid uses for TCP bulk transfers,
 //! which is the substrate the paper's own related work (\[12\], \[13\]) evaluated
 //! on — see DESIGN.md §2.
+//!
+//! Two entry points share the algorithm:
+//!
+//! * [`max_min_rates`] — the one-shot reference solver over a full flow set;
+//! * [`IncrementalMaxMin`] — a persistent solver for the event-driven engine:
+//!   flows are inserted and removed over time, touched channels are tracked
+//!   in a dirty set, and [`IncrementalMaxMin::resolve`] re-solves **only the
+//!   connected component** of the channel↔flow sharing graph reachable from
+//!   the dirty channels. Max-min rates decompose exactly across components
+//!   (a flow's rate depends only on channels it can reach transitively
+//!   through shared channels), so untouched components keep their rates and
+//!   the result is the same fair allocation the one-shot solver produces.
 
 /// A flow presented to the solver.
 #[derive(Debug, Clone)]
@@ -120,6 +132,385 @@ pub fn max_min_rates(capacities: &[f64], flows: &[FlowInput<'_>]) -> Vec<f64> {
         }
     }
     rates
+}
+
+use crate::topology::ChannelId;
+
+/// One flow tracked by the incremental solver.
+#[derive(Debug)]
+struct SolvedFlow {
+    /// Caller's flow id (u64::MAX marks a free slab slot).
+    id: u64,
+    route: Box<[ChannelId]>,
+    cap: Option<f64>,
+    rate: f64,
+    /// Component-BFS visitation stamp (compared against the solver epoch).
+    stamp: u32,
+    /// Index into the current component's flow list (valid per resolve).
+    local: u32,
+}
+
+const FREE_SLOT: u64 = u64::MAX;
+
+/// Min-heap key for the water-filling loop: a channel's saturation level.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct ShareKey {
+    key: f64,
+    /// Local channel index (deterministic tie-break).
+    lc: u32,
+}
+
+impl Eq for ShareKey {}
+
+impl Ord for ShareKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we pop the lowest level first.
+        other.key.total_cmp(&self.key).then_with(|| other.lc.cmp(&self.lc))
+    }
+}
+
+impl PartialOrd for ShareKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A persistent max-min solver with dirty-set tracking.
+///
+/// The engine registers every active flow; each insert/remove marks the
+/// flow's channels dirty. [`IncrementalMaxMin::resolve`] then re-runs
+/// water-filling over the dirty connected component only, reporting which
+/// flows changed rate and which channels were touched — everything else
+/// keeps its previous (still exact) allocation.
+///
+/// Flows live in a slab indexed by dense slot ids (channel membership lists
+/// hold slots, not hashed ids), so the hot component walk and the filling
+/// loop never touch a hash map.
+///
+/// Determinism: component flows are solved in ascending flow-id order and
+/// channel saturations break ties by channel index, so a given sequence of
+/// inserts/removes produces bit-identical rates no matter how the work is
+/// sliced into `resolve` calls.
+#[derive(Debug)]
+pub struct IncrementalMaxMin {
+    caps: Vec<f64>,
+    /// members[channel] = slab slots of flows crossing it, insertion order.
+    members: Vec<Vec<u32>>,
+    slots: Vec<SolvedFlow>,
+    free: Vec<u32>,
+    index: crate::util::FxHashMap<u64, u32>,
+    dirty: Vec<u32>,
+    dirty_mask: Vec<bool>,
+    epoch: u32,
+    /// Per-channel visitation stamp and local index for component solves.
+    chan_stamp: Vec<u32>,
+    chan_local: Vec<u32>,
+    // Persistent scratch (component-local), reused across resolves.
+    comp_slots: Vec<u32>,
+    comp_chans: Vec<u32>,
+    residual: Vec<f64>,
+    load: Vec<u32>,
+    changed: Vec<(u64, f64)>,
+    rates_scratch: Vec<f64>,
+    frozen_scratch: Vec<bool>,
+}
+
+impl IncrementalMaxMin {
+    /// A solver over channels with the given capacities (bytes/sec, indexed
+    /// by [`ChannelId::idx`]).
+    pub fn new(capacities: Vec<f64>) -> Self {
+        let n = capacities.len();
+        IncrementalMaxMin {
+            caps: capacities,
+            members: vec![Vec::new(); n],
+            slots: Vec::new(),
+            free: Vec::new(),
+            index: crate::util::FxHashMap::default(),
+            dirty: Vec::new(),
+            dirty_mask: vec![false; n],
+            epoch: 0,
+            chan_stamp: vec![0; n],
+            chan_local: vec![0; n],
+            comp_slots: Vec::new(),
+            comp_chans: Vec::new(),
+            residual: Vec::new(),
+            load: Vec::new(),
+            changed: Vec::new(),
+            rates_scratch: Vec::new(),
+            frozen_scratch: Vec::new(),
+        }
+    }
+
+    /// Current rate of `id` (0.0 for unknown flows). Only meaningful after
+    /// [`IncrementalMaxMin::resolve`] has been called for the latest churn.
+    #[inline]
+    pub fn rate(&self, id: u64) -> f64 {
+        self.index.get(&id).map_or(0.0, |&s| self.slots[s as usize].rate)
+    }
+
+    /// Number of flows crossing channel `c`.
+    #[inline]
+    pub fn channel_load(&self, c: usize) -> usize {
+        self.members[c].len()
+    }
+
+    /// Sum of the current rates of all flows crossing channel `c`.
+    #[inline]
+    pub fn channel_rate_sum(&self, c: usize) -> f64 {
+        self.members[c].iter().map(|&s| self.slots[s as usize].rate).sum()
+    }
+
+    /// True when churn since the last resolve left rates stale.
+    #[inline]
+    pub fn is_dirty(&self) -> bool {
+        !self.dirty.is_empty()
+    }
+
+    fn mark_dirty(&mut self, c: usize) {
+        if !self.dirty_mask[c] {
+            self.dirty_mask[c] = true;
+            self.dirty.push(c as u32);
+        }
+    }
+
+    /// Registers a flow. Loopback flows (empty route) get their cap (or
+    /// `+inf`) immediately and never participate in components. Panics if
+    /// `id` is already registered.
+    pub fn insert(&mut self, id: u64, route: &[ChannelId], cap: Option<f64>) {
+        assert_ne!(id, FREE_SLOT, "reserved flow id");
+        let rate = if route.is_empty() { cap.unwrap_or(f64::INFINITY) } else { 0.0 };
+        let flow = SolvedFlow { id, route: route.into(), cap, rate, stamp: 0, local: 0 };
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.slots[s as usize] = flow;
+                s
+            }
+            None => {
+                self.slots.push(flow);
+                (self.slots.len() - 1) as u32
+            }
+        };
+        let prev = self.index.insert(id, slot);
+        assert!(prev.is_none(), "flow {id} registered twice");
+        for ch in route {
+            self.members[ch.idx()].push(slot);
+            self.mark_dirty(ch.idx());
+        }
+    }
+
+    /// Unregisters a flow, marking its channels dirty. No-op for unknown ids.
+    pub fn remove(&mut self, id: u64) {
+        let Some(slot) = self.index.remove(&id) else { return };
+        let route = std::mem::take(&mut self.slots[slot as usize].route);
+        for ch in route.iter() {
+            let c = ch.idx();
+            self.members[c].retain(|&m| m != slot);
+            self.mark_dirty(c);
+        }
+        self.slots[slot as usize].id = FREE_SLOT;
+        self.free.push(slot);
+    }
+
+    /// The route of a registered flow.
+    #[inline]
+    pub fn route(&self, id: u64) -> Option<&[ChannelId]> {
+        self.index.get(&id).map(|&s| &*self.slots[s as usize].route)
+    }
+
+    /// Re-solves the dirty component(s) and reports `(changed_flows,
+    /// touched_channels)`: flows whose rate changed (with their **new**
+    /// rate) and every channel in the re-solved component (whose aggregate
+    /// rate may have changed). Returns empty slices when nothing was dirty.
+    pub fn resolve(&mut self) -> (&[(u64, f64)], &[u32]) {
+        self.changed.clear();
+        self.comp_chans.clear();
+        self.comp_slots.clear();
+        if self.dirty.is_empty() {
+            return (&self.changed, &self.comp_chans);
+        }
+        // --- Component discovery: BFS over channels <-> flows from the dirty
+        // seed set. Every flow of every reached channel joins, and with it
+        // every channel of its route, so component channels carry component
+        // flows only.
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // Wrapped: invalidate all stamps once.
+            self.chan_stamp.iter_mut().for_each(|s| *s = u32::MAX);
+            for f in self.slots.iter_mut() {
+                f.stamp = u32::MAX;
+            }
+            self.epoch = 1;
+        }
+        let mut head = 0;
+        for i in 0..self.dirty.len() {
+            let c = self.dirty[i] as usize;
+            if self.chan_stamp[c] != self.epoch {
+                self.chan_stamp[c] = self.epoch;
+                self.chan_local[c] = self.comp_chans.len() as u32;
+                self.comp_chans.push(c as u32);
+            }
+            self.dirty_mask[c] = false;
+        }
+        self.dirty.clear();
+        while head < self.comp_chans.len() {
+            let c = self.comp_chans[head] as usize;
+            head += 1;
+            for mi in 0..self.members[c].len() {
+                let slot = self.members[c][mi];
+                let f = &mut self.slots[slot as usize];
+                if f.stamp == self.epoch {
+                    continue;
+                }
+                f.stamp = self.epoch;
+                self.comp_slots.push(slot);
+                let route = std::mem::take(&mut f.route);
+                for ch in route.iter() {
+                    let rc = ch.idx();
+                    if self.chan_stamp[rc] != self.epoch {
+                        self.chan_stamp[rc] = self.epoch;
+                        self.chan_local[rc] = self.comp_chans.len() as u32;
+                        self.comp_chans.push(rc as u32);
+                    }
+                }
+                self.slots[slot as usize].route = route;
+            }
+        }
+        // Canonical solve order: ascending flow id (== creation order), so
+        // the arithmetic is independent of dirty-set construction order.
+        let slots_ref = &self.slots;
+        self.comp_slots.sort_unstable_by_key(|&s| slots_ref[s as usize].id);
+
+        // --- Water-filling restricted to the component: each flow freezes
+        // exactly once — at the saturation level of its tightest channel or
+        // at its own cap. Channel saturation levels only grow as flows
+        // freeze (a frozen flow leaves at least its share of slack behind),
+        // so a lazily-revalidated min-heap of levels visits each channel a
+        // bounded number of times; total cost is O((flows x route + chans)
+        // x log) instead of rounds x component scans.
+        let nc = self.comp_chans.len();
+        let nf = self.comp_slots.len();
+        self.residual.clear();
+        self.residual.extend(self.comp_chans.iter().map(|&c| self.caps[c as usize]));
+        self.load.clear();
+        self.load.resize(nc, 0);
+        self.rates_scratch.clear();
+        self.rates_scratch.resize(nf, 0.0);
+        let mut rates = std::mem::take(&mut self.rates_scratch);
+        self.frozen_scratch.clear();
+        self.frozen_scratch.resize(nf, false);
+        let mut frozen = std::mem::take(&mut self.frozen_scratch);
+        for (i, &slot) in self.comp_slots.iter().enumerate() {
+            let f = &mut self.slots[slot as usize];
+            f.local = i as u32;
+            for ch in f.route.iter() {
+                self.load[self.chan_local[ch.idx()] as usize] += 1;
+            }
+        }
+        let mut chan_heap: std::collections::BinaryHeap<ShareKey> =
+            std::collections::BinaryHeap::with_capacity(nc);
+        for lc in 0..nc {
+            if self.load[lc] > 0 {
+                chan_heap
+                    .push(ShareKey { key: self.residual[lc] / self.load[lc] as f64, lc: lc as u32 });
+            }
+        }
+        // Capped flows, lowest cap first (same ShareKey ordering, lc = flow).
+        let mut cap_heap: std::collections::BinaryHeap<ShareKey> =
+            std::collections::BinaryHeap::new();
+        for (i, &slot) in self.comp_slots.iter().enumerate() {
+            if let Some(cap) = self.slots[slot as usize].cap {
+                cap_heap.push(ShareKey { key: cap, lc: i as u32 });
+            }
+        }
+        let mut remaining = nf;
+        while remaining > 0 {
+            // Earliest channel saturation, with lazy key revalidation.
+            let chan_next = loop {
+                match chan_heap.peek() {
+                    Some(&ShareKey { key, lc }) => {
+                        let lcu = lc as usize;
+                        if self.load[lcu] == 0 {
+                            chan_heap.pop();
+                            continue;
+                        }
+                        let true_key = self.residual[lcu] / self.load[lcu] as f64;
+                        if true_key > key {
+                            chan_heap.pop();
+                            chan_heap.push(ShareKey { key: true_key, lc });
+                            continue;
+                        }
+                        break Some(ShareKey { key: true_key, lc });
+                    }
+                    None => break None,
+                }
+            };
+            // Earliest cap among still-active capped flows.
+            let cap_next = loop {
+                match cap_heap.peek() {
+                    Some(&k) if frozen[k.lc as usize] => {
+                        cap_heap.pop();
+                        continue;
+                    }
+                    other => break other.copied(),
+                }
+            };
+            let cap_first = match (&chan_next, &cap_next) {
+                (Some(c), Some(f)) => f.key <= c.key,
+                (None, Some(_)) => true,
+                (Some(_), None) => false,
+                (None, None) => {
+                    debug_assert!(false, "active flows must cross a channel or be capped");
+                    break;
+                }
+            };
+            if cap_first {
+                let k = cap_next.expect("checked above");
+                cap_heap.pop();
+                let i = k.lc as usize;
+                frozen[i] = true;
+                remaining -= 1;
+                rates[i] = k.key;
+                let f = &self.slots[self.comp_slots[i] as usize];
+                for ch in f.route.iter() {
+                    let lc = self.chan_local[ch.idx()] as usize;
+                    self.residual[lc] = (self.residual[lc] - k.key).max(0.0);
+                    self.load[lc] -= 1;
+                }
+            } else {
+                let ShareKey { key: level, lc } = chan_next.expect("checked above");
+                chan_heap.pop();
+                // Freeze every active flow crossing the saturated channel.
+                let c_global = self.comp_chans[lc as usize] as usize;
+                for mi in 0..self.members[c_global].len() {
+                    let slot = self.members[c_global][mi];
+                    let i = self.slots[slot as usize].local as usize;
+                    if frozen[i] {
+                        continue;
+                    }
+                    frozen[i] = true;
+                    remaining -= 1;
+                    rates[i] = level;
+                    let f = &self.slots[slot as usize];
+                    for ch in f.route.iter() {
+                        let l2 = self.chan_local[ch.idx()] as usize;
+                        self.residual[l2] = (self.residual[l2] - level).max(0.0);
+                        self.load[l2] -= 1;
+                    }
+                }
+                debug_assert_eq!(self.load[lc as usize], 0, "saturated channel fully frozen");
+            }
+        }
+        self.frozen_scratch = frozen;
+        for (i, &slot) in self.comp_slots.iter().enumerate() {
+            let f = &mut self.slots[slot as usize];
+            if f.rate != rates[i] {
+                f.rate = rates[i];
+                self.changed.push((f.id, rates[i]));
+            }
+        }
+        self.rates_scratch = rates;
+        (&self.changed, &self.comp_chans)
+    }
 }
 
 #[cfg(test)]
@@ -244,6 +635,107 @@ mod tests {
     #[test]
     fn empty_input() {
         assert!(max_min_rates(&[1.0, 2.0], &[]).is_empty());
+    }
+
+    /// Reference comparison helper: the incremental solver's rates for the
+    /// given live flow set must match the one-shot solver's.
+    fn assert_matches_reference(
+        solver: &IncrementalMaxMin,
+        caps: &[f64],
+        live: &[(u64, Vec<ChannelId>, Option<f64>)],
+    ) {
+        let inputs: Vec<FlowInput<'_>> =
+            live.iter().map(|(_, r, c)| FlowInput { route: r, cap: *c }).collect();
+        let expect = max_min_rates(caps, &inputs);
+        for ((id, _, _), want) in live.iter().zip(expect) {
+            let got = solver.rate(*id);
+            if want.is_infinite() {
+                assert!(got.is_infinite(), "flow {id}");
+            } else {
+                let tol = 1e-6 * want.max(1.0);
+                assert!((got - want).abs() < tol, "flow {id}: {got} vs {want}");
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_matches_reference_through_churn() {
+        let (t, hs, rt) = star(6, 700.0);
+        let caps = t.channel_capacities();
+        let mut solver = IncrementalMaxMin::new(caps.clone());
+        let mut live: Vec<(u64, Vec<ChannelId>, Option<f64>)> = Vec::new();
+        let cap = Bandwidth::from_mbps(150.0).bytes_per_sec();
+        let mut next_id = 0u64;
+        let mut add = |solver: &mut IncrementalMaxMin,
+                       live: &mut Vec<(u64, Vec<ChannelId>, Option<f64>)>,
+                       a: usize,
+                       b: usize,
+                       c: Option<f64>| {
+            let route = rt.route(hs[a], hs[b]);
+            solver.insert(next_id, &route, c);
+            live.push((next_id, route, c));
+            next_id += 1;
+        };
+        add(&mut solver, &mut live, 0, 1, None);
+        add(&mut solver, &mut live, 0, 2, None);
+        solver.resolve();
+        assert_matches_reference(&solver, &caps, &live);
+        add(&mut solver, &mut live, 3, 1, Some(cap));
+        add(&mut solver, &mut live, 4, 5, None);
+        solver.resolve();
+        assert_matches_reference(&solver, &caps, &live);
+        // Remove the first flow: its bandwidth must be redistributed.
+        let (id, _, _) = live.remove(0);
+        solver.remove(id);
+        solver.resolve();
+        assert_matches_reference(&solver, &caps, &live);
+        // Idempotent when clean.
+        let (changed, chans) = solver.resolve();
+        assert!(changed.is_empty() && chans.is_empty());
+    }
+
+    #[test]
+    fn incremental_leaves_untouched_components_alone() {
+        // Two disjoint pairs: churn on one pair must not report the other.
+        let (t, hs, rt) = star(5, 500.0);
+        let caps = t.channel_capacities();
+        let mut solver = IncrementalMaxMin::new(caps);
+        let r01 = rt.route(hs[0], hs[1]);
+        let r23 = rt.route(hs[2], hs[3]);
+        solver.insert(1, &r01, None);
+        solver.insert(2, &r23, None);
+        solver.resolve();
+        let full = Bandwidth::from_mbps(500.0).bytes_per_sec();
+        assert!((solver.rate(1) - full).abs() < 1.0);
+        // New flow contends with flow 1 only (shares h0's uplink).
+        let r04 = rt.route(hs[0], hs[4]);
+        solver.insert(3, &r04, None);
+        let (changed, chans) = solver.resolve();
+        let ids: Vec<u64> = changed.iter().map(|&(id, _)| id).collect();
+        assert!(ids.contains(&1), "sharing flow re-rated");
+        assert!(!ids.contains(&2), "disjoint flow untouched");
+        for &c in chans {
+            assert!(
+                !r23.iter().any(|ch| ch.idx() == c as usize),
+                "disjoint channels must not be touched"
+            );
+        }
+        assert!((solver.rate(1) - full / 2.0).abs() < 1.0);
+        assert!((solver.rate(2) - full).abs() < 1.0);
+    }
+
+    #[test]
+    fn incremental_loopback_and_unknown_flows() {
+        let mut solver = IncrementalMaxMin::new(vec![]);
+        solver.insert(7, &[], None);
+        solver.insert(8, &[], Some(5.0));
+        assert!(solver.rate(7).is_infinite());
+        assert_eq!(solver.rate(8), 5.0);
+        assert_eq!(solver.rate(99), 0.0);
+        assert!(!solver.is_dirty(), "loopback flows don't dirty channels");
+        solver.remove(99); // unknown: no-op
+        solver.remove(7);
+        assert_eq!(solver.rate(7), 0.0);
     }
 
     #[test]

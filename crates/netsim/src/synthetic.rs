@@ -225,18 +225,35 @@ impl HeteroWan {
     /// `bottleneck_ratio` of the site's aggregate demand. Latency and
     /// per-flow cap take the Grid'5000-calibrated defaults.
     pub fn uniform(sites: usize, hosts: usize, bottleneck_ratio: f64) -> Self {
-        assert!(sites > 0 && hosts > 0 && bottleneck_ratio > 0.0);
+        Self::uniform_with_access(sites, hosts, bottleneck_ratio, SYNTH_ACCESS_MBPS)
+    }
+
+    /// Like [`HeteroWan::uniform`] with an explicit host access speed (Mb/s).
+    ///
+    /// Low access speeds model consumer-edge peers (the classic BitTorrent
+    /// deployment regime): broadcasts take far longer in simulated time while
+    /// moving the same number of fragments, which is exactly the workload
+    /// where event-driven advancement beats fixed-step simulation. The WAN
+    /// per-flow cap never binds below a host's own access rate, so it is
+    /// clamped to `access_mbps` when access is the slower of the two.
+    pub fn uniform_with_access(
+        sites: usize,
+        hosts: usize,
+        bottleneck_ratio: f64,
+        access_mbps: f64,
+    ) -> Self {
+        assert!(sites > 0 && hosts > 0 && bottleneck_ratio > 0.0 && access_mbps > 0.0);
         HeteroWan {
             sites: (0..sites)
                 .map(|s| WanSite {
                     name: format!("site-{s}"),
                     hosts,
-                    access_mbps: SYNTH_ACCESS_MBPS,
-                    wan_mbps: hosts as f64 * SYNTH_ACCESS_MBPS * bottleneck_ratio,
+                    access_mbps,
+                    wan_mbps: hosts as f64 * access_mbps * bottleneck_ratio,
                 })
                 .collect(),
             wan_latency: crate::grid5000::WAN_SEGMENT_LATENCY,
-            per_flow_cap_mbps: crate::grid5000::WAN_FLOW_CAP_MBPS,
+            per_flow_cap_mbps: crate::grid5000::WAN_FLOW_CAP_MBPS.min(access_mbps),
         }
     }
 

@@ -1,10 +1,69 @@
 //! Property-based tests for the simulator's core invariants.
 
-use btt_netsim::fairness::{max_min_rates, FlowInput};
+use btt_netsim::fairness::{max_min_rates, FlowInput, IncrementalMaxMin};
 use btt_netsim::prelude::*;
 use btt_netsim::routing::RouteTable;
 use proptest::prelude::*;
 use std::sync::Arc;
+
+/// Route invariants on the 1000+-host synthetic topologies the scaling work
+/// standardizes on: contiguous oriented paths with the expected hop
+/// structure, for a deterministic sample of host pairs.
+#[test]
+fn routing_holds_on_large_synthetic_topologies() {
+    // fat-tree 8x8x16 = 1024 hosts; routes are 2 (intra-rack), 4
+    // (intra-pod), or 6 (cross-pod) channels long.
+    let ft = FatTree {
+        pods: 8,
+        racks_per_pod: 8,
+        hosts_per_rack: 16,
+        edge_oversubscription: 4.0,
+        core_oversubscription: 2.0,
+    }
+    .build();
+    let hosts = ft.all_hosts();
+    assert_eq!(hosts.len(), 1024);
+    let rt = RouteTable::new(ft.topology.clone());
+    let mut x = 0x5EEDu64;
+    let mut next = || {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (x >> 33) as usize
+    };
+    for _ in 0..500 {
+        let a = hosts[next() % hosts.len()];
+        let b = hosts[next() % hosts.len()];
+        let route = rt.route(a, b);
+        if a == b {
+            assert!(route.is_empty());
+            continue;
+        }
+        assert!(
+            matches!(route.len(), 2 | 4 | 6),
+            "fat-tree route length {} for {a}->{b}",
+            route.len()
+        );
+        assert_eq!(ft.topology.channel_tail(route[0]), a);
+        assert_eq!(ft.topology.channel_head(*route.last().unwrap()), b);
+        for w in route.windows(2) {
+            assert_eq!(ft.topology.channel_head(w[0]), ft.topology.channel_tail(w[1]));
+        }
+        assert_eq!(rt.hops(a, b) as usize, route.len());
+    }
+
+    // wan 16x64 = 1024 hosts behind per-site WAN segments; cross-site
+    // routes carry the WAN per-flow cap, intra-site routes do not.
+    let wan = HeteroWan::uniform_with_access(16, 64, 0.5, 20.0).build();
+    let hosts = wan.all_hosts();
+    assert_eq!(hosts.len(), 1024);
+    let rt = RouteTable::new(wan.topology.clone());
+    let same_site = rt.route(hosts[0], hosts[1]);
+    assert_eq!(same_site.len(), 2);
+    assert_eq!(rt.route_flow_cap(&same_site), None, "intra-site is uncapped");
+    let cross = rt.route(hosts[0], hosts[64]);
+    assert_eq!(cross.len(), 6, "host-sw-router-core-router-sw-host");
+    let cap = rt.route_flow_cap(&cross).expect("WAN segments impose a per-flow cap");
+    assert!((cap - Bandwidth::from_mbps(20.0).bytes_per_sec()).abs() < 1e-6);
+}
 
 /// Builds a random two-tier topology: `clusters` stars joined by a backbone
 /// switch, with the given per-tier capacities (Mb/s).
@@ -128,6 +187,58 @@ proptest! {
         }
         let expect = Bandwidth::from_mbps(mbps).bytes_per_sec() * time;
         prop_assert!((total - expect).abs() / expect < 1e-6, "{} vs {}", total, expect);
+    }
+
+    /// The incremental solver agrees with the one-shot reference through an
+    /// arbitrary interleaving of inserts, removes, and resolves.
+    #[test]
+    fn incremental_solver_matches_reference_under_churn(
+        clusters in 2usize..4,
+        hosts_per in 2usize..5,
+        trunk in 100f64..1500.0,
+        ops in proptest::collection::vec((any::<u16>(), any::<bool>()), 4..40),
+        cap_mbps in proptest::option::of(50f64..400.0),
+    ) {
+        let topo = two_tier(clusters, hosts_per, 890.0, trunk);
+        let rt = RouteTable::new(topo.clone());
+        let hosts = topo.hosts().to_vec();
+        let caps = topo.channel_capacities();
+        let cap = cap_mbps.map(|m| Bandwidth::from_mbps(m).bytes_per_sec());
+
+        let mut solver = IncrementalMaxMin::new(caps.clone());
+        let mut live: Vec<(u64, Vec<ChannelId>)> = Vec::new();
+        let mut next_id = 0u64;
+        for (pick, remove) in ops {
+            if remove && !live.is_empty() {
+                let (id, _) = live.remove(pick as usize % live.len());
+                solver.remove(id);
+            } else {
+                let a = hosts[pick as usize % hosts.len()];
+                let b = hosts[(pick as usize / 7 + 1) % hosts.len()];
+                if a == b {
+                    continue;
+                }
+                let route = rt.route(a, b);
+                solver.insert(next_id, &route, cap);
+                live.push((next_id, route));
+                next_id += 1;
+            }
+            // Resolve after every op half the time, exercising both
+            // immediate and batched dirty sets.
+            if pick % 2 == 0 {
+                solver.resolve();
+            }
+        }
+        solver.resolve();
+
+        let inputs: Vec<FlowInput<'_>> =
+            live.iter().map(|(_, r)| FlowInput { route: r, cap }).collect();
+        let expect = max_min_rates(&caps, &inputs);
+        for ((id, _), want) in live.iter().zip(expect) {
+            let got = solver.rate(*id);
+            let tol = 1e-6 * want.max(1.0);
+            prop_assert!((got - want).abs() < tol, "flow {}: {} vs {}", id, got, want);
+        }
     }
 
     /// Bounded flows complete exactly once and at a time consistent with

@@ -197,6 +197,38 @@ mod tests {
     }
 
     #[test]
+    fn root_policies_cover_and_stay_stable_at_large_n() {
+        // 1024 hosts, 4096 iterations: the scale regime the event engine
+        // targets. Policies must stay in range, be a pure function of
+        // (k, n, seed), and spread roots across the whole host set.
+        let n = 1024usize;
+        let iters = 4096u32;
+
+        // RoundRobin hits every host exactly iters/n times.
+        let mut rr_counts = vec![0u32; n];
+        for k in 0..iters {
+            rr_counts[RootPolicy::RoundRobin.root_for(k, n, 9)] += 1;
+        }
+        assert!(rr_counts.iter().all(|&c| c == iters / n as u32), "round robin is exact");
+
+        // Random: in range, seed-stable, and covers the large majority of
+        // hosts after 4x oversampling (coupon-collector leaves a small tail).
+        let mut seen = vec![false; n];
+        for k in 0..iters {
+            let r = RootPolicy::Random.root_for(k, n, 42);
+            assert!(r < n);
+            assert_eq!(r, RootPolicy::Random.root_for(k, n, 42), "seed-stable");
+            seen[r] = true;
+        }
+        let covered = seen.iter().filter(|&&s| s).count();
+        assert!(covered > n * 9 / 10, "random roots cover {covered}/{n} hosts");
+        // Different base seeds decorrelate the sequence.
+        let a: Vec<usize> = (0..64).map(|k| RootPolicy::Random.root_for(k, n, 1)).collect();
+        let b: Vec<usize> = (0..64).map(|k| RootPolicy::Random.root_for(k, n, 2)).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
     fn round_robin_rotates_roots() {
         let (routes, hosts) = star(4);
         let c = run_campaign(&routes, &hosts, &cfg(), 4, RootPolicy::RoundRobin, 10);

@@ -8,6 +8,27 @@
 use btt_netsim::units::FRAGMENT_BYTES;
 use serde::{Deserialize, Serialize};
 
+/// How a [`Swarm`](crate::swarm::Swarm) run advances simulated time.
+///
+/// Protocol actions happen at the same instants in both modes — fragment
+/// completions fire as engine delivery-mark events at exact fluid times and
+/// rechokes fire as scheduled timers — so both produce **bit-identical**
+/// results per seed. They differ only in pacing:
+///
+/// * `EventDriven` jumps the clock straight from event to event (the fast
+///   path, and the default);
+/// * `FixedStep` caps every advance at [`SwarmConfig::step`] seconds, which
+///   is required when an external per-step hook injects traffic
+///   ([`Swarm::run_with`](crate::swarm::Swarm::run_with) forces it) and is
+///   what the engine-equivalence tests compare against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DriveMode {
+    /// Jump from completion to completion (default).
+    EventDriven,
+    /// Advance at most [`SwarmConfig::step`] per slice.
+    FixedStep,
+}
+
 /// Piece-selection policy used by downloaders.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum SelectionPolicy {
@@ -43,9 +64,28 @@ pub struct SwarmConfig {
     pub optimistic_interval: f64,
     /// Rolling window for transfer-rate estimation (seconds).
     pub rate_window: f64,
-    /// Simulation step (seconds). Protocol logic runs once per step; the
-    /// fluid engine resolves completions event-accurately inside steps.
+    /// Pacing cap for [`DriveMode::FixedStep`] (seconds). Protocol actions
+    /// are event-timed in both modes; this only bounds how far a single
+    /// fixed-step slice may advance (e.g. between traffic-hook invocations).
     pub step: f64,
+    /// How runs advance time (see [`DriveMode`]).
+    pub drive: DriveMode,
+    /// Fairness re-solve quantum in seconds (`None` = use [`SwarmConfig::step`]).
+    /// Flow churn is batched and rates re-solved at most once per quantum —
+    /// the staleness bound the legacy fixed-step engine implicitly had at
+    /// one `step`. Large slow-network swarms raise it (staleness that is a
+    /// small fraction of the makespan buys a proportional cut in solver
+    /// work); probe-style exactness wants it small.
+    pub rate_refresh: Option<f64>,
+    /// How long a transfer stream survives after its uploader runs out of
+    /// fresh pieces (seconds' worth of bytes at the stream's current rate).
+    /// Bytes delivered while idling model request pipelining / read-ahead:
+    /// they complete future pieces instantly when the uploader announces
+    /// them. This replaces the implicit one-step grace the pre-event-driven
+    /// engine applied via its 50 ms service quantum, and keeps fast
+    /// same-bottleneck pairs from tearing their streams down at every
+    /// catch-up (which would churn the fairness solver per fragment).
+    pub idle_grace: f64,
     /// Below this many missing pieces a downloader enters endgame mode and
     /// may request the same piece from several peers.
     pub endgame_pieces: u32,
@@ -88,6 +128,10 @@ impl SwarmConfig {
         );
         assert!(self.rechoke_interval > 0.0 && self.optimistic_interval > 0.0);
         assert!(self.step > 0.0 && self.max_sim_time > self.step);
+        assert!(self.idle_grace > 0.0, "idle grace must be positive");
+        if let Some(q) = self.rate_refresh {
+            assert!(q > 0.0 && q.is_finite(), "rate refresh quantum must be positive");
+        }
         if let SelectionPolicy::SampledRarest { sample } = self.selection {
             assert!(sample >= 1, "sample size must be at least 1");
         }
@@ -106,6 +150,9 @@ impl Default for SwarmConfig {
             optimistic_interval: 30.0,
             rate_window: 20.0,
             step: 0.05,
+            drive: DriveMode::EventDriven,
+            rate_refresh: None,
+            idle_grace: 0.05,
             endgame_pieces: 20,
             random_first_pieces: 4,
             selection: SelectionPolicy::SampledRarest { sample: 16 },

@@ -19,14 +19,32 @@
 //! per-(source, destination) counter that phase 2 of the tomography method
 //! consumes — exactly the hash-table-of-counters instrumentation described in
 //! §II-A of the paper.
+//!
+//! ## Completion-driven advancement
+//!
+//! The swarm is an event-driven client of [`SimNet`]: every active transfer
+//! keeps one **delivery mark** armed at its current fragment boundary, so
+//! the engine's calendar knows the exact fluid time of the next fragment
+//! completion anywhere in the swarm. A run jumps from completion to
+//! completion; the 10 s rechoke (and 30 s optimistic rotation) fire as
+//! scheduled timers between them. Idle pairs are never polled — a pair with
+//! nothing fetchable goes dormant and is retried only when something that
+//! could unblock it happens (a HAVE arrives, a choke slot opens, an
+//! in-flight reservation is released, or endgame begins), plus a sweep at
+//! every rechoke boundary as a safety net.
+//!
+//! Because the engine's state is invariant to how time is sliced and all
+//! protocol actions are keyed to event instants, a fixed-step paced run
+//! ([`crate::config::DriveMode::FixedStep`]) produces **bit-identical**
+//! results — that equivalence is pinned by `tests/equivalence.rs`.
 
 use crate::bitfield::Bitfield;
-use crate::config::SwarmConfig;
+use crate::config::{DriveMode, SwarmConfig};
 use crate::metrics::FragmentMatrix;
 use crate::rate::RateEstimator;
 use crate::selection::{pick_piece, PickContext};
 use crate::tracker::PeerGraph;
-use btt_netsim::engine::{FlowId, SimNet};
+use btt_netsim::engine::{CompletionKind, FlowId, SimNet};
 use btt_netsim::routing::RouteTable;
 use btt_netsim::topology::NodeId;
 use btt_netsim::util::FxHashMap;
@@ -39,9 +57,12 @@ use std::sync::Arc;
 #[derive(Debug)]
 struct Transfer {
     flow: FlowId,
-    /// Piece currently being fetched on this stream.
-    piece: u32,
-    /// Bytes accumulated towards the current piece.
+    /// Piece currently being fetched on this stream; `None` while the
+    /// stream idles in its grace window (uploader momentarily out of fresh
+    /// pieces — delivered bytes accumulate as read-ahead in `got`).
+    piece: Option<u32>,
+    /// Bytes accumulated towards the current piece (may exceed one piece
+    /// while idling: read-ahead that completes future pieces instantly).
     got: f64,
 }
 
@@ -62,6 +83,16 @@ struct Nbr {
     rate_from: RateEstimator,
     /// Bytes/sec we send *to* this neighbor (seed ranking).
     rate_to: RateEstimator,
+    /// Last fluid rate observed while a transfer from this neighbor ran,
+    /// and when it was observed. A transfer that is *supply-limited* (the
+    /// uploader runs out of fresh pieces the instant they appear) moves few
+    /// bytes per window, yet the link under it may be fast — which is
+    /// exactly what tit-for-tat rewards on real clients, where each burst
+    /// runs at wire speed. The choker ranks by this measured capacity when
+    /// fresh, falling back to the byte-rate estimate.
+    link_rate_from: (f64, f64),
+    /// Mirror observation for the upload direction (seed ranking).
+    link_rate_to: (f64, f64),
     /// Our active download from this neighbor, if any.
     transfer: Option<Transfer>,
 }
@@ -100,6 +131,18 @@ fn two_mut<T>(v: &mut [T], i: usize, j: usize) -> (&mut T, &mut T) {
     }
 }
 
+/// Packs a (downloader, neighbor-position) pair into a flow tag so mark
+/// events map straight back to the transfer without a lookup table.
+#[inline]
+fn pair_tag(d: usize, j: usize) -> u64 {
+    ((d as u64) << 32) | j as u64
+}
+
+#[inline]
+fn untag(tag: u64) -> (usize, usize) {
+    ((tag >> 32) as usize, (tag & 0xFFFF_FFFF) as usize)
+}
+
 /// A running broadcast simulation.
 ///
 /// Most users should go through [`crate::broadcast::run_broadcast`]; the
@@ -112,12 +155,18 @@ pub struct Swarm {
     rng: ChaCha12Rng,
     peers: Vec<Peer>,
     fragments: FragmentMatrix,
-    /// (owner, piece) HAVE announcements queued within the current step.
+    /// (owner, piece) HAVE announcements queued within the current event.
     have_queue: Vec<(u32, u32)>,
+    /// Peers whose dormant pairs should be retried (candidate sets grew).
+    retry_queue: Vec<u32>,
+    /// Next simulated instant the external traffic hook is due (hooks are
+    /// contracted to run once per `step` of simulated time, not per event).
+    next_hook: f64,
     /// Leechers that have not finished downloading yet.
     incomplete: usize,
     root: usize,
-    steps: usize,
+    /// Protocol events processed (fragment completions + rechoke rounds).
+    events: usize,
     next_rechoke: f64,
     rechoke_round: u64,
 }
@@ -181,6 +230,8 @@ impl Swarm {
                             am_unchoking: false,
                             rate_from: RateEstimator::new(cfg.rate_window),
                             rate_to: RateEstimator::new(cfg.rate_window),
+                            link_rate_from: (0.0, f64::NEG_INFINITY),
+                            link_rate_to: (0.0, f64::NEG_INFINITY),
                             transfer: None,
                         })
                         .collect(),
@@ -195,7 +246,12 @@ impl Swarm {
             peers[root].nbrs[j].they_interested = true;
         }
 
-        let net = SimNet::with_routes(routes.topology().clone(), routes);
+        let mut net = SimNet::with_routes(routes.topology().clone(), routes);
+        // Batch fairness re-solves on the configured quantum (default: the
+        // protocol step — the same rate-staleness bound the legacy
+        // fixed-step engine had). This is the knob that keeps per-fragment
+        // cost flat at 1000+ hosts.
+        net.set_rate_refresh(cfg.rate_refresh.unwrap_or(cfg.step));
         Swarm {
             fragments: FragmentMatrix::new(n),
             cfg,
@@ -203,9 +259,11 @@ impl Swarm {
             rng,
             peers,
             have_queue: Vec::new(),
+            retry_queue: Vec::new(),
+            next_hook: 0.0,
             incomplete: n - 1,
             root,
-            steps: 0,
+            events: 0,
             next_rechoke: 0.0,
             rechoke_round: 0,
         }
@@ -236,30 +294,93 @@ impl Swarm {
         self.incomplete == 0
     }
 
-    /// Runs protocol timers and one fluid step. Returns the new sim time.
+    /// Host pairs (uploader, downloader) with a running transfer — protocol
+    /// introspection for tests and diagnostics.
+    pub fn active_transfers(&self) -> Vec<(NodeId, NodeId)> {
+        let mut out = Vec::new();
+        for d in &self.peers {
+            for nb in &d.nbrs {
+                if nb.transfer.is_some() {
+                    out.push((self.peers[nb.peer as usize].host, d.host));
+                }
+            }
+        }
+        out
+    }
+
+    /// Runs protocol timers and advances by at most one fixed step,
+    /// processing any fragment completions inside it. Returns the new sim
+    /// time. (Manual drivers get fixed-step pacing; `run` jumps
+    /// completion-to-completion when the config says so.)
     pub fn step(&mut self) -> f64 {
         self.step_with(&mut |_| {})
     }
 
     /// Like [`step`](Self::step), invoking `hook` on the network before the
-    /// fluid advance. Used to inject competing traffic (e.g.
+    /// advance. Used to inject competing traffic (e.g.
     /// [`btt_netsim::traffic::BackgroundTraffic`]) while the broadcast runs.
     pub fn step_with(&mut self, hook: &mut dyn FnMut(&mut SimNet)) -> f64 {
+        self.slice(self.cfg.step, hook)
+    }
+
+    /// One slice of the drive loop: run due timers, let the hook inject
+    /// traffic, then advance to the next fragment completion — but never
+    /// past the next rechoke boundary nor further than `max_dt` (which may
+    /// be infinite for pure event-driven pacing).
+    fn slice(&mut self, max_dt: f64, hook: &mut dyn FnMut(&mut SimNet)) -> f64 {
         if self.net.time() + 1e-9 >= self.next_rechoke {
-            let rounds_per_optimistic = (self.cfg.optimistic_interval / self.cfg.rechoke_interval)
-                .round()
-                .max(1.0) as u64;
-            let rotate = self.rechoke_round.is_multiple_of(rounds_per_optimistic);
-            self.rechoke_all(rotate);
-            self.rechoke_round += 1;
-            self.next_rechoke += self.cfg.rechoke_interval;
+            self.on_rechoke();
         }
+        // The hook contract is one invocation per `step` of simulated time
+        // (the legacy engine's cadence) — NOT per event; slices stop at
+        // every fragment completion, which can be hundreds of times denser.
+        if self.net.time() + 1e-9 >= self.next_hook {
+            hook(&mut self.net);
+            self.next_hook = self.net.time() + self.cfg.step;
+        }
+        let deadline = if max_dt.is_finite() {
+            self.next_rechoke.min(self.net.time() + max_dt)
+        } else {
+            self.next_rechoke
+        };
+        let fired = self.net.advance_to_next_event_until(deadline);
+        let any = !fired.is_empty();
+        for c in fired {
+            if c.kind == CompletionKind::Mark {
+                let (d, j) = untag(c.tag);
+                self.service_pair(d, j, true);
+                self.events += 1;
+            }
+        }
+        if any {
+            self.flush_haves();
+            self.process_retries();
+        }
+        self.net.time()
+    }
 
-        hook(&mut self.net);
-        self.net.advance(self.cfg.step);
-        self.steps += 1;
+    /// The rechoke timer: drain every active transfer so tit-for-tat scores
+    /// are current, propagate announcements, run the choking algorithm, and
+    /// sweep dormant pairs as a retry safety net.
+    fn on_rechoke(&mut self) {
+        self.service_all();
+        self.flush_haves();
+        let rounds_per_optimistic = (self.cfg.optimistic_interval / self.cfg.rechoke_interval)
+            .round()
+            .max(1.0) as u64;
+        let rotate = self.rechoke_round.is_multiple_of(rounds_per_optimistic);
+        self.rechoke_all(rotate);
+        self.rechoke_round += 1;
+        self.next_rechoke += self.cfg.rechoke_interval;
+        self.events += 1;
+        self.flush_haves();
+        self.retry_all_dormant();
+        self.process_retries();
+    }
 
-        // Service every pair: drain active transfers, try to start idle ones.
+    /// Drains every active transfer (used at rechoke boundaries, where every
+    /// pair's score must reflect bytes up to the boundary).
+    fn service_all(&mut self) {
         for d in 0..self.peers.len() {
             if self.peers[d].completed_at.is_some() {
                 continue;
@@ -269,25 +390,66 @@ impl Swarm {
                     break; // completed mid-loop via an earlier pair
                 }
                 if self.peers[d].nbrs[j].transfer.is_some() {
-                    self.service_pair(d, j);
-                } else {
-                    let (u, pos, interested) = {
-                        let nb = &self.peers[d].nbrs[j];
-                        (nb.peer as usize, nb.pos_at_peer as usize, nb.im_interested)
-                    };
-                    if interested && self.peers[u].nbrs[pos].am_unchoking {
-                        self.try_start_transfer(d, j);
-                    }
+                    self.service_pair(d, j, false);
                 }
             }
         }
-        self.finalize_completed();
-        self.flush_haves();
-        self.net.time()
     }
 
-    /// Drains one active transfer, completing fragments and re-picking.
-    fn service_pair(&mut self, d: usize, j: usize) {
+    /// Retries every dormant pair (interested + unchoked + no transfer).
+    fn retry_all_dormant(&mut self) {
+        for d in 0..self.peers.len() {
+            self.retry_queue.push(d as u32);
+        }
+    }
+
+    /// Runs queued dormant-pair retries, deduplicated, in peer order.
+    fn process_retries(&mut self) {
+        while !self.retry_queue.is_empty() {
+            let mut queue = std::mem::take(&mut self.retry_queue);
+            queue.sort_unstable();
+            queue.dedup();
+            for d in queue {
+                let d = d as usize;
+                if self.peers[d].completed_at.is_some() {
+                    continue;
+                }
+                for j in 0..self.peers[d].nbrs.len() {
+                    enum Kind {
+                        Dormant,
+                        Idling,
+                        Busy,
+                    }
+                    let kind = {
+                        let nb = &self.peers[d].nbrs[j];
+                        if !nb.im_interested {
+                            Kind::Busy
+                        } else {
+                            match &nb.transfer {
+                                None => Kind::Dormant,
+                                Some(t) if t.piece.is_none() => Kind::Idling,
+                                Some(_) => Kind::Busy,
+                            }
+                        }
+                    };
+                    match kind {
+                        Kind::Dormant => self.try_start_transfer(d, j),
+                        Kind::Idling => self.service_pair(d, j, false),
+                        Kind::Busy => {}
+                    }
+                }
+            }
+            // Retries can cascade (a started transfer halts another pair via
+            // a rechoke): loop until the queue drains.
+            self.flush_haves();
+        }
+    }
+
+    /// Drains one active transfer, completing fragments, re-picking, and
+    /// managing the idle-grace state machine. `on_mark` is true when called
+    /// because the stream's delivery mark fired — the only context allowed
+    /// to expire an idle grace window and tear the stream down.
+    fn service_pair(&mut self, d: usize, j: usize, on_mark: bool) {
         let now = self.net.time();
         let piece_bytes = self.cfg.piece_bytes;
         let (flow, u, pos) = {
@@ -299,40 +461,58 @@ impl Swarm {
         };
         let bytes = self.net.take_delivered(flow);
         if bytes > 0.0 {
+            let fluid = self.net.flow_rate(flow);
             self.peers[d].nbrs[j].rate_from.add(bytes, now);
+            self.peers[d].nbrs[j].link_rate_from = (fluid, now);
             self.peers[u].nbrs[pos].rate_to.add(bytes, now);
+            self.peers[u].nbrs[pos].link_rate_to = (fluid, now);
             self.peers[d].nbrs[j].transfer.as_mut().expect("transfer present").got += bytes;
         }
+        let entered_idle =
+            self.peers[d].nbrs[j].transfer.as_ref().expect("transfer present").piece.is_none();
+        let mut completed_any = false;
 
         loop {
-            let (piece, complete) = {
-                let t = self.peers[d].nbrs[j].transfer.as_mut().expect("transfer present");
-                if t.got + 1e-6 >= piece_bytes {
+            let current = self.peers[d].nbrs[j].transfer.as_ref().expect("transfer present").piece;
+            if let Some(piece) = current {
+                // Active piece: complete it if the bytes are in.
+                {
+                    let t = self.peers[d].nbrs[j].transfer.as_mut().expect("transfer present");
+                    if t.got + 1e-6 < piece_bytes {
+                        break; // mark still armed at the piece boundary
+                    }
                     t.got -= piece_bytes;
-                    (t.piece, true)
-                } else {
-                    (t.piece, false)
+                    t.piece = None;
                 }
-            };
-            if !complete {
-                break;
+
+                // One fragment received from u by d: the paper's counter.
+                completed_any = true;
+                self.fragments.record(u, d);
+                self.peers[d].inflight.clear(piece);
+                let remaining_before = self.peers[d].remaining();
+                if self.peers[d].have.set(piece) {
+                    self.have_queue.push((d as u32, piece));
+                    if self.peers[d].have.is_full() {
+                        self.peers[d].completed_at = Some(now);
+                        self.incomplete -= 1;
+                        let t =
+                            self.peers[d].nbrs[j].transfer.take().expect("transfer present");
+                        self.net.stop_flow(t.flow);
+                        self.finalize_peer(d);
+                        return;
+                    }
+                    // Crossing into endgame widens every pair's candidate set
+                    // (in-flight reservations stop masking pieces): retry.
+                    if remaining_before > self.cfg.endgame_pieces
+                        && self.peers[d].remaining() <= self.cfg.endgame_pieces
+                    {
+                        self.retry_queue.push(d as u32);
+                    }
+                }
+                continue; // pick the next piece below
             }
 
-            // One fragment received from u by d: the paper's counter.
-            self.fragments.record(u, d);
-            self.peers[d].inflight.clear(piece);
-            if self.peers[d].have.set(piece) {
-                self.have_queue.push((d as u32, piece));
-                if self.peers[d].have.is_full() {
-                    self.peers[d].completed_at = Some(now);
-                    self.incomplete -= 1;
-                    let t = self.peers[d].nbrs[j].transfer.take().expect("transfer present");
-                    self.net.stop_flow(t.flow);
-                    return;
-                }
-            }
-
-            // Choose the next piece on this stream.
+            // No current piece: try to (re)start one on this stream.
             let picked = {
                 let Self { cfg, peers, rng, .. } = self;
                 let (dp, up) = two_mut(peers, d, u);
@@ -349,29 +529,59 @@ impl Swarm {
             match picked {
                 Some(p) => {
                     self.peers[d].inflight.set(p);
-                    self.peers[d].nbrs[j].transfer.as_mut().expect("transfer present").piece = p;
+                    let t = self.peers[d].nbrs[j].transfer.as_mut().expect("transfer present");
+                    t.piece = Some(p);
+                    if t.got + 1e-6 >= piece_bytes {
+                        continue; // read-ahead already covers it: complete now
+                    }
+                    // Service batching: on fast streams, let one mark cover
+                    // up to a `step` worth of bytes so dozens of fragments
+                    // complete per event (the legacy engine's 50 ms service
+                    // cadence); on slow streams the piece boundary is
+                    // further out than a step and marks stay piece-exact.
+                    let ahead =
+                        (piece_bytes - t.got).max(self.net.flow_rate(flow) * self.cfg.step);
+                    self.net.set_delivery_mark(flow, ahead);
+                    break;
                 }
                 None => {
-                    // Nothing fetchable from u right now: stop the stream so
-                    // it stops consuming bandwidth. Drop interest only if u
-                    // truly has nothing we lack (otherwise pieces are merely
-                    // inflight elsewhere and we retry next step).
-                    let t = self.peers[d].nbrs[j].transfer.take().expect("transfer present");
-                    self.net.stop_flow(t.flow);
-                    let still = {
-                        let (dp, up) = two_mut(&mut self.peers, d, u);
-                        dp.have.is_interested_in(&up.have)
-                    };
-                    if !still {
-                        self.peers[d].nbrs[j].im_interested = false;
-                        self.peers[u].nbrs[pos].they_interested = false;
-                        // Original-client behaviour: losing an interested
-                        // customer frees a slot worth re-evaluating now, not
-                        // at the next 10 s boundary (stragglers would stall).
-                        if self.peers[u].nbrs[pos].am_unchoking {
-                            self.rechoke_peer(u, false);
+                    // Uploader momentarily out of fresh pieces. Keep the
+                    // stream open through a short grace window — delivered
+                    // bytes accumulate as read-ahead and complete the next
+                    // announced piece instantly, and the fairness solver is
+                    // spared a churn per catch-up. Only an expired grace
+                    // (its own mark firing with still nothing to pick)
+                    // tears the stream down.
+                    if completed_any || !entered_idle {
+                        // Idleness begins (or re-begins) now: arm the grace.
+                        let grace =
+                            (self.net.flow_rate(flow) * self.cfg.idle_grace).max(piece_bytes);
+                        self.net.set_delivery_mark(flow, grace);
+                    } else if on_mark {
+                        // The grace window itself fired with nothing new:
+                        // stop the stream.
+                        let t =
+                            self.peers[d].nbrs[j].transfer.take().expect("transfer present");
+                        self.net.stop_flow(t.flow);
+                        let still = {
+                            let (dp, up) = two_mut(&mut self.peers, d, u);
+                            dp.have.is_interested_in(&up.have)
+                        };
+                        if !still {
+                            self.peers[d].nbrs[j].im_interested = false;
+                            self.peers[u].nbrs[pos].they_interested = false;
+                            // Original-client behaviour: the uploader does
+                            // NOT re-choke on NOT_INTERESTED — the slot
+                            // survives until its next choker round, so the
+                            // pair resumes instantly on the next HAVE
+                            // instead of losing the slot to a
+                            // cross-bottleneck stream at every catch-up.
+                            // Idle slots are reclaimed on demand by the
+                            // spare-slot rechoke in `flush_haves` and at
+                            // the scheduled boundary.
                         }
                     }
+                    // else: idle with a pending grace mark — keep waiting.
                     return;
                 }
             }
@@ -379,7 +589,7 @@ impl Swarm {
     }
 
     /// Starts a download stream from neighbor `j` of peer `d` if a piece is
-    /// available. Caller must ensure the uploader is unchoking `d`.
+    /// available, arming its fragment delivery mark.
     fn try_start_transfer(&mut self, d: usize, j: usize) {
         if self.peers[d].completed_at.is_some() || self.peers[d].nbrs[j].transfer.is_some() {
             return;
@@ -406,54 +616,53 @@ impl Swarm {
         };
         if let Some(p) = picked {
             self.peers[d].inflight.set(p);
-            let flow = self.net.start_flow(self.peers[u].host, self.peers[d].host, None, 0);
-            self.peers[d].nbrs[j].transfer = Some(Transfer { flow, piece: p, got: 0.0 });
+            let flow =
+                self.net.start_flow(self.peers[u].host, self.peers[d].host, None, pair_tag(d, j));
+            let ahead =
+                self.cfg.piece_bytes.max(self.net.flow_rate(flow) * self.cfg.step);
+            self.net.set_delivery_mark(flow, ahead);
+            self.peers[d].nbrs[j].transfer = Some(Transfer { flow, piece: Some(p), got: 0.0 });
         }
     }
 
     /// Stops the download stream from neighbor `j` of peer `d` (choked).
     /// Partial fragment progress is discarded, mirroring a request queue
     /// flush; at fluid rates this loses well under one fragment per rechoke.
+    /// Releasing the in-flight reservation may unblock d's dormant pairs, so
+    /// d is queued for retry.
     fn halt_transfer(&mut self, d: usize, j: usize) {
         if let Some(t) = self.peers[d].nbrs[j].transfer.take() {
             self.net.stop_flow(t.flow);
-            self.peers[d].inflight.clear(t.piece);
+            if let Some(p) = t.piece {
+                self.peers[d].inflight.clear(p);
+            }
+            self.retry_queue.push(d as u32);
         }
     }
 
-    /// Cleans up peers that completed during this step: stop their downloads,
-    /// withdraw their interest everywhere, and re-evaluate chokes — both for
-    /// the new seed (its ranking policy flips to upload rate) and for any
-    /// uploader that just lost a customer.
-    fn finalize_completed(&mut self) {
+    /// Cleans up a peer that just completed its download: stop its
+    /// downloads, withdraw its interest everywhere, and re-evaluate chokes —
+    /// both for the new seed (its ranking policy flips to upload rate) and
+    /// for any uploader that just lost a customer.
+    fn finalize_peer(&mut self, d: usize) {
         let mut rechoke: Vec<usize> = Vec::new();
-        for d in 0..self.peers.len() {
-            if self.peers[d].completed_at.is_none() {
-                continue;
+        for j in 0..self.peers[d].nbrs.len() {
+            if self.peers[d].nbrs[j].transfer.is_some() {
+                self.halt_transfer(d, j);
             }
-            let mut acted = false;
-            for j in 0..self.peers[d].nbrs.len() {
-                if self.peers[d].nbrs[j].transfer.is_some() {
-                    self.halt_transfer(d, j);
-                    acted = true;
+            if self.peers[d].nbrs[j].im_interested {
+                let (u, pos) = {
+                    let nb = &self.peers[d].nbrs[j];
+                    (nb.peer as usize, nb.pos_at_peer as usize)
+                };
+                self.peers[d].nbrs[j].im_interested = false;
+                self.peers[u].nbrs[pos].they_interested = false;
+                if self.peers[u].nbrs[pos].am_unchoking {
+                    rechoke.push(u);
                 }
-                if self.peers[d].nbrs[j].im_interested {
-                    let (u, pos) = {
-                        let nb = &self.peers[d].nbrs[j];
-                        (nb.peer as usize, nb.pos_at_peer as usize)
-                    };
-                    self.peers[d].nbrs[j].im_interested = false;
-                    self.peers[u].nbrs[pos].they_interested = false;
-                    if self.peers[u].nbrs[pos].am_unchoking {
-                        rechoke.push(u);
-                    }
-                    acted = true;
-                }
-            }
-            if acted {
-                rechoke.push(d);
             }
         }
+        rechoke.push(d);
         rechoke.sort_unstable();
         rechoke.dedup();
         for p in rechoke {
@@ -464,34 +673,52 @@ impl Swarm {
     /// Propagates queued HAVE announcements: availability counts, interest
     /// flags, waking dormant unchoked pairs, and eager slot filling.
     fn flush_haves(&mut self) {
-        let queue = std::mem::take(&mut self.have_queue);
-        for (owner, piece) in queue {
-            let owner = owner as usize;
-            for j in 0..self.peers[owner].nbrs.len() {
-                let (u, pos) = {
-                    let nb = &self.peers[owner].nbrs[j];
-                    (nb.peer as usize, nb.pos_at_peer as usize)
-                };
-                self.peers[u].avail[piece as usize] =
-                    self.peers[u].avail[piece as usize].saturating_add(1);
-                if self.peers[u].completed_at.is_some() || self.peers[u].have.get(piece) {
-                    continue;
-                }
-                // u is now (still) interested in owner.
-                if !self.peers[u].nbrs[pos].im_interested {
-                    self.peers[u].nbrs[pos].im_interested = true;
-                    self.peers[owner].nbrs[j].they_interested = true;
-                    // Original-client behaviour: an interest change triggers a
-                    // choke re-evaluation if the uploader has slots to spare.
-                    if self.unchoked_count(owner) < self.cfg.upload_slots {
-                        self.rechoke_peer(owner, false);
+        while !self.have_queue.is_empty() {
+            let queue = std::mem::take(&mut self.have_queue);
+            for (owner, piece) in queue {
+                let owner = owner as usize;
+                for j in 0..self.peers[owner].nbrs.len() {
+                    let (u, pos) = {
+                        let nb = &self.peers[owner].nbrs[j];
+                        (nb.peer as usize, nb.pos_at_peer as usize)
+                    };
+                    self.peers[u].avail[piece as usize] =
+                        self.peers[u].avail[piece as usize].saturating_add(1);
+                    if self.peers[u].completed_at.is_some() || self.peers[u].have.get(piece) {
+                        continue;
                     }
-                }
-                // Wake a dormant unchoked pair.
-                if self.peers[owner].nbrs[j].am_unchoking
-                    && self.peers[u].nbrs[pos].transfer.is_none()
-                {
-                    self.try_start_transfer(u, pos);
+                    // u is now (still) interested in owner.
+                    if !self.peers[u].nbrs[pos].im_interested {
+                        self.peers[u].nbrs[pos].im_interested = true;
+                        self.peers[owner].nbrs[j].they_interested = true;
+                        // Original-client behaviour: an interest change triggers a
+                        // choke re-evaluation if the uploader has slots to spare —
+                        // unless the pair already holds an (idle) unchoke slot, in
+                        // which case the wake below resumes it directly. Catch-up
+                        // pairs flap interest at every announcement, so skipping
+                        // the re-choke here is what keeps HAVE processing O(1).
+                        if !self.peers[owner].nbrs[j].am_unchoking
+                            && self.unchoked_count(owner) < self.cfg.upload_slots
+                        {
+                            self.rechoke_peer(owner, false);
+                        }
+                    }
+                    // Wake a dormant unchoked pair, or nudge an idling
+                    // stream — but only when the just-announced piece is
+                    // actually fetchable by u. A dormant pair's candidate
+                    // set grows only through announcements (in-flight
+                    // releases queue an explicit retry), so gating on this
+                    // piece skips the guaranteed-to-fail pick attempts that
+                    // otherwise dominate HAVE processing.
+                    let fetchable = !self.peers[u].inflight.get(piece)
+                        || self.peers[u].remaining() <= self.cfg.endgame_pieces;
+                    if fetchable && self.peers[owner].nbrs[j].am_unchoking {
+                        match &self.peers[u].nbrs[pos].transfer {
+                            None => self.try_start_transfer(u, pos),
+                            Some(t) if t.piece.is_none() => self.service_pair(u, pos, false),
+                            Some(_) => {}
+                        }
+                    }
                 }
             }
         }
@@ -521,14 +748,20 @@ impl Swarm {
             let completed = peers[p].completed_at.is_some();
             let pr = &mut peers[p];
 
-            // Score interested neighbors.
+            // Score interested neighbors: measured link capacity while a
+            // recent transfer ran, else the byte-rate estimate.
+            let window = cfg.rate_window;
             let mut cands: Vec<(f64, u64, u32)> = Vec::with_capacity(pr.nbrs.len());
             for (j, nb) in pr.nbrs.iter_mut().enumerate() {
                 if !nb.they_interested {
                     continue;
                 }
-                let score =
-                    if completed { nb.rate_to.rate(now) } else { nb.rate_from.rate(now) };
+                let (est, (cap, cap_at)) = if completed {
+                    (nb.rate_to.rate(now), nb.link_rate_to)
+                } else {
+                    (nb.rate_from.rate(now), nb.link_rate_from)
+                };
+                let score = if now - cap_at <= window { est.max(cap) } else { est };
                 cands.push((score, rng.gen::<u64>(), j as u32));
             }
             // Highest score first; random tie-break.
@@ -587,17 +820,32 @@ impl Swarm {
     }
 
     /// Drives the simulation until every leecher completes or the safety
-    /// time limit is hit, returning the final state summary.
-    pub fn run(self) -> RunOutcome {
-        self.run_with(&mut |_| {})
+    /// time limit is hit, returning the final state summary. Pacing follows
+    /// [`SwarmConfig::drive`]: completion-to-completion by default.
+    pub fn run(mut self) -> RunOutcome {
+        let max_dt = match self.cfg.drive {
+            DriveMode::EventDriven => f64::INFINITY,
+            DriveMode::FixedStep => self.cfg.step,
+        };
+        while self.incomplete > 0 && self.net.time() < self.cfg.max_sim_time {
+            self.slice(max_dt, &mut |_| {});
+        }
+        self.into_outcome()
     }
 
-    /// Like [`run`](Self::run), invoking `hook` before every fluid step —
-    /// the entry point for measuring under background load.
+    /// Like [`run`](Self::run), invoking `hook` once per
+    /// [`SwarmConfig::step`] of simulated time — the entry point for
+    /// measuring under background load. Pacing is fixed-step regardless of
+    /// [`SwarmConfig::drive`] so injected traffic tracks simulated time,
+    /// never event density.
     pub fn run_with(mut self, hook: &mut dyn FnMut(&mut SimNet)) -> RunOutcome {
         while self.incomplete > 0 && self.net.time() < self.cfg.max_sim_time {
-            self.step_with(hook);
+            self.slice(self.cfg.step, hook);
         }
+        self.into_outcome()
+    }
+
+    fn into_outcome(self) -> RunOutcome {
         let completion: Vec<Option<f64>> = self.peers.iter().map(|p| p.completed_at).collect();
         let makespan = completion
             .iter()
@@ -610,7 +858,7 @@ impl Swarm {
             completion,
             makespan,
             finished: self.incomplete == 0,
-            sim_steps: self.steps,
+            sim_steps: self.events,
         }
     }
 }
@@ -628,7 +876,8 @@ pub struct RunOutcome {
     pub makespan: f64,
     /// Whether all leechers finished within the safety limit.
     pub finished: bool,
-    /// Number of protocol steps executed.
+    /// Number of protocol events processed (fragment completions serviced
+    /// plus rechoke rounds) — identical across drive modes.
     pub sim_steps: usize,
 }
 
@@ -692,12 +941,26 @@ mod tests {
     }
 
     #[test]
+    fn drive_modes_agree_bit_for_bit() {
+        let (routes, hosts) = star_hosts(6, 700.0);
+        let run = |drive| {
+            let cfg = SwarmConfig { drive, ..quick_cfg(96) };
+            Swarm::new(routes.clone(), &hosts, 0, cfg, 99).run()
+        };
+        let ev = run(DriveMode::EventDriven);
+        let fs = run(DriveMode::FixedStep);
+        assert_eq!(ev.fragments, fs.fragments);
+        assert_eq!(ev.completion, fs.completion, "bit-identical completion times");
+        assert_eq!(ev.makespan.to_bits(), fs.makespan.to_bits());
+        assert_eq!(ev.sim_steps, fs.sim_steps);
+    }
+
+    #[test]
     fn makespan_scales_linearly_in_message_size() {
         // §II-B: broadcast time is O(M). Double the pieces, roughly double
         // the time (generous tolerance — protocol effects are not exactly
-        // linear at small sizes).
-        // Files must be big enough that the makespan spans many 50 ms steps,
-        // otherwise step quantization hides the trend.
+        // linear at small sizes). Files must be big enough that the makespan
+        // spans several rechoke intervals.
         let (routes, hosts) = star_hosts(6, 890.0);
         let t1 = Swarm::new(routes.clone(), &hosts, 0, quick_cfg(4096), 3).run().makespan;
         let t2 = Swarm::new(routes.clone(), &hosts, 0, quick_cfg(8192), 3).run().makespan;
@@ -812,5 +1075,12 @@ mod tests {
         assert!(r.is_err());
         let (a, b) = two_mut(&mut v, 2, 0);
         assert_eq!((*a, *b), (3, 1));
+    }
+
+    #[test]
+    fn pair_tags_round_trip() {
+        for (d, j) in [(0usize, 0usize), (7, 34), (1023, 12), (usize::MAX >> 40, 3)] {
+            assert_eq!(untag(pair_tag(d, j)), (d, j));
+        }
     }
 }

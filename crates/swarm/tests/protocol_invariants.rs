@@ -80,8 +80,11 @@ proptest! {
         let n = 10usize;
         let pairs = n * (n - 1) / 2;
         let (routes, hosts) = star(n);
+        // 16 iterations: broadcasts at this size finish in well under an
+        // optimistic-rotation interval, so cross-pair exploration comes
+        // almost entirely from per-iteration tracker/choke randomness.
         let cfg = SwarmConfig { num_pieces: 96, ..SwarmConfig::default() };
-        let campaign = run_campaign(&routes, &hosts, &cfg, 12, RootPolicy::RoundRobin, seed);
+        let campaign = run_campaign(&routes, &hosts, &cfg, 16, RootPolicy::RoundRobin, seed);
         let observed = |k: usize| {
             let acc = campaign.metric_after(k);
             (0..n)
@@ -91,7 +94,7 @@ proptest! {
         };
         // Coverage is monotone in the iteration count...
         let mut prev = 0;
-        for k in 1..=12 {
+        for k in 1..=16 {
             let now = observed(k);
             prop_assert!(now >= prev, "coverage regressed at iteration {}", k);
             prev = now;
@@ -99,14 +102,14 @@ proptest! {
         // ...a single run observes a strict subset (4 upload slots of 9
         // neighbors cannot touch every pair)...
         prop_assert!(observed(1) < pairs);
-        // ...and twelve aggregated runs cover the overwhelming majority —
+        // ...and sixteen aggregated runs cover the overwhelming majority —
         // the paper's §II-C argument for iteration.
         prop_assert!(
-            observed(12) >= pairs - 4,
-            "only {} of {} edges observed after 12 runs",
-            observed(12),
+            observed(16) >= pairs - 4,
+            "only {} of {} edges observed after 16 runs",
+            observed(16),
             pairs
         );
-        prop_assert!(observed(12) > observed(1));
+        prop_assert!(observed(16) > observed(1));
     }
 }

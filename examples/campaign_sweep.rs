@@ -37,9 +37,12 @@ fn main() {
         );
 
         // ── 2. Measure and analyze, exactly like a dataset session.
+        // 12 iterations of a 1024-fragment file: small synthetic WANs are
+        // noisy at smaller sizes (single hosts can stay misranked for a
+        // few iterations at unlucky seeds).
         let report = TomographySession::over(scenario)
-            .iterations(8)
-            .pieces(512)
+            .iterations(12)
+            .pieces(1024)
             .seed(2012)
             .run();
         println!("{}", convergence_table(&report));
@@ -47,7 +50,7 @@ fn main() {
         // ── 3. Project into the structured record and write JSON + CSV.
         //       Same-seed reruns are byte-identical, so these artifacts can
         //       be diffed across code versions.
-        let record = ReportRecord::new(&report, 512);
+        let record = ReportRecord::new(&report, 1024);
         let stem = spec.id().replace(':', "-");
         let json_path = out.join(format!("{stem}.json"));
         fs::write(&json_path, record.to_json().render_pretty()).expect("write json");

@@ -131,10 +131,19 @@ pub trait SampleRange<T> {
     fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
 }
 
-/// Uniform `u64` below `bound` (> 0) via 128-bit widening multiply, which
-/// keeps the modulo bias below 2^-64 — irrelevant for simulation purposes.
+/// Uniform `u64` below `bound` (> 0) via widening multiply, which keeps the
+/// modulo bias negligible (< 2^-32) — irrelevant for simulation purposes.
+///
+/// Bounds that fit in 32 bits consume a single generator word instead of
+/// two: `gen_range` over small spans is the hottest operation in the swarm
+/// simulator (piece sampling draws dozens of times per fragment), and the
+/// block-cipher generator pays per word.
 fn below_u64<R: RngCore + ?Sized>(rng: &mut R, bound: u64) -> u64 {
-    ((rng.next_u64() as u128 * bound as u128) >> 64) as u64
+    if bound <= u32::MAX as u64 {
+        (rng.next_u32() as u64 * bound) >> 32
+    } else {
+        ((rng.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
 }
 
 macro_rules! int_sample_range {
