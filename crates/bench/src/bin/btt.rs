@@ -14,8 +14,11 @@
 //!   --paper-iterations       use each scenario's default iteration count
 //!   --pieces <N>             file size in 16 KiB fragments (default: 512)
 //!   --quick                  shrink to 3 iterations × 128 fragments
-//!   --bench                  also run the standardized engine benchmark and
-//!                            write BENCH_engine.json (perf trajectory)
+//!   --bench                  also run the standardized engine + inference
+//!                            benchmarks and write BENCH_engine.json and
+//!                            BENCH_inference.json (perf trajectory)
+//!   --bench-points <S,S,..>  restrict --bench to the named suite scenarios
+//!                            (e.g. fat-tree-1k; default: all points)
 //!   --out <DIR>              artifact directory (default: out/campaign)
 //! ```
 //!
@@ -23,7 +26,8 @@
 //! artifacts, so CI can smoke-run the binary directly.
 
 use btt_bench::campaign::{
-    check_outputs, run_sweep, summary_table, write_engine_bench, write_outputs, SweepSpec,
+    check_outputs, run_sweep, summary_table, write_engine_bench, write_inference_bench,
+    write_outputs, SweepSpec,
 };
 use btt_core::pipeline::ClusteringAlgorithm;
 use btt_core::scenarios::ScenarioSpec;
@@ -33,7 +37,8 @@ use std::process::ExitCode;
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  btt sweep [--scenarios S,S] [--algorithms A,A] [--seeds N,N] \
-         [--iterations N | --paper-iterations] [--pieces N] [--quick] [--bench] [--out DIR]\n  \
+         [--iterations N | --paper-iterations] [--pieces N] [--quick] [--bench] \
+         [--bench-points S,S] [--out DIR]\n  \
          btt list\n  btt check <DIR>\n\nrun `btt list` for scenario syntax"
     );
     ExitCode::from(2)
@@ -65,10 +70,8 @@ fn list() -> ExitCode {
         println!("  {name:12} = {spec}");
     }
     println!();
-    println!("algorithms (comma-separate for --algorithms):");
-    for a in ClusteringAlgorithm::ALL {
-        println!("  {}", a.name());
-    }
+    println!("algorithms (comma-separate for --algorithms; shorthands in parens):");
+    println!("  {}", ClusteringAlgorithm::name_list().replace(", ", "\n  "));
     ExitCode::SUCCESS
 }
 
@@ -90,6 +93,7 @@ fn sweep(args: &[String]) -> ExitCode {
     let mut spec = SweepSpec::default_smoke();
     let mut out = PathBuf::from("out/campaign");
     let mut bench = false;
+    let mut bench_points: Option<Vec<String>> = None;
     let mut i = 0;
     while i < args.len() {
         let flag = args[i].as_str();
@@ -116,7 +120,10 @@ fn sweep(args: &[String]) -> ExitCode {
                     match ClusteringAlgorithm::from_name(name.trim()) {
                         Some(a) => algorithms.push(a),
                         None => {
-                            eprintln!("btt: unknown algorithm {name:?} (see `btt list`)");
+                            eprintln!(
+                                "btt: unknown algorithm {name:?}; valid algorithms: {}",
+                                ClusteringAlgorithm::name_list()
+                            );
                             return ExitCode::from(2);
                         }
                     }
@@ -155,6 +162,18 @@ fn sweep(args: &[String]) -> ExitCode {
                 spec.pieces = 128;
             }
             "--bench" => bench = true,
+            "--bench-points" => {
+                let Some(v) = value() else { return usage() };
+                let names: Vec<String> = v
+                    .split(',')
+                    .filter(|s| !s.trim().is_empty())
+                    .map(|s| s.trim().to_string())
+                    .collect();
+                if names.is_empty() {
+                    return usage();
+                }
+                bench_points = Some(names);
+            }
             "--out" => {
                 let Some(v) = value() else { return usage() };
                 out = PathBuf::from(v);
@@ -201,12 +220,30 @@ fn sweep(args: &[String]) -> ExitCode {
         }
     }
     if bench {
-        println!("\nengine benchmark ({} broadcasts)...", btt_bench::campaign::ENGINE_BENCH_SUITE.len());
+        let filter = bench_points.as_deref();
+        println!(
+            "\nengine benchmark ({} broadcast(s))...",
+            btt_bench::campaign::engine_bench_selected(filter)
+        );
         let wall = std::time::Instant::now();
-        match write_engine_bench(&out) {
-            Ok(path) => println!("  -> {} in {:.1?}", path.display(), wall.elapsed()),
+        match write_engine_bench(&out, filter) {
+            Ok(Some(path)) => println!("  -> {} in {:.1?}", path.display(), wall.elapsed()),
+            Ok(None) => println!("  (no engine suite points selected, artifact skipped)"),
             Err(e) => {
                 eprintln!("btt: engine benchmark failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        println!(
+            "inference benchmark ({} campaign(s))...",
+            btt_bench::campaign::inference_bench_selected(filter)
+        );
+        let wall = std::time::Instant::now();
+        match write_inference_bench(&out, filter) {
+            Ok(Some(path)) => println!("  -> {} in {:.1?}", path.display(), wall.elapsed()),
+            Ok(None) => println!("  (no inference suite points selected, artifact skipped)"),
+            Err(e) => {
+                eprintln!("btt: inference benchmark failed: {e}");
                 return ExitCode::FAILURE;
             }
         }

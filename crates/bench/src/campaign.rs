@@ -330,14 +330,24 @@ fn run_engine_bench_point(point: &EngineBenchPoint) -> json::Json {
     ])
 }
 
-/// Runs the full engine benchmark suite and renders the `BENCH_engine.json`
+/// True when `scenario` passes a `--bench-points` filter (`None` or empty
+/// = every point).
+fn bench_point_selected(scenario: &str, filter: Option<&[String]>) -> bool {
+    match filter {
+        None | Some([]) => true,
+        Some(names) => names.iter().any(|n| n.eq_ignore_ascii_case(scenario)),
+    }
+}
+
+/// Runs the engine benchmark suite — optionally restricted to the named
+/// points (`--bench-points`) — and renders the `BENCH_engine.json`
 /// document (schema `btt-engine-bench-v1`).
 ///
 /// Wall-clock numbers are machine-dependent; the file exists so every PR
 /// from the event-engine refactor onward leaves a machine-readable point on
 /// the perf trajectory, and so the recorded pre-refactor baselines keep the
 /// refactor's speedup auditable.
-pub fn engine_bench_json() -> json::Json {
+pub fn engine_bench_json(filter: Option<&[String]>) -> json::Json {
     json::Json::obj(vec![
         ("schema", json::Json::Str("btt-engine-bench-v1".to_string())),
         ("seed", json::Json::UInt(ENGINE_BENCH_SEED)),
@@ -351,7 +361,13 @@ pub fn engine_bench_json() -> json::Json {
         ),
         (
             "runs",
-            json::Json::Array(ENGINE_BENCH_SUITE.iter().map(run_engine_bench_point).collect()),
+            json::Json::Array(
+                ENGINE_BENCH_SUITE
+                    .iter()
+                    .filter(|p| bench_point_selected(p.scenario, filter))
+                    .map(run_engine_bench_point)
+                    .collect(),
+            ),
         ),
     ])
 }
@@ -359,12 +375,209 @@ pub fn engine_bench_json() -> json::Json {
 /// Name of the engine benchmark artifact.
 pub const BENCH_FILE: &str = "BENCH_engine.json";
 
-/// Runs the engine benchmark and writes `BENCH_engine.json` under `out`.
-pub fn write_engine_bench(out: &Path) -> io::Result<PathBuf> {
+/// Number of [`ENGINE_BENCH_SUITE`] points passing `filter`.
+pub fn engine_bench_selected(filter: Option<&[String]>) -> usize {
+    ENGINE_BENCH_SUITE.iter().filter(|p| bench_point_selected(p.scenario, filter)).count()
+}
+
+/// Runs the (optionally filtered) engine benchmark and writes
+/// `BENCH_engine.json` under `out`. Returns `None` — writing nothing —
+/// when the filter selects no suite points: an artifact with an empty
+/// `runs` array would be rejected by `btt check`.
+pub fn write_engine_bench(out: &Path, filter: Option<&[String]>) -> io::Result<Option<PathBuf>> {
+    if engine_bench_selected(filter) == 0 {
+        return Ok(None);
+    }
     fs::create_dir_all(out)?;
     let path = out.join(BENCH_FILE);
-    fs::write(&path, engine_bench_json().render_pretty())?;
-    Ok(path)
+    fs::write(&path, engine_bench_json(filter).render_pretty())?;
+    Ok(Some(path))
+}
+
+/// One point of the standardized phase-2 (inference) benchmark: a full
+/// measurement campaign on a scale preset, then the streaming + parallel
+/// convergence series over every iteration prefix.
+#[derive(Debug, Clone)]
+pub struct InferenceBenchPoint {
+    /// Scenario spec string (preset names allowed).
+    pub scenario: &'static str,
+    /// File size in 16 KiB fragments.
+    pub pieces: u32,
+    /// Broadcast iterations — and therefore convergence-series prefixes.
+    pub iterations: u32,
+    /// Wall-clock of the same convergence series on the pre-refactor
+    /// serial path (`convergence_series_serial`: O(n²) re-aggregation and
+    /// a dense Louvain per prefix), in milliseconds, measured once at the
+    /// streaming-inference PR on its reference machine. Absolute values
+    /// are machine-dependent; the recorded speedups are the comparable
+    /// quantity.
+    pub baseline_serial_ms: Option<f64>,
+}
+
+/// The standardized inference benchmark: the paper's Fig.-13 convergence
+/// study at 1000+ hosts. `fat-tree-1k` at 100 iterations is the headline
+/// point (the acceptance gate for the streaming refactor); `wan-1k` and
+/// `edge-2k` pin the other scale presets at shallower series so the suite
+/// stays inside the CI smoke budget.
+pub const INFERENCE_BENCH_SUITE: &[InferenceBenchPoint] = &[
+    InferenceBenchPoint {
+        scenario: "fat-tree-1k",
+        pieces: 128,
+        iterations: 100,
+        baseline_serial_ms: Some(28156.0),
+    },
+    InferenceBenchPoint {
+        scenario: "wan-1k",
+        pieces: 128,
+        iterations: 50,
+        baseline_serial_ms: Some(7699.0),
+    },
+    InferenceBenchPoint {
+        scenario: "edge-2k",
+        pieces: 64,
+        iterations: 10,
+        baseline_serial_ms: Some(1783.0),
+    },
+];
+
+/// Master seed shared by every inference-bench campaign.
+pub const INFERENCE_BENCH_SEED: u64 = 2012;
+
+/// Name of the inference benchmark artifact.
+pub const INFERENCE_BENCH_FILE: &str = "BENCH_inference.json";
+
+/// Runs one inference-bench point: measure the campaign, then time the
+/// streaming aggregation and parallel clustering separately. Returns the
+/// record as a JSON object (timings in milliseconds).
+pub fn run_inference_bench_point(point: &InferenceBenchPoint) -> json::Json {
+    use btt_core::pipeline::{convergence_series_timed, SPARSE_NODE_THRESHOLD};
+    use std::time::Instant;
+
+    let spec = ScenarioSpec::parse(point.scenario).expect("suite scenarios parse");
+    let session = TomographySession::over(spec.build())
+        .pieces(point.pieces)
+        .iterations(point.iterations)
+        .seed(INFERENCE_BENCH_SEED);
+    let hosts = session.scenario().num_hosts();
+
+    let wall = Instant::now();
+    let campaign = session.measure();
+    let measure_ms = wall.elapsed().as_secs_f64() * 1e3;
+
+    let (points, timing) = convergence_series_timed(
+        &campaign,
+        &session.scenario().ground_truth,
+        ClusteringAlgorithm::Louvain,
+        INFERENCE_BENCH_SEED,
+    );
+    let last = points.last().expect("at least one iteration");
+
+    let (baseline, speedup) = match point.baseline_serial_ms {
+        Some(b) => (json::Json::Float(b), json::Json::Float(b / timing.total_ms())),
+        None => (json::Json::Null, json::Json::Null),
+    };
+    json::Json::obj(vec![
+        ("scenario", json::Json::Str(point.scenario.to_string())),
+        ("scenario_id", json::Json::Str(spec.id())),
+        ("hosts", json::Json::UInt(hosts as u64)),
+        ("pieces", json::Json::UInt(point.pieces as u64)),
+        ("iterations", json::Json::UInt(point.iterations as u64)),
+        ("seed", json::Json::UInt(INFERENCE_BENCH_SEED)),
+        ("measure_wall_ms", json::Json::Float(measure_ms)),
+        ("aggregate_ms", json::Json::Float(timing.aggregate_ms)),
+        ("cluster_ms", json::Json::Float(timing.cluster_ms)),
+        ("inference_wall_ms", json::Json::Float(timing.total_ms())),
+        ("metric_nnz_edges", json::Json::UInt(campaign.metric.num_nonzero_edges() as u64)),
+        ("pruned", json::Json::Bool(hosts >= SPARSE_NODE_THRESHOLD)),
+        ("final_onmi", json::Json::Float(last.onmi)),
+        ("final_clusters", json::Json::UInt(last.clusters as u64)),
+        ("baseline_serial_ms", baseline),
+        ("speedup_vs_serial", speedup),
+    ])
+}
+
+/// Renders the `BENCH_inference.json` document (schema
+/// `btt-inference-bench-v1`) for the suite points passing `filter`.
+pub fn inference_bench_json(filter: Option<&[String]>) -> json::Json {
+    json::Json::obj(vec![
+        ("schema", json::Json::Str("btt-inference-bench-v1".to_string())),
+        ("seed", json::Json::UInt(INFERENCE_BENCH_SEED)),
+        (
+            "note",
+            json::Json::Str(
+                "full measurement campaign + convergence series per point; phase-2 \
+                 timings split into streaming aggregation and parallel clustering; \
+                 baselines measured once on the pre-refactor serial inference path"
+                    .to_string(),
+            ),
+        ),
+        (
+            "runs",
+            json::Json::Array(
+                INFERENCE_BENCH_SUITE
+                    .iter()
+                    .filter(|p| bench_point_selected(p.scenario, filter))
+                    .map(run_inference_bench_point)
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Number of [`INFERENCE_BENCH_SUITE`] points passing `filter`.
+pub fn inference_bench_selected(filter: Option<&[String]>) -> usize {
+    INFERENCE_BENCH_SUITE.iter().filter(|p| bench_point_selected(p.scenario, filter)).count()
+}
+
+/// Runs the (optionally filtered) inference benchmark and writes
+/// `BENCH_inference.json` under `out`. Returns `None` — writing nothing —
+/// when the filter selects no suite points: an artifact with an empty
+/// `runs` array would be rejected by `btt check`.
+pub fn write_inference_bench(
+    out: &Path,
+    filter: Option<&[String]>,
+) -> io::Result<Option<PathBuf>> {
+    if inference_bench_selected(filter) == 0 {
+        return Ok(None);
+    }
+    fs::create_dir_all(out)?;
+    let path = out.join(INFERENCE_BENCH_FILE);
+    fs::write(&path, inference_bench_json(filter).render_pretty())?;
+    Ok(Some(path))
+}
+
+/// Validates a `BENCH_inference.json` document: schema marker plus a
+/// non-empty `runs` array whose entries carry the trajectory keys.
+pub fn check_inference_bench(text: &str) -> Result<usize, String> {
+    let doc = json::parse(text).map_err(|e| e.to_string())?;
+    let schema = doc.get("schema").and_then(json::Json::as_str);
+    if schema != Some("btt-inference-bench-v1") {
+        return Err(format!("unexpected schema {schema:?}"));
+    }
+    let runs = doc
+        .get("runs")
+        .and_then(json::Json::as_array)
+        .ok_or("missing runs array")?;
+    if runs.is_empty() {
+        return Err("empty runs array".into());
+    }
+    for (i, run) in runs.iter().enumerate() {
+        for key in [
+            "scenario",
+            "hosts",
+            "iterations",
+            "seed",
+            "aggregate_ms",
+            "cluster_ms",
+            "inference_wall_ms",
+            "final_onmi",
+        ] {
+            if run.get(key).is_none() {
+                return Err(format!("run {i} missing key {key:?}"));
+            }
+        }
+    }
+    Ok(runs.len())
 }
 
 /// Validates a `BENCH_engine.json` document: schema marker plus a non-empty
@@ -521,13 +734,22 @@ pub fn check_outputs(dir: &Path) -> Result<(usize, usize), String> {
             _ => {}
         }
     }
-    // The engine benchmark rides along when present (written by
-    // `btt sweep --bench`): validate its schema and trajectory keys too.
+    // The engine and inference benchmarks ride along when present (written
+    // by `btt sweep --bench`): validate their schemas and trajectory keys
+    // too.
     let bench_path = dir.join(BENCH_FILE);
     if bench_path.exists() {
         let text = fs::read_to_string(&bench_path)
             .map_err(|e| format!("read {}: {e}", bench_path.display()))?;
         check_engine_bench(&text).map_err(|e| format!("{}: {e}", bench_path.display()))?;
+        jsons += 1;
+    }
+    let inference_path = dir.join(INFERENCE_BENCH_FILE);
+    if inference_path.exists() {
+        let text = fs::read_to_string(&inference_path)
+            .map_err(|e| format!("read {}: {e}", inference_path.display()))?;
+        check_inference_bench(&text)
+            .map_err(|e| format!("{}: {e}", inference_path.display()))?;
         jsons += 1;
     }
     if jsons == 0 && csvs == 0 {
@@ -666,6 +888,48 @@ mod tests {
         assert!(dir.join("data.csv").exists(), "foreign CSV is kept");
         assert!(dir.join("summary.csv").exists());
         fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn inference_bench_point_runs_and_validates() {
+        // A miniature point exercises the exact code path the scale suite
+        // uses, in milliseconds instead of minutes.
+        let point = InferenceBenchPoint {
+            scenario: "star:3x6:0.1:6",
+            pieces: 48,
+            iterations: 3,
+            baseline_serial_ms: Some(100.0),
+        };
+        let record = run_inference_bench_point(&point);
+        assert_eq!(record.get("hosts").and_then(json::Json::as_u64), Some(24));
+        assert_eq!(record.get("iterations").and_then(json::Json::as_u64), Some(3));
+        assert_eq!(record.get("pruned"), Some(&json::Json::Bool(false)));
+        assert!(record.get("aggregate_ms").is_some());
+        assert!(record.get("speedup_vs_serial").is_some());
+        let doc = json::Json::obj(vec![
+            ("schema", json::Json::Str("btt-inference-bench-v1".into())),
+            ("seed", json::Json::UInt(INFERENCE_BENCH_SEED)),
+            ("runs", json::Json::Array(vec![record])),
+        ]);
+        assert_eq!(check_inference_bench(&doc.render_pretty()), Ok(1));
+        // Schema and key failures are reported.
+        assert!(check_inference_bench("{}").is_err());
+        let wrong = json::Json::obj(vec![
+            ("schema", json::Json::Str("btt-inference-bench-v1".into())),
+            ("runs", json::Json::Array(vec![json::Json::obj(vec![])])),
+        ]);
+        assert!(check_inference_bench(&wrong.render_pretty())
+            .unwrap_err()
+            .contains("missing key"));
+    }
+
+    #[test]
+    fn bench_point_filter_semantics() {
+        assert!(bench_point_selected("fat-tree-1k", None));
+        assert!(bench_point_selected("fat-tree-1k", Some(&[])));
+        let names = vec!["FAT-TREE-1K".to_string(), "wan-1k".to_string()];
+        assert!(bench_point_selected("fat-tree-1k", Some(&names)), "case-insensitive");
+        assert!(!bench_point_selected("edge-2k", Some(&names)));
     }
 
     #[test]

@@ -81,6 +81,65 @@ impl WeightedGraph {
         WeightedGraph { offsets, targets, weights, self_loops, strength, total_weight }
     }
 
+    /// Builds a graph from an edge list already in canonical form: sorted
+    /// lexicographically with `a < b`, no duplicate pairs, no self-loops,
+    /// strictly positive finite weights.
+    ///
+    /// This is the shape streaming metric aggregation produces
+    /// (`MetricAccumulator::edges`); skipping the [`BTreeMap`] accumulation
+    /// pass of [`WeightedGraph::from_edges`] makes per-prefix snapshot
+    /// graphs O(nnz) to build, which matters when a convergence series
+    /// builds one graph per measurement iteration. Canonical form is
+    /// checked in debug builds and produces an identical graph to
+    /// `from_edges` (asserted by tests).
+    pub fn from_sorted_edges(n: usize, edges: &[(u32, u32, f64)]) -> Self {
+        debug_assert!(
+            edges.windows(2).all(|w| (w[0].0, w[0].1) < (w[1].0, w[1].1)),
+            "edges must be sorted and deduplicated"
+        );
+        debug_assert!(
+            edges.iter().all(|&(a, b, w)| {
+                a < b && (b as usize) < n && w.is_finite() && w > 0.0
+            }),
+            "edges must be canonical: a < b < n, positive finite weight"
+        );
+        let mut degree = vec![0usize; n];
+        for &(a, b, _) in edges {
+            degree[a as usize] += 1;
+            degree[b as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0usize);
+        for v in 0..n {
+            offsets.push(offsets[v] + degree[v]);
+        }
+        let nnz = offsets[n];
+        let mut targets = vec![0u32; nnz];
+        let mut weights = vec![0.0f64; nnz];
+        let mut cursor = offsets[..n].to_vec();
+        for &(a, b, w) in edges {
+            targets[cursor[a as usize]] = b;
+            weights[cursor[a as usize]] = w;
+            cursor[a as usize] += 1;
+            targets[cursor[b as usize]] = a;
+            weights[cursor[b as usize]] = w;
+            cursor[b as usize] += 1;
+        }
+        let mut strength = vec![0.0; n];
+        for v in 0..n {
+            strength[v] = (offsets[v]..offsets[v + 1]).map(|i| weights[i]).sum();
+        }
+        let total_weight = edges.iter().map(|e| e.2).sum();
+        WeightedGraph {
+            offsets,
+            targets,
+            weights,
+            self_loops: vec![0.0; n],
+            strength,
+            total_weight,
+        }
+    }
+
     /// Number of nodes.
     #[inline]
     pub fn num_nodes(&self) -> usize {
@@ -243,5 +302,25 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn rejects_out_of_range() {
         let _ = WeightedGraph::from_edges(2, &[(0, 5, 1.0)]);
+    }
+
+    #[test]
+    fn sorted_fast_path_matches_general_constructor() {
+        let edges = vec![
+            (0u32, 1u32, 0.5),
+            (0, 3, 2.0),
+            (1, 2, 1.25),
+            (2, 3, 3.0),
+            (2, 4, 0.125),
+        ];
+        let fast = WeightedGraph::from_sorted_edges(5, &edges);
+        let general = WeightedGraph::from_edges(5, &edges);
+        assert_eq!(fast, general);
+        assert_eq!(fast.total_weight(), general.total_weight());
+        // Isolated nodes and the empty graph work too.
+        assert_eq!(
+            WeightedGraph::from_sorted_edges(3, &[]),
+            WeightedGraph::from_edges(3, &[])
+        );
     }
 }

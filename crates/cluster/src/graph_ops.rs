@@ -57,6 +57,128 @@ pub fn induced_subgraph(g: &WeightedGraph, nodes: &[u32]) -> WeightedGraph {
     WeightedGraph::from_edges(nodes.len(), &edges)
 }
 
+/// How [`prune_edges`] sparsifies a dense measurement graph.
+///
+/// The tomography metric at 1000+ hosts is near-complete (every peer pair
+/// that ever exchanged a fragment carries weight), but the clustering
+/// signal lives in the heavy intra-cluster edges: Louvain is near-linear
+/// only on sparse graphs, so the at-scale pipeline prunes before
+/// clustering. An edge survives when it is either
+///
+/// * among the `top_k` heaviest incident edges of *either* endpoint (a
+///   kNN-union backbone, so no node is disconnected by pruning alone), or
+/// * at least `relative` × the heaviest incident weight of either
+///   endpoint — the adaptive criterion that keeps a cluster's diffuse
+///   internal cohesion even when the cluster is much larger than `top_k`
+///   (BitTorrent rechoke rotation spreads intra-cluster mass over many
+///   comparable edges rather than concentrating it on a few);
+///
+/// and then clears the global floor of `epsilon` × the heaviest surviving
+/// weight.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PruneConfig {
+    /// Keep each node's `top_k` heaviest incident edges (union over both
+    /// endpoints). `usize::MAX` disables degree pruning (keeps every
+    /// edge regardless of the other criteria's outcome).
+    pub top_k: usize,
+    /// Also keep edges weighing at least `relative` × the heaviest
+    /// incident weight of either endpoint. `0.0` disables the criterion
+    /// (adds nothing beyond `top_k`).
+    pub relative: f64,
+    /// Drop edges lighter than `epsilon` × the globally heaviest edge
+    /// weight. `0.0` disables the threshold.
+    pub epsilon: f64,
+}
+
+impl Default for PruneConfig {
+    fn default() -> Self {
+        PruneConfig { top_k: 16, relative: 0.25, epsilon: 1e-3 }
+    }
+}
+
+/// Sparsifies an edge list per `cfg`, preserving input order (a sorted
+/// canonical list stays sorted and canonical).
+///
+/// Deterministic: per-node ranking breaks weight ties by input position, so
+/// equal inputs give equal outputs regardless of platform.
+pub fn prune_edges(n: usize, edges: &[(u32, u32, f64)], cfg: PruneConfig) -> Vec<(u32, u32, f64)> {
+    if edges.is_empty() {
+        return Vec::new();
+    }
+    let mut keep = vec![false; edges.len()];
+    if cfg.top_k == usize::MAX {
+        keep.iter_mut().for_each(|k| *k = true);
+    } else {
+        // Incidence lists of edge indices per node.
+        let mut degree = vec![0usize; n];
+        for &(a, b, _) in edges {
+            degree[a as usize] += 1;
+            degree[b as usize] += 1;
+        }
+        let mut offsets = vec![0usize; n + 1];
+        for v in 0..n {
+            offsets[v + 1] = offsets[v] + degree[v];
+        }
+        let mut incident = vec![0u32; offsets[n]];
+        let mut cursor = offsets[..n].to_vec();
+        for (i, &(a, b, _)) in edges.iter().enumerate() {
+            incident[cursor[a as usize]] = i as u32;
+            cursor[a as usize] += 1;
+            incident[cursor[b as usize]] = i as u32;
+            cursor[b as usize] += 1;
+        }
+        let mut ranked: Vec<u32> = Vec::new();
+        for v in 0..n {
+            ranked.clear();
+            ranked.extend_from_slice(&incident[offsets[v]..offsets[v + 1]]);
+            // Heaviest first; ties resolved by input position for
+            // determinism.
+            ranked.sort_unstable_by(|&x, &y| {
+                edges[y as usize]
+                    .2
+                    .total_cmp(&edges[x as usize].2)
+                    .then(x.cmp(&y))
+            });
+            for &e in ranked.iter().take(cfg.top_k) {
+                keep[e as usize] = true;
+            }
+        }
+        if cfg.relative > 0.0 {
+            // Adaptive criterion: significant relative to either
+            // endpoint's strongest connection.
+            let mut node_max = vec![0.0f64; n];
+            for &(a, b, w) in edges.iter() {
+                if w > node_max[a as usize] {
+                    node_max[a as usize] = w;
+                }
+                if w > node_max[b as usize] {
+                    node_max[b as usize] = w;
+                }
+            }
+            for (i, &(a, b, w)) in edges.iter().enumerate() {
+                if w >= cfg.relative * node_max[a as usize]
+                    || w >= cfg.relative * node_max[b as usize]
+                {
+                    keep[i] = true;
+                }
+            }
+        }
+    }
+    let max_w = edges
+        .iter()
+        .zip(&keep)
+        .filter(|(_, &k)| k)
+        .map(|(e, _)| e.2)
+        .fold(0.0f64, f64::max);
+    let floor = cfg.epsilon * max_w;
+    edges
+        .iter()
+        .zip(&keep)
+        .filter(|((_, _, w), &k)| k && *w >= floor)
+        .map(|(&e, _)| e)
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -103,6 +225,89 @@ mod tests {
         let s_fine: f64 = (0..4).map(|v| g.strength(v)).sum();
         let s_coarse: f64 = (0..2).map(|v| a.strength(v)).sum();
         assert!((s_fine - s_coarse).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prune_keeps_top_k_union_and_order() {
+        // Node 0 has three incident edges; top_k = 1 keeps only its
+        // heaviest, but (0,2) survives via node 2's own top-1.
+        let edges = vec![
+            (0u32, 1u32, 5.0),
+            (0, 2, 1.0),
+            (0, 3, 3.0),
+            (1, 3, 4.0),
+        ];
+        let pruned = prune_edges(4, &edges, PruneConfig { top_k: 1, relative: 0.0, epsilon: 0.0 });
+        assert_eq!(pruned, vec![(0, 1, 5.0), (0, 2, 1.0), (1, 3, 4.0)]);
+        // top_k large enough keeps everything.
+        let all = prune_edges(4, &edges, PruneConfig { top_k: 8, relative: 0.0, epsilon: 0.0 });
+        assert_eq!(all, edges);
+    }
+
+    #[test]
+    fn prune_epsilon_drops_featherweight_edges() {
+        let edges = vec![(0u32, 1u32, 100.0), (1, 2, 50.0), (2, 3, 0.001)];
+        let pruned = prune_edges(4, &edges, PruneConfig { top_k: usize::MAX, relative: 0.0, epsilon: 0.01 });
+        assert_eq!(pruned, vec![(0, 1, 100.0), (1, 2, 50.0)]);
+        // epsilon 0 disables the floor.
+        let all = prune_edges(4, &edges, PruneConfig { top_k: usize::MAX, relative: 0.0, epsilon: 0.0 });
+        assert_eq!(all, edges);
+    }
+
+    #[test]
+    fn prune_is_deterministic_under_weight_ties() {
+        let edges: Vec<(u32, u32, f64)> =
+            (1..6u32).map(|b| (0, b, 2.0)).collect();
+        let a = prune_edges(6, &edges, PruneConfig { top_k: 2, relative: 0.0, epsilon: 0.0 });
+        let b = prune_edges(6, &edges, PruneConfig { top_k: 2, relative: 0.0, epsilon: 0.0 });
+        assert_eq!(a, b);
+        // Ties break by input position: the earliest edges win node 0's
+        // slots, and each spoke keeps its only edge — via its own top-k.
+        assert_eq!(a, edges, "every spoke's single edge survives the union");
+    }
+
+    #[test]
+    fn prune_empty_input() {
+        assert!(prune_edges(4, &[], PruneConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn prune_relative_keeps_diffuse_cluster_cohesion() {
+        // A 6-node "cluster" whose internal edges all weigh ~10 (diffuse
+        // cohesion) plus one weak external spoke. top_k = 1 alone would
+        // keep only one internal edge per node; the relative criterion
+        // keeps every comparable internal edge.
+        let mut edges: Vec<(u32, u32, f64)> = Vec::new();
+        for a in 0..6u32 {
+            for b in (a + 1)..6 {
+                edges.push((a, b, 10.0 + (a + b) as f64 * 0.01));
+            }
+        }
+        edges.push((5, 6, 0.5));
+        let kept = prune_edges(
+            7,
+            &edges,
+            PruneConfig { top_k: 1, relative: 0.5, epsilon: 0.0 },
+        );
+        // All 15 internal edges survive via `relative`; the weak spoke
+        // survives only via node 6's own top-1.
+        assert_eq!(kept.len(), 16);
+        // Raising the bar above the spoke's ratio drops it unless top_k
+        // saves it — which it does, keeping node 6 connected.
+        let harsh = prune_edges(
+            7,
+            &edges,
+            PruneConfig { top_k: 1, relative: 0.99, epsilon: 0.0 },
+        );
+        assert!(harsh.iter().any(|&(a, b, _)| (a, b) == (5, 6)), "kNN backbone keeps node 6");
+        // With the relative criterion disabled, only the top-k union
+        // remains.
+        let topk_only = prune_edges(
+            7,
+            &edges,
+            PruneConfig { top_k: 1, relative: 0.0, epsilon: 0.0 },
+        );
+        assert!(topk_only.len() < kept.len());
     }
 
     #[test]

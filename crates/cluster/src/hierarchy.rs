@@ -14,7 +14,7 @@
 
 use crate::graph::WeightedGraph;
 use crate::graph_ops::induced_subgraph;
-use crate::louvain::louvain;
+use crate::louvain::{louvain_into, LouvainConfig, LouvainScratch};
 use crate::modularity::modularity;
 use crate::partition::Partition;
 
@@ -128,14 +128,20 @@ impl Default for HierarchyConfig {
 
 /// Recursive Louvain: flat clustering, then re-cluster each cluster's
 /// induced subgraph while splits remain substantial.
+///
+/// All Louvain invocations — the top-level run and every subgraph run the
+/// recursion spawns — share one [`LouvainScratch`], so working memory is
+/// allocated once per hierarchy rather than once per tree node.
 pub fn recursive_louvain(g: &WeightedGraph, seed: u64, cfg: HierarchyConfig) -> Hierarchy {
     let n = g.num_nodes();
-    let top_partition = louvain(g, seed).best().clone();
+    let mut scratch = LouvainScratch::default();
+    let top_partition =
+        louvain_into(g, seed, LouvainConfig::default(), &mut scratch).best().clone();
     let top = top_partition
         .clusters()
         .into_iter()
         .enumerate()
-        .map(|(i, members)| split_node(g, members, seed ^ (i as u64 + 1), cfg, 1))
+        .map(|(i, members)| split_node(g, members, seed ^ (i as u64 + 1), cfg, 1, &mut scratch))
         .collect();
     Hierarchy { n, top }
 }
@@ -146,12 +152,13 @@ fn split_node(
     seed: u64,
     cfg: HierarchyConfig,
     depth: usize,
+    scratch: &mut LouvainScratch,
 ) -> HierNode {
     if members.len() < cfg.min_cluster_size || depth >= cfg.max_depth {
         return HierNode::leaf(members);
     }
     let sub = induced_subgraph(g, &members);
-    let d = louvain(&sub, seed);
+    let d = louvain_into(&sub, seed, LouvainConfig::default(), scratch);
     let p = d.best();
     if p.num_clusters() <= 1 {
         return HierNode::leaf(members);
@@ -167,7 +174,7 @@ fn split_node(
         .map(|(i, sub_members)| {
             let original: Vec<u32> =
                 sub_members.iter().map(|&si| members[si as usize]).collect();
-            split_node(g, original, seed ^ ((i as u64 + 7) << 8), cfg, depth + 1)
+            split_node(g, original, seed ^ ((i as u64 + 7) << 8), cfg, depth + 1, scratch)
         })
         .collect();
     HierNode { members, children, split_modularity: q }
@@ -176,6 +183,7 @@ fn split_node(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::louvain::louvain;
     use crate::nmi::nmi;
     use rand::Rng;
     use rand::SeedableRng;

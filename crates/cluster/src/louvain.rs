@@ -33,14 +33,21 @@ pub struct Dendrogram {
 impl Dendrogram {
     /// The cut with the highest modularity (§III-D: "we take the cut of the
     /// dendrogram at the point that yields the highest modularity value").
+    ///
+    /// Robust to non-finite modularities: a NaN level (a degenerate
+    /// measurement graph scored by older code paths) never wins and never
+    /// panics; if *no* level is finite, the first level is returned.
     pub fn best(&self) -> &Partition {
-        let (idx, _) = self
-            .modularities
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite modularity"))
-            .expect("dendrogram has at least one level");
-        &self.levels[idx]
+        assert!(!self.levels.is_empty(), "dendrogram has at least one level");
+        let mut best = 0usize;
+        let mut best_q = f64::NEG_INFINITY;
+        for (i, &q) in self.modularities.iter().enumerate() {
+            if q.is_finite() && q > best_q {
+                best_q = q;
+                best = i;
+            }
+        }
+        &self.levels[best]
     }
 
     /// Modularity of the best cut.
@@ -77,10 +84,42 @@ pub fn louvain(g: &WeightedGraph, seed: u64) -> Dendrogram {
 
 /// Runs Louvain with explicit configuration.
 pub fn louvain_with(g: &WeightedGraph, seed: u64, cfg: LouvainConfig) -> Dendrogram {
+    louvain_into(g, seed, cfg, &mut LouvainScratch::default())
+}
+
+/// Reusable working memory for [`louvain_into`].
+///
+/// One local-moving pass needs a per-community weight table, a touched
+/// list, and a visit-order buffer; allocating them once and reusing them
+/// across dendrogram levels — and across *calls*, e.g. the per-prefix
+/// clustering of a convergence series or the per-subgraph runs of
+/// `recursive_louvain` — keeps the hot loop allocation-free.
+#[derive(Debug, Default)]
+pub struct LouvainScratch {
+    /// Edge weight from the node under consideration to each community.
+    /// Invariant between uses: all zeros (restored via `touched`).
+    w_to: Vec<f64>,
+    /// Communities touched while scanning the current node's neighbors.
+    touched: Vec<u32>,
+    /// Node visit order for the current level.
+    order: Vec<u32>,
+}
+
+/// Runs Louvain reusing `scratch` for all per-level working memory.
+/// Identical output to [`louvain_with`] for any scratch state.
+pub fn louvain_into(
+    g: &WeightedGraph,
+    seed: u64,
+    cfg: LouvainConfig,
+    scratch: &mut LouvainScratch,
+) -> Dendrogram {
     let mut rng = ChaCha12Rng::seed_from_u64(seed);
     let n = g.num_nodes();
-    if n == 0 {
-        return Dendrogram { levels: vec![Partition::singletons(0)], modularities: vec![0.0] };
+    if n == 0 || g.total_weight() <= 0.0 {
+        // Degenerate graph (no nodes, or all-zero weights → no edges):
+        // there is no modularity signal. Return the singleton partition at
+        // modularity 0.0 instead of risking a 0/0 = NaN downstream.
+        return Dendrogram { levels: vec![Partition::singletons(n)], modularities: vec![0.0] };
     }
 
     let mut levels: Vec<Partition> = Vec::new();
@@ -91,7 +130,7 @@ pub fn louvain_with(g: &WeightedGraph, seed: u64, cfg: LouvainConfig) -> Dendrog
     let mut current = g.clone();
 
     loop {
-        let (local, moved) = local_moving(&current, &mut rng, cfg);
+        let (local, moved) = local_moving(&current, &mut rng, cfg, scratch);
         if !moved && !levels.is_empty() {
             break;
         }
@@ -108,9 +147,15 @@ pub fn louvain_with(g: &WeightedGraph, seed: u64, cfg: LouvainConfig) -> Dendrog
     Dendrogram { levels, modularities }
 }
 
-/// One level of local moving. Returns the found partition (dense ids on the
-/// current graph's nodes) and whether any node moved.
-fn local_moving(g: &WeightedGraph, rng: &mut ChaCha12Rng, cfg: LouvainConfig) -> (Partition, bool) {
+/// One level of local moving over the CSR graph. Returns the found
+/// partition (dense ids on the current graph's nodes) and whether any node
+/// moved.
+fn local_moving(
+    g: &WeightedGraph,
+    rng: &mut ChaCha12Rng,
+    cfg: LouvainConfig,
+    scratch: &mut LouvainScratch,
+) -> (Partition, bool) {
     let n = g.num_nodes();
     let m = g.total_weight();
     let mut comm: Vec<u32> = (0..n as u32).collect();
@@ -120,17 +165,24 @@ fn local_moving(g: &WeightedGraph, rng: &mut ChaCha12Rng, cfg: LouvainConfig) ->
         return (Partition::from_assignments(&comm), false);
     }
 
-    // Scratch: neighbor-community weights, reset via touched list.
-    let mut w_to: Vec<f64> = vec![0.0; n];
-    let mut touched: Vec<u32> = Vec::with_capacity(64);
+    // Per-community scratch, reused across levels and calls; `w_to` is
+    // all-zero between uses (restored through `touched` after every node).
+    if scratch.w_to.len() < n {
+        scratch.w_to.resize(n, 0.0);
+    }
+    let w_to = &mut scratch.w_to;
+    let touched = &mut scratch.touched;
+    touched.clear();
 
-    let mut order: Vec<u32> = (0..n as u32).collect();
+    let order = &mut scratch.order;
+    order.clear();
+    order.extend(0..n as u32);
     order.shuffle(rng);
 
     let mut any_moved = false;
     for _pass in 0..cfg.max_passes {
         let mut moves = 0usize;
-        for &vu in &order {
+        for &vu in order.iter() {
             let v = vu as usize;
             let cv = comm[v] as usize;
             let k_v = g.strength(v);
@@ -151,7 +203,7 @@ fn local_moving(g: &WeightedGraph, rng: &mut ChaCha12Rng, cfg: LouvainConfig) ->
 
             let mut best_c = cv;
             let mut best_gain = base;
-            for &ct in &touched {
+            for &ct in touched.iter() {
                 let c = ct as usize;
                 if c == cv {
                     continue;
@@ -169,7 +221,7 @@ fn local_moving(g: &WeightedGraph, rng: &mut ChaCha12Rng, cfg: LouvainConfig) ->
                 moves += 1;
             }
 
-            for &ct in &touched {
+            for &ct in touched.iter() {
                 w_to[ct as usize] = 0.0;
             }
         }
@@ -273,6 +325,55 @@ mod tests {
         let d = louvain(&g1, 0);
         assert_eq!(d.best().len(), 1);
         assert_eq!(d.best().num_clusters(), 1);
+    }
+
+    #[test]
+    fn degenerate_all_zero_graph_yields_singletons_not_panic() {
+        // Regression: a measurement graph whose weights are all zero (e.g.
+        // a campaign where no fragments crossed any pair) reduces to an
+        // edgeless graph; `best()` used to die on NaN modularity via
+        // `partial_cmp(...).expect("finite modularity")`. It must return
+        // the singleton partition at modularity 0.0.
+        let g = WeightedGraph::from_edges(5, &[(0, 1, 0.0), (2, 3, 0.0)]);
+        assert_eq!(g.num_edges(), 0);
+        let d = louvain(&g, 9);
+        let p = d.best();
+        assert_eq!(p.len(), 5);
+        assert_eq!(p.num_clusters(), 5, "singleton partition");
+        assert_eq!(d.best_modularity(), 0.0);
+        // And a hand-built dendrogram carrying NaN never panics nor lets
+        // the NaN level win.
+        let nan_d = Dendrogram {
+            levels: vec![Partition::singletons(3), Partition::trivial(3)],
+            modularities: vec![f64::NAN, 0.25],
+        };
+        assert_eq!(nan_d.best().num_clusters(), 1, "finite level wins");
+        let all_nan = Dendrogram {
+            levels: vec![Partition::singletons(3)],
+            modularities: vec![f64::NAN],
+        };
+        assert_eq!(all_nan.best().num_clusters(), 3, "falls back to level 0");
+    }
+
+    #[test]
+    fn scratch_reuse_is_output_invariant() {
+        // The same scratch driven through graphs of different sizes must
+        // not change any result vs a fresh scratch per call.
+        let mut scratch = LouvainScratch::default();
+        let (g1, _) = planted_partition(3, 12, 6.0, 1.0, 4);
+        let (g2, _) = planted_partition(2, 30, 8.0, 0.5, 5);
+        for g in [&g2, &g1, &g2] {
+            for seed in 0..4 {
+                let reused = louvain_into(g, seed, LouvainConfig::default(), &mut scratch);
+                let fresh = louvain(g, seed);
+                assert_eq!(
+                    reused.best().assignments(),
+                    fresh.best().assignments(),
+                    "seed {seed}"
+                );
+                assert_eq!(reused.modularities, fresh.modularities);
+            }
+        }
     }
 
     #[test]

@@ -116,12 +116,21 @@ impl TomographySession {
 
     /// Runs phase 2 on a previously-measured campaign with the given
     /// algorithm. `run()` is exactly `analyze_with(measure(), algorithm)`.
+    ///
+    /// # Panics
+    ///
+    /// If `campaign` holds zero iterations. Campaigns produced by
+    /// [`TomographySession::measure`] always hold at least one (the
+    /// builder rejects `iterations(0)`); analyzing an arbitrary
+    /// hand-built campaign fallibly is what
+    /// [`crate::pipeline::analyze`] is for.
     pub fn analyze_with(
         &self,
         campaign: btt_swarm::broadcast::Campaign,
         algorithm: ClusteringAlgorithm,
     ) -> TomographyReport {
         analyze(&self.scenario, campaign, algorithm, self.seed)
+            .expect("session campaigns hold at least one iteration")
     }
 }
 

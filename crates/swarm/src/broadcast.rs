@@ -79,11 +79,18 @@ pub struct Campaign {
 impl Campaign {
     /// Re-aggregates the metric over only the first `k` iterations — used to
     /// study convergence vs iteration count (paper Fig. 13).
+    ///
+    /// Compatibility wrapper: each call re-streams the prefix from scratch,
+    /// so scoring every prefix `1..=n` through it costs O(n²) aggregations.
+    /// Convergence studies should instead keep one [`MetricAccumulator`]
+    /// and [`MetricAccumulator::push_run`] each run exactly once, snapshot
+    /// via [`MetricAccumulator::edges`] after every push (what
+    /// `btt_core::pipeline::convergence_series` does).
     pub fn metric_after(&self, k: usize) -> MetricAccumulator {
         let n = self.runs.first().map_or(0, |r| r.fragments.len());
         let mut acc = MetricAccumulator::new(n);
         for run in self.runs.iter().take(k) {
-            acc.add(&run.fragments);
+            acc.push_run(&run.fragments);
         }
         acc
     }
@@ -118,7 +125,7 @@ pub fn run_campaign(
         .collect();
     let mut metric = MetricAccumulator::new(hosts.len());
     for r in &runs {
-        metric.add(&r.fragments);
+        metric.push_run(&r.fragments);
     }
     Campaign { runs, metric }
 }

@@ -2,6 +2,7 @@
 
 use btt_netsim::prelude::*;
 use btt_swarm::prelude::*;
+use btt_swarm::swarm::RunOutcome;
 use proptest::prelude::*;
 use std::sync::Arc;
 
@@ -85,6 +86,74 @@ proptest! {
             let t = t.expect("finished run has all completions");
             if i == 0 { prop_assert_eq!(t, 0.0); } else {
                 prop_assert!(t > 0.0 && t <= out.makespan + 1e-9);
+            }
+        }
+    }
+
+    /// The streaming accumulator is prefix-equivalent to from-scratch
+    /// re-aggregation: pushing runs one at a time matches
+    /// `Campaign::metric_after(k)` — same floats, same sparse edge list —
+    /// at every prefix, on randomly shaped fragment matrices. This is the
+    /// invariant `convergence_series` relies on to aggregate each run
+    /// exactly once.
+    #[test]
+    fn streaming_accumulator_matches_every_prefix(
+        n in 2usize..16,
+        runs in 1usize..7,
+        seed in any::<u64>(),
+        density in 0.05f64..0.9,
+    ) {
+        // Random campaign: seed-derived sparse fragment matrices.
+        let mut mix = seed;
+        let mut next = move || {
+            mix = btt_netsim::util::splitmix64(mix);
+            mix
+        };
+        let outcomes: Vec<RunOutcome> = (0..runs)
+            .map(|_| {
+                let mut m = FragmentMatrix::new(n);
+                for src in 0..n {
+                    for dst in 0..n {
+                        if src != dst {
+                            let r = next();
+                            if (r % 1000) as f64 / 1000.0 < density {
+                                for _ in 0..(1 + r % 5) {
+                                    m.record(src, dst);
+                                }
+                            }
+                        }
+                    }
+                }
+                RunOutcome {
+                    fragments: m,
+                    completion: vec![Some(0.0); n],
+                    makespan: 1.0,
+                    finished: true,
+                    sim_steps: 1,
+                }
+            })
+            .collect();
+        let campaign = Campaign {
+            runs: outcomes,
+            metric: MetricAccumulator::new(n),
+        };
+
+        let mut streaming = MetricAccumulator::new(n);
+        for (i, run) in campaign.runs.iter().enumerate() {
+            streaming.push_run(&run.fragments);
+            let scratch = campaign.metric_after(i + 1);
+            prop_assert_eq!(&streaming, &scratch, "prefix {}", i + 1);
+            prop_assert_eq!(streaming.edges(), scratch.edges());
+            // And both match the dense definition of Eq. (2).
+            for a in 0..n {
+                for b in (a + 1)..n {
+                    let manual: f64 = campaign.runs[..=i]
+                        .iter()
+                        .map(|r| r.fragments.edge(a, b) as f64)
+                        .sum::<f64>()
+                        / (i + 1) as f64;
+                    prop_assert!((streaming.w(a, b) - manual).abs() < 1e-12);
+                }
             }
         }
     }
