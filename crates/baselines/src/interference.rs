@@ -104,11 +104,8 @@ pub fn interference_probing(
             let mut others: Vec<usize> =
                 all.iter().copied().filter(|&x| x != a && x != b).collect();
             others.shuffle(&mut rng);
-            let partners: Vec<(usize, usize)> = others
-                .chunks_exact(2)
-                .take(partners_per_pair)
-                .map(|c| (c[0], c[1]))
-                .collect();
+            let partners: Vec<(usize, usize)> =
+                others.chunks_exact(2).take(partners_per_pair).map(|c| (c[0], c[1])).collect();
             for (c, d) in partners {
                 // "Intense communication" between each pair is bidirectional
                 // (Fig. 2): otherwise a partner crossing a full-duplex link
@@ -119,15 +116,15 @@ pub fn interference_probing(
                 let f2r = net.start_flow(hosts[d], hosts[c], None, 0);
                 net.advance(probe_secs);
                 let got1 = net.take_delivered(f1);
-                let got2 = net.take_delivered(f2)
-                    + net.take_delivered(f1r)
-                    + net.take_delivered(f2r);
+                let got2 =
+                    net.take_delivered(f2) + net.take_delivered(f1r) + net.take_delivered(f2r);
                 net.stop_flow(f1);
                 net.stop_flow(f1r);
                 net.stop_flow(f2);
                 net.stop_flow(f2r);
                 let with_load = Bandwidth::from_bytes_per_sec(got1 / probe_secs).mbps();
-                let r = if baseline[a][b] > 0.0 { (with_load / baseline[a][b]).min(1.0) } else { 0.0 };
+                let r =
+                    if baseline[a][b] > 0.0 { (with_load / baseline[a][b]).min(1.0) } else { 0.0 };
                 retention_min[a][b] = retention_min[a][b].min(r);
                 cost.add(MeasurementCost {
                     sim_seconds: probe_secs,
@@ -170,14 +167,8 @@ mod tests {
         // Host indices 0..6 = bordeplage, 6..12 = bordereau.
         let cross_retention = r.retention[0][6];
         let local_retention = r.retention[0][1];
-        assert!(
-            local_retention > 0.95,
-            "local pairs should rarely interfere: {local_retention}"
-        );
-        assert!(
-            cross_retention < 0.6,
-            "trunk pairs must show interference: {cross_retention}"
-        );
+        assert!(local_retention > 0.95, "local pairs should rarely interfere: {local_retention}");
+        assert!(cross_retention < 0.6, "trunk pairs must show interference: {cross_retention}");
         // And the clustering recovers the ground truth split.
         let p = r.cluster(7);
         assert_eq!(p.num_clusters(), 2);

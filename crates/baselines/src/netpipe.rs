@@ -34,7 +34,8 @@ impl NetpipeResult {
             return 0.0;
         }
         let mean = self.mean_mbps();
-        let var = self.samples_mbps.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / (n - 1) as f64;
+        let var =
+            self.samples_mbps.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / (n - 1) as f64;
         var.sqrt()
     }
 }

@@ -69,11 +69,7 @@ pub fn pairwise_probing(
             let mbps = Bandwidth::from_bytes_per_sec(got / probe_secs).mbps();
             bw[a][b] = mbps;
             bw[b][a] = mbps;
-            cost.add(MeasurementCost {
-                sim_seconds: probe_secs,
-                bytes_moved: got,
-                probes: 1,
-            });
+            cost.add(MeasurementCost { sim_seconds: probe_secs, bytes_moved: got, probes: 1 });
         }
     }
     PairwiseResult { bandwidth_mbps: bw, cost }

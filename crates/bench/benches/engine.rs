@@ -24,11 +24,8 @@ fn bench_scale_presets(c: &mut Criterion) {
         [("fat-tree-512", 256u32, None), ("edge-512", 128, None), ("edge-1k", 128, Some(0.25))]
     {
         let (routes, hosts) = setup(spec);
-        let cfg = SwarmConfig {
-            num_pieces: pieces,
-            rate_refresh: refresh,
-            ..SwarmConfig::default()
-        };
+        let cfg =
+            SwarmConfig { num_pieces: pieces, rate_refresh: refresh, ..SwarmConfig::default() };
         group.bench_with_input(BenchmarkId::from_parameter(spec), &spec, |b, _| {
             let mut seed = 0u64;
             b.iter(|| {

@@ -21,9 +21,7 @@ fn bench_convergence(c: &mut Criterion) {
         b.iter(|| convergence_series(&campaign, &truth, ClusteringAlgorithm::Louvain, 7))
     });
     group.bench_function("serial-reference", |b| {
-        b.iter(|| {
-            convergence_series_serial(&campaign, &truth, ClusteringAlgorithm::Louvain, 7)
-        })
+        b.iter(|| convergence_series_serial(&campaign, &truth, ClusteringAlgorithm::Louvain, 7))
     });
     group.finish();
 }

@@ -4,23 +4,12 @@
 //! btt sweep [OPTIONS]        run a (scenario × algorithm × seed) campaign
 //! btt list                   show scenario syntax and algorithm names
 //! btt check <DIR>            validate campaign artifacts (JSON/CSV parse)
-//!
-//! Sweep options:
-//!   --scenarios <S,S,...>    scenario specs (default: 2x2,star:3x6:0.1:6,wan:3x4:0.2)
-//!   --algorithms <A,A,...>   clustering algorithms (default: louvain,label-propagation)
-//!   --seeds <N,N,...>        master seeds (default: 2012)
-//!   --iterations <N>         broadcast iterations per run (default: 10; or use
-//!                            per-scenario defaults with --paper-iterations)
-//!   --paper-iterations       use each scenario's default iteration count
-//!   --pieces <N>             file size in 16 KiB fragments (default: 512)
-//!   --quick                  shrink to 3 iterations × 128 fragments
-//!   --bench                  also run the standardized engine + inference
-//!                            benchmarks and write BENCH_engine.json and
-//!                            BENCH_inference.json (perf trajectory)
-//!   --bench-points <S,S,..>  restrict --bench to the named suite scenarios
-//!                            (e.g. fat-tree-1k; default: all points)
-//!   --out <DIR>              artifact directory (default: out/campaign)
 //! ```
+//!
+//! Every subcommand answers `--help`/`-h` with its own usage; run
+//! `btt list` for the scenario grammar (including the `+churn=` /
+//! `+xtraffic=` / `+degrade=` reliability suffixes). The sibling `repro`
+//! binary reproduces the paper's figure-level experiments.
 //!
 //! Exit status is non-zero on bad arguments or (for `check`) invalid
 //! artifacts, so CI can smoke-run the binary directly.
@@ -34,27 +23,101 @@ use btt_core::scenarios::ScenarioSpec;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-fn usage() -> ExitCode {
-    eprintln!(
-        "usage:\n  btt sweep [--scenarios S,S] [--algorithms A,A] [--seeds N,N] \
-         [--iterations N | --paper-iterations] [--pieces N] [--quick] [--bench] \
-         [--bench-points S,S] [--out DIR]\n  \
-         btt list\n  btt check <DIR>\n\nrun `btt list` for scenario syntax"
-    );
+const TOP_USAGE: &str = "\
+usage: btt <COMMAND> [OPTIONS]
+
+commands:
+  sweep    run a (scenario x algorithm x seed) campaign and write artifacts
+  list     show scenario spec syntax, scale presets, and algorithm names
+  check    validate campaign artifacts in a directory
+
+run `btt <COMMAND> --help` for per-command options.
+
+The sibling `repro` binary reproduces the paper's figure-level experiments
+(`repro --help` for its options).";
+
+const SWEEP_USAGE: &str = "\
+usage: btt sweep [OPTIONS]
+
+Runs every (scenario, algorithm, seed) combination and writes one JSON
+record plus one convergence CSV per run, and a campaign summary.csv.
+
+options:
+  --scenarios <S,S,...>    scenario specs (default: 2x2,star:3x6:0.1:6,wan:3x4:0.2)
+                           `btt list` shows the grammar, incl. reliability
+                           suffixes like wan-512+churn=0.05
+  --algorithms <A,A,...>   clustering algorithms (default: louvain,label-propagation)
+  --seeds <N,N,...>        master seeds (default: 2012)
+  --iterations <N>         broadcast iterations per run (default: 10)
+  --paper-iterations       use each scenario's default iteration count
+  --pieces <N>             file size in 16 KiB fragments (default: 512)
+  --quick                  shrink to 3 iterations x 128 fragments
+  --bench                  also run the standardized engine + inference
+                           benchmarks, writing BENCH_engine.json and
+                           BENCH_inference.json (perf trajectory)
+  --bench-points <S,S,..>  restrict --bench to the named suite scenarios
+                           (e.g. fat-tree-1k; default: all points)
+  --out <DIR>              artifact directory (default: out/campaign)
+  -h, --help               show this help";
+
+const LIST_USAGE: &str = "\
+usage: btt list
+
+Prints the scenario spec grammar (paper datasets, synthetic families,
+scale presets, reliability suffixes) and the clustering algorithm names.
+
+options:
+  -h, --help               show this help";
+
+const CHECK_USAGE: &str = "\
+usage: btt check <DIR>
+
+Validates every campaign artifact in DIR: report JSONs must parse against
+the current schema, CSVs must be rectangular, and any BENCH_engine.json /
+BENCH_inference.json must carry their trajectory keys. Exits non-zero on
+the first invalid artifact, naming the offending file.
+
+options:
+  -h, --help               show this help";
+
+fn top_usage() -> ExitCode {
+    eprintln!("{TOP_USAGE}");
     ExitCode::from(2)
+}
+
+/// `--help` goes to stdout with a zero exit; errors go to stderr with 2.
+fn wants_help(args: &[String]) -> bool {
+    args.iter().any(|a| a == "--help" || a == "-h")
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("sweep") => sweep(&args[1..]),
-        Some("list") => list(),
+        Some("list") => list(&args[1..]),
         Some("check") => check(&args[1..]),
-        _ => usage(),
+        Some("--help") | Some("-h") => {
+            println!("{TOP_USAGE}");
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("btt: unknown command {other:?}\n");
+            top_usage()
+        }
+        None => top_usage(),
     }
 }
 
-fn list() -> ExitCode {
+fn list(args: &[String]) -> ExitCode {
+    if wants_help(args) {
+        println!("{LIST_USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    if !args.is_empty() {
+        eprintln!("btt list: unexpected argument {:?} (try `btt list --help`)\n", args[0]);
+        eprintln!("{LIST_USAGE}");
+        return ExitCode::from(2);
+    }
     println!("scenario specs (comma-separate for --scenarios):");
     println!("  paper datasets: B  B-T  G-T  B-G-T  B-G-T-L  2x2");
     println!("  fat-tree:<pods>x<racks>x<hosts>[:<edge_oversub>[:<core_oversub>]]");
@@ -65,9 +128,15 @@ fn list() -> ExitCode {
     println!("      e.g. wan:3x8:0.5        (WAN segments at 50% of site demand)");
     println!("      e.g. wan:16x64:0.5:20   (1024 consumer-edge hosts at 20 Mb/s)");
     println!();
+    println!("reliability suffixes (append to any spec or preset; fractions in [0,1]):");
+    println!("  +churn=<f>     fraction of hosts crashing per broadcast (half recover)");
+    println!("  +xtraffic=<f>  competing bulk-stream pairs as a fraction of hosts");
+    println!("  +degrade=<f>   fraction of access links degraded mid-broadcast");
+    println!("      e.g. wan:16x64:0.5:20+churn=0.05+xtraffic=0.2");
+    println!();
     println!("scale presets (shorthands for the standard large scenarios):");
     for (name, spec) in btt_core::scenarios::SCALE_PRESETS {
-        println!("  {name:12} = {spec}");
+        println!("  {name:18} = {spec}");
     }
     println!();
     println!("algorithms (comma-separate for --algorithms; shorthands in parens):");
@@ -76,7 +145,15 @@ fn list() -> ExitCode {
 }
 
 fn check(args: &[String]) -> ExitCode {
-    let [dir] = args else { return usage() };
+    if wants_help(args) {
+        println!("{CHECK_USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    let [dir] = args else {
+        eprintln!("btt check: expected exactly one directory argument\n");
+        eprintln!("{CHECK_USAGE}");
+        return ExitCode::from(2);
+    };
     match check_outputs(&PathBuf::from(dir)) {
         Ok((jsons, csvs)) => {
             println!("ok: {jsons} JSON record(s) and {csvs} CSV file(s) parse cleanly");
@@ -89,7 +166,17 @@ fn check(args: &[String]) -> ExitCode {
     }
 }
 
+/// Prints a sweep-flag error plus a pointer at the help text, exiting 2.
+fn sweep_err(message: String) -> ExitCode {
+    eprintln!("btt sweep: {message} (try `btt sweep --help`)");
+    ExitCode::from(2)
+}
+
 fn sweep(args: &[String]) -> ExitCode {
+    if wants_help(args) {
+        println!("{SWEEP_USAGE}");
+        return ExitCode::SUCCESS;
+    }
     let mut spec = SweepSpec::default_smoke();
     let mut out = PathBuf::from("out/campaign");
     let mut bench = false;
@@ -103,57 +190,60 @@ fn sweep(args: &[String]) -> ExitCode {
         };
         match flag {
             "--scenarios" => {
-                let Some(v) = value() else { return usage() };
+                let Some(v) = value() else {
+                    return sweep_err("--scenarios needs a value".into());
+                };
                 match ScenarioSpec::parse_list(&v) {
                     Ok(s) if !s.is_empty() => spec.scenarios = s,
-                    Ok(_) => return usage(),
-                    Err(e) => {
-                        eprintln!("btt: {e}");
-                        return ExitCode::from(2);
-                    }
+                    Ok(_) => return sweep_err("--scenarios list is empty".into()),
+                    Err(e) => return sweep_err(e),
                 }
             }
             "--algorithms" => {
-                let Some(v) = value() else { return usage() };
+                let Some(v) = value() else {
+                    return sweep_err("--algorithms needs a value".into());
+                };
                 let mut algorithms = Vec::new();
                 for name in v.split(',').filter(|s| !s.trim().is_empty()) {
                     match ClusteringAlgorithm::from_name(name.trim()) {
                         Some(a) => algorithms.push(a),
                         None => {
-                            eprintln!(
-                                "btt: unknown algorithm {name:?}; valid algorithms: {}",
+                            return sweep_err(format!(
+                                "unknown algorithm {name:?}; valid algorithms: {}",
                                 ClusteringAlgorithm::name_list()
-                            );
-                            return ExitCode::from(2);
+                            ));
                         }
                     }
                 }
                 if algorithms.is_empty() {
-                    return usage();
+                    return sweep_err("--algorithms list is empty".into());
                 }
                 spec.algorithms = algorithms;
             }
             "--seeds" => {
-                let Some(v) = value() else { return usage() };
-                let seeds: Result<Vec<u64>, _> =
-                    v.split(',').filter(|s| !s.trim().is_empty()).map(|s| s.trim().parse()).collect();
+                let Some(v) = value() else {
+                    return sweep_err("--seeds needs a value".into());
+                };
+                let seeds: Result<Vec<u64>, _> = v
+                    .split(',')
+                    .filter(|s| !s.trim().is_empty())
+                    .map(|s| s.trim().parse())
+                    .collect();
                 match seeds {
                     Ok(s) if !s.is_empty() => spec.seeds = s,
-                    _ => return usage(),
+                    _ => return sweep_err(format!("--seeds wants integers, got {v:?}")),
                 }
             }
             "--iterations" => {
-                let Some(n) = value().and_then(|v| v.parse::<u32>().ok()).filter(|&n| n > 0)
-                else {
-                    return usage();
+                let Some(n) = value().and_then(|v| v.parse::<u32>().ok()).filter(|&n| n > 0) else {
+                    return sweep_err("--iterations wants a positive integer".into());
                 };
                 spec.iterations = Some(n);
             }
             "--paper-iterations" => spec.iterations = None,
             "--pieces" => {
-                let Some(n) = value().and_then(|v| v.parse::<u32>().ok()).filter(|&n| n > 0)
-                else {
-                    return usage();
+                let Some(n) = value().and_then(|v| v.parse::<u32>().ok()).filter(|&n| n > 0) else {
+                    return sweep_err("--pieces wants a positive integer".into());
                 };
                 spec.pieces = n;
             }
@@ -163,22 +253,26 @@ fn sweep(args: &[String]) -> ExitCode {
             }
             "--bench" => bench = true,
             "--bench-points" => {
-                let Some(v) = value() else { return usage() };
+                let Some(v) = value() else {
+                    return sweep_err("--bench-points needs a value".into());
+                };
                 let names: Vec<String> = v
                     .split(',')
                     .filter(|s| !s.trim().is_empty())
                     .map(|s| s.trim().to_string())
                     .collect();
                 if names.is_empty() {
-                    return usage();
+                    return sweep_err("--bench-points list is empty".into());
                 }
                 bench_points = Some(names);
             }
             "--out" => {
-                let Some(v) = value() else { return usage() };
+                let Some(v) = value() else {
+                    return sweep_err("--out needs a value".into());
+                };
                 out = PathBuf::from(v);
             }
-            _ => return usage(),
+            other => return sweep_err(format!("unknown flag {other:?}")),
         }
         i += 1;
     }
@@ -205,6 +299,19 @@ fn sweep(args: &[String]) -> ExitCode {
                 record.scenario_id,
                 record.algorithm,
                 record.final_onmi()
+            );
+        }
+        let rel = &record.reliability;
+        if rel.hosts_lost > 0 || rel.pairs_unobserved > 0 {
+            println!(
+                "note: {} with {} ran churned: {} host(s) lost, {} pair(s) unobserved, \
+                 coverage {:.2}, confidence-weighted oNMI {:.3}",
+                record.scenario_id,
+                record.algorithm,
+                rel.hosts_lost,
+                rel.pairs_unobserved,
+                rel.pair_coverage,
+                rel.confidence_weighted_onmi
             );
         }
     }

@@ -124,18 +124,13 @@ impl RunSpec {
     /// The per-run artifact stem, e.g. `star-3x4-0.1-4__louvain__s2012`
     /// (scenario ids are sanitized for the filesystem: `:` becomes `-`).
     pub fn file_stem(&self) -> String {
-        format!(
-            "{}__{}__s{}",
-            sanitize(&self.scenario.id()),
-            self.algorithm.name(),
-            self.seed
-        )
+        format!("{}__{}__s{}", sanitize(&self.scenario.id()), self.algorithm.name(), self.seed)
     }
 }
 
-/// Makes a scenario id filesystem-friendly (`:` → `-`).
+/// Makes a scenario id filesystem-friendly (`:`, `+`, `=` → `-`).
 fn sanitize(id: &str) -> String {
-    id.replace(':', "-")
+    id.replace([':', '+', '='], "-")
 }
 
 /// True for file names this module itself writes — the only files
@@ -533,10 +528,7 @@ pub fn inference_bench_selected(filter: Option<&[String]>) -> usize {
 /// `BENCH_inference.json` under `out`. Returns `None` — writing nothing —
 /// when the filter selects no suite points: an artifact with an empty
 /// `runs` array would be rejected by `btt check`.
-pub fn write_inference_bench(
-    out: &Path,
-    filter: Option<&[String]>,
-) -> io::Result<Option<PathBuf>> {
+pub fn write_inference_bench(out: &Path, filter: Option<&[String]>) -> io::Result<Option<PathBuf>> {
     if inference_bench_selected(filter) == 0 {
         return Ok(None);
     }
@@ -554,10 +546,7 @@ pub fn check_inference_bench(text: &str) -> Result<usize, String> {
     if schema != Some("btt-inference-bench-v1") {
         return Err(format!("unexpected schema {schema:?}"));
     }
-    let runs = doc
-        .get("runs")
-        .and_then(json::Json::as_array)
-        .ok_or("missing runs array")?;
+    let runs = doc.get("runs").and_then(json::Json::as_array).ok_or("missing runs array")?;
     if runs.is_empty() {
         return Err("empty runs array".into());
     }
@@ -588,10 +577,7 @@ pub fn check_engine_bench(text: &str) -> Result<usize, String> {
     if schema != Some("btt-engine-bench-v1") {
         return Err(format!("unexpected schema {schema:?}"));
     }
-    let runs = doc
-        .get("runs")
-        .and_then(json::Json::as_array)
-        .ok_or("missing runs array")?;
+    let runs = doc.get("runs").and_then(json::Json::as_array).ok_or("missing runs array")?;
     if runs.is_empty() {
         return Err("empty runs array".into());
     }
@@ -605,8 +591,11 @@ pub fn check_engine_bench(text: &str) -> Result<usize, String> {
     Ok(runs.len())
 }
 
-/// Header of `summary.csv`, in column order.
-pub const SUMMARY_COLUMNS: [&str; 13] = [
+/// Header of `summary.csv`, in column order. The four reliability columns
+/// (`hosts_lost` onward) carry the failure-tolerance trajectory: zero
+/// losses / full coverage on static campaigns, and the accuracy-vs-failure
+/// data a churn sweep plots.
+pub const SUMMARY_COLUMNS: [&str; 17] = [
     "scenario",
     "algorithm",
     "seed",
@@ -620,6 +609,10 @@ pub const SUMMARY_COLUMNS: [&str; 13] = [
     "final_modularity",
     "converged_at",
     "measurement_time_s",
+    "hosts_lost",
+    "pairs_unobserved",
+    "pair_coverage",
+    "confidence_weighted_onmi",
 ];
 
 /// Renders the campaign-level summary CSV, one row per record, in input
@@ -643,6 +636,10 @@ pub fn summary_csv(records: &[ReportRecord]) -> String {
             json::fmt_f64(last_q),
             r.converged_at.map_or(String::new(), |k| k.to_string()),
             json::fmt_f64(r.measurement_time()),
+            r.reliability.hosts_lost.to_string(),
+            r.reliability.pairs_unobserved.to_string(),
+            json::fmt_f64(r.reliability.pair_coverage),
+            json::fmt_f64(r.reliability.confidence_weighted_onmi),
         ]);
     }
     t.finish()
@@ -668,10 +665,7 @@ pub fn write_outputs(
     fs::create_dir_all(out)?;
     for entry in fs::read_dir(out)? {
         let path = entry?.path();
-        let is_ours = path
-            .file_name()
-            .and_then(|n| n.to_str())
-            .is_some_and(is_campaign_artifact);
+        let is_ours = path.file_name().and_then(|n| n.to_str()).is_some_and(is_campaign_artifact);
         if is_ours {
             fs::remove_file(&path)?;
         }
@@ -692,42 +686,107 @@ pub fn write_outputs(
     Ok(paths)
 }
 
+/// A `btt check` validation failure: every variant names the offending file
+/// (or directory), so CI logs point straight at the artifact to inspect.
+/// Typed — the CLI maps any variant to a nonzero exit code — instead of the
+/// panicking unwraps early validation drafts used.
+#[derive(Debug)]
+pub enum CheckError {
+    /// A file or directory could not be read.
+    Io {
+        /// The unreadable path.
+        path: PathBuf,
+        /// The underlying I/O error.
+        source: io::Error,
+    },
+    /// A campaign artifact failed to parse or validate.
+    Invalid {
+        /// The offending artifact.
+        path: PathBuf,
+        /// What was wrong with it.
+        message: String,
+    },
+    /// The directory holds no campaign artifacts at all.
+    NoArtifacts {
+        /// The directory checked.
+        dir: PathBuf,
+    },
+}
+
+impl std::fmt::Display for CheckError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckError::Io { path, source } => {
+                write!(f, "{}: {source}", path.display())
+            }
+            CheckError::Invalid { path, message } => {
+                write!(f, "{}: {message}", path.display())
+            }
+            CheckError::NoArtifacts { dir } => {
+                write!(f, "{}: no .json or .csv artifacts found", dir.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl CheckError {
+    /// The offending file (or directory) the error names.
+    pub fn path(&self) -> &Path {
+        match self {
+            CheckError::Io { path, .. } => path,
+            CheckError::Invalid { path, .. } => path,
+            CheckError::NoArtifacts { dir } => dir,
+        }
+    }
+}
+
 /// Validates every campaign artifact in `dir`: `.json` files must parse as
-/// `btt-report-v1` records, `.csv` files must parse with consistent column
-/// counts. Only files matching the campaign naming patterns are examined —
-/// unrelated files sharing the extensions are ignored, consistent with
-/// [`write_outputs`] preserving them. Returns `(json_count, csv_count)` or
-/// the first failure.
-pub fn check_outputs(dir: &Path) -> Result<(usize, usize), String> {
+/// [`btt_core::serialize::REPORT_SCHEMA`] records, `.csv` files must parse
+/// with consistent column counts. Only files matching the campaign naming
+/// patterns are examined — unrelated files sharing the extensions are
+/// ignored, consistent with [`write_outputs`] preserving them. Returns
+/// `(json_count, csv_count)` or the first failure, which always names the
+/// offending file.
+pub fn check_outputs(dir: &Path) -> Result<(usize, usize), CheckError> {
+    let read = |path: &Path| {
+        fs::read_to_string(path)
+            .map_err(|source| CheckError::Io { path: path.to_path_buf(), source })
+    };
+    let invalid =
+        |path: &Path, message: String| CheckError::Invalid { path: path.to_path_buf(), message };
     let mut entries: Vec<PathBuf> = fs::read_dir(dir)
-        .map_err(|e| format!("cannot read {}: {e}", dir.display()))?
+        .map_err(|source| CheckError::Io { path: dir.to_path_buf(), source })?
         .filter_map(|e| e.ok().map(|e| e.path()))
-        .filter(|p| {
-            p.file_name().and_then(|n| n.to_str()).is_some_and(is_campaign_artifact)
-        })
+        .filter(|p| p.file_name().and_then(|n| n.to_str()).is_some_and(is_campaign_artifact))
         .collect();
     entries.sort();
     let (mut jsons, mut csvs) = (0usize, 0usize);
     for path in entries {
-        let name = path.display();
         match path.extension().and_then(|e| e.to_str()) {
             Some("json") => {
-                let text =
-                    fs::read_to_string(&path).map_err(|e| format!("read {name}: {e}"))?;
-                let value = json::parse(&text).map_err(|e| format!("{name}: {e}"))?;
-                ReportRecord::from_json(&value).map_err(|e| format!("{name}: {e}"))?;
+                let text = read(&path)?;
+                let value = json::parse(&text).map_err(|e| invalid(&path, e.to_string()))?;
+                ReportRecord::from_json(&value).map_err(|e| invalid(&path, e.to_string()))?;
                 jsons += 1;
             }
             Some("csv") => {
-                let text =
-                    fs::read_to_string(&path).map_err(|e| format!("read {name}: {e}"))?;
-                let rows = csv::parse(&text).map_err(|e| format!("{name}: {e}"))?;
+                let text = read(&path)?;
+                let rows = csv::parse(&text).map_err(|e| invalid(&path, e))?;
                 let width = rows.first().map_or(0, Vec::len);
                 if width == 0 {
-                    return Err(format!("{name}: empty CSV"));
+                    return Err(invalid(&path, "empty CSV".to_string()));
                 }
                 if let Some(bad) = rows.iter().find(|r| r.len() != width) {
-                    return Err(format!("{name}: ragged row {bad:?}"));
+                    return Err(invalid(&path, format!("ragged row {bad:?}")));
                 }
                 csvs += 1;
             }
@@ -739,21 +798,18 @@ pub fn check_outputs(dir: &Path) -> Result<(usize, usize), String> {
     // too.
     let bench_path = dir.join(BENCH_FILE);
     if bench_path.exists() {
-        let text = fs::read_to_string(&bench_path)
-            .map_err(|e| format!("read {}: {e}", bench_path.display()))?;
-        check_engine_bench(&text).map_err(|e| format!("{}: {e}", bench_path.display()))?;
+        let text = read(&bench_path)?;
+        check_engine_bench(&text).map_err(|e| invalid(&bench_path, e))?;
         jsons += 1;
     }
     let inference_path = dir.join(INFERENCE_BENCH_FILE);
     if inference_path.exists() {
-        let text = fs::read_to_string(&inference_path)
-            .map_err(|e| format!("read {}: {e}", inference_path.display()))?;
-        check_inference_bench(&text)
-            .map_err(|e| format!("{}: {e}", inference_path.display()))?;
+        let text = read(&inference_path)?;
+        check_inference_bench(&text).map_err(|e| invalid(&inference_path, e))?;
         jsons += 1;
     }
     if jsons == 0 && csvs == 0 {
-        return Err(format!("{}: no .json or .csv artifacts found", dir.display()));
+        return Err(CheckError::NoArtifacts { dir: dir.to_path_buf() });
     }
     Ok((jsons, csvs))
 }
@@ -852,13 +908,54 @@ mod tests {
 
     #[test]
     fn file_stems_are_filesystem_safe() {
-        for run in tiny_spec().expand() {
+        let mut spec = tiny_spec();
+        spec.scenarios =
+            ScenarioSpec::parse_list("2x2,wan:2x2:0.25,wan:2x2:0.25+churn=0.5+xtraffic=0.25")
+                .unwrap();
+        for run in spec.expand() {
             let stem = run.file_stem();
-            assert!(
-                stem.chars().all(|c| c.is_ascii_alphanumeric() || "-_.".contains(c)),
-                "{stem}"
-            );
+            assert!(stem.chars().all(|c| c.is_ascii_alphanumeric() || "-_.".contains(c)), "{stem}");
         }
+    }
+
+    #[test]
+    fn check_errors_name_the_offending_file() {
+        let dir = std::env::temp_dir().join(format!("btt-checkerr-test-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        // Empty directory: typed NoArtifacts naming the directory.
+        let err = check_outputs(&dir).unwrap_err();
+        assert!(matches!(err, CheckError::NoArtifacts { .. }));
+        assert_eq!(err.path(), dir.as_path());
+        // A corrupt campaign JSON: typed Invalid naming the file.
+        let bad = dir.join("wan-2x2__louvain__s1.json");
+        fs::write(&bad, "{not json").unwrap();
+        let err = check_outputs(&dir).unwrap_err();
+        assert!(matches!(err, CheckError::Invalid { .. }), "{err:?}");
+        assert_eq!(err.path(), bad.as_path());
+        assert!(err.to_string().contains("wan-2x2__louvain__s1.json"), "{err}");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn summary_csv_carries_reliability_columns() {
+        let spec = SweepSpec {
+            scenarios: ScenarioSpec::parse_list("wan:2x4:0.25+churn=0.4").unwrap(),
+            algorithms: vec![ClusteringAlgorithm::Louvain],
+            seeds: vec![2012],
+            iterations: Some(3),
+            pieces: 64,
+        };
+        let records = run_sweep(&spec);
+        assert_eq!(records.len(), 1);
+        let rel = &records[0].reliability;
+        assert!(rel.hosts_lost > 0, "churn 0.4 on 8 hosts must lose someone");
+        assert!(rel.pair_coverage < 1.0);
+        let rows = csv::parse(&summary_csv(&records)).unwrap();
+        assert_eq!(rows[0], SUMMARY_COLUMNS.to_vec());
+        let hosts_lost_col = rows[0].iter().position(|c| c == "hosts_lost").unwrap();
+        assert_eq!(rows[1][hosts_lost_col], rel.hosts_lost.to_string());
+        let cov_col = rows[0].iter().position(|c| c == "pair_coverage").unwrap();
+        assert!(rows[1][cov_col].parse::<f64>().unwrap() < 1.0);
     }
 
     #[test]
@@ -918,9 +1015,7 @@ mod tests {
             ("schema", json::Json::Str("btt-inference-bench-v1".into())),
             ("runs", json::Json::Array(vec![json::Json::obj(vec![])])),
         ]);
-        assert!(check_inference_bench(&wrong.render_pretty())
-            .unwrap_err()
-            .contains("missing key"));
+        assert!(check_inference_bench(&wrong.render_pretty()).unwrap_err().contains("missing key"));
     }
 
     #[test]

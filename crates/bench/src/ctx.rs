@@ -163,10 +163,7 @@ mod tests {
 
     #[test]
     fn table_and_bar_render() {
-        let t = text_table(&[
-            vec!["name".into(), "value".into()],
-            vec!["x".into(), "10".into()],
-        ]);
+        let t = text_table(&[vec!["name".into(), "value".into()], vec!["x".into(), "10".into()]]);
         assert!(t.contains("name"));
         assert!(t.contains("-----"));
         assert_eq!(bar(5.0, 10.0, 10), "#####");

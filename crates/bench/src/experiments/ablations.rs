@@ -86,8 +86,12 @@ pub fn ablation_selection(ctx: &mut ReproCtx) {
             RootPolicy::Fixed(0),
             ctx.seed,
         );
-        let series =
-            convergence_series(&campaign, &scenario.ground_truth, ClusteringAlgorithm::Louvain, ctx.seed);
+        let series = convergence_series(
+            &campaign,
+            &scenario.ground_truth,
+            ClusteringAlgorithm::Louvain,
+            ctx.seed,
+        );
         let conv = converged_at(&series);
         let final_onmi = series.last().map_or(0.0, |p| p.onmi);
         let mean_makespan =
@@ -120,14 +124,17 @@ pub fn ablation_root(ctx: &mut ReproCtx) {
     let scenario = Dataset::BGTL.build();
     let iters = ctx.effective_iterations(Dataset::BGTL).min(15);
     let cfg = SwarmConfig { num_pieces: ctx.effective_pieces(), ..SwarmConfig::default() };
-    let mut rows =
-        vec![vec!["root policy".into(), "converged@".into(), "final oNMI".into()]];
+    let mut rows = vec![vec!["root policy".into(), "converged@".into(), "final oNMI".into()]];
     let mut csv = Vec::new();
     for (name, policy) in policies {
         let campaign =
             run_campaign(&scenario.routes, &scenario.hosts, &cfg, iters, policy, ctx.seed);
-        let series =
-            convergence_series(&campaign, &scenario.ground_truth, ClusteringAlgorithm::Louvain, ctx.seed);
+        let series = convergence_series(
+            &campaign,
+            &scenario.ground_truth,
+            ClusteringAlgorithm::Louvain,
+            ctx.seed,
+        );
         let conv = converged_at(&series);
         let final_onmi = series.last().map_or(0.0, |p| p.onmi);
         rows.push(vec![
@@ -151,13 +158,10 @@ pub fn ablation_load(ctx: &mut ReproCtx) {
     let routes = Arc::new(RouteTable::new(grid.topology.clone()));
     let g_hosts = &grid.sites[0].clusters[0].1;
     let t_hosts = &grid.sites[1].clusters[0].1;
-    let hosts: Vec<_> =
-        g_hosts[..32].iter().chain(t_hosts[..32].iter()).copied().collect();
-    let bystanders: Vec<_> =
-        g_hosts[32..].iter().chain(t_hosts[32..].iter()).copied().collect();
-    let truth = Partition::from_assignments(
-        &(0..64).map(|i| u32::from(i >= 32)).collect::<Vec<_>>(),
-    );
+    let hosts: Vec<_> = g_hosts[..32].iter().chain(t_hosts[..32].iter()).copied().collect();
+    let bystanders: Vec<_> = g_hosts[32..].iter().chain(t_hosts[32..].iter()).copied().collect();
+    let truth =
+        Partition::from_assignments(&(0..64).map(|i| u32::from(i >= 32)).collect::<Vec<_>>());
 
     let cfg = SwarmConfig { num_pieces: ctx.effective_pieces(), ..SwarmConfig::default() };
     let iters = ctx.effective_iterations(Dataset::GT).min(10);
@@ -185,8 +189,7 @@ pub fn ablation_load(ctx: &mut ReproCtx) {
             metric.add(&r.fragments);
         }
         let campaign = Campaign { runs, metric };
-        let series =
-            convergence_series(&campaign, &truth, ClusteringAlgorithm::Louvain, ctx.seed);
+        let series = convergence_series(&campaign, &truth, ClusteringAlgorithm::Louvain, ctx.seed);
         let conv = converged_at(&series);
         let final_onmi = series.last().map_or(0.0, |p| p.onmi);
         let mean_makespan =
@@ -199,10 +202,8 @@ pub fn ablation_load(ctx: &mut ReproCtx) {
     };
 
     let quiet = run_variant("quiet", None);
-    let loaded = run_variant(
-        "loaded",
-        Some(TrafficConfig { mean_on: 20.0, mean_off: 0.5, pairs: 8 }),
-    );
+    let loaded =
+        run_variant("loaded", Some(TrafficConfig { mean_on: 20.0, mean_off: 0.5, pairs: 8 }));
     println!(
         "shape target: clustering survives load (final oNMI 1.0 both), broadcasts slow down \
          under load (makespan {:.2} -> {:.2}).",
@@ -285,22 +286,18 @@ pub fn ablation_dynamic(ctx: &mut ReproCtx) {
     let split_grid = Grid5000::builder().bordeaux(16, 0, 16).build();
     let split_routes = Arc::new(RouteTable::new(split_grid.topology.clone()));
     let split_hosts = split_grid.all_hosts();
-    let truth_after = Partition::from_assignments(
-        &(0..32).map(|i| u32::from(i >= 16)).collect::<Vec<_>>(),
-    );
+    let truth_after =
+        Partition::from_assignments(&(0..32).map(|i| u32::from(i >= 16)).collect::<Vec<_>>());
 
     let per_phase = 8u32;
     let window = 5usize;
-    let cfg = SwarmConfig { num_pieces: ctx.effective_pieces().min(6_000), ..SwarmConfig::default() };
+    let cfg =
+        SwarmConfig { num_pieces: ctx.effective_pieces().min(6_000), ..SwarmConfig::default() };
 
     let mut cumulative = MetricAccumulator::new(32);
     let mut windowed = WindowedMetric::new(32, window);
-    let mut rows = vec![vec![
-        "iter".into(),
-        "phase".into(),
-        "cumulative oNMI".into(),
-        "windowed oNMI".into(),
-    ]];
+    let mut rows =
+        vec![vec!["iter".into(), "phase".into(), "cumulative oNMI".into(), "windowed oNMI".into()]];
     let mut csv = Vec::new();
     let mut cum_final = 0.0;
     let mut win_final = 0.0;
@@ -318,7 +315,8 @@ pub fn ablation_dynamic(ctx: &mut ReproCtx) {
         // Score both views against the *current* truth after the change.
         if after_change {
             let score = |acc: &MetricAccumulator| {
-                let p = ClusteringAlgorithm::Louvain.cluster(&metric_graph(acc), ctx.seed ^ k as u64);
+                let p =
+                    ClusteringAlgorithm::Louvain.cluster(&metric_graph(acc), ctx.seed ^ k as u64);
                 onmi_partitions(&p, &truth_after)
             };
             cum_final = score(&cumulative);

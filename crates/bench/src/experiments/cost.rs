@@ -78,7 +78,10 @@ pub fn cost_comparison(ctx: &mut ReproCtx) {
             fmt_secs(pw.cost.sim_seconds),
             format!("{pw_onmi:.3}"),
         ]);
-        csv.push(format!("{n},pairwise,{},{:.1},{pw_onmi:.3}", pw.cost.probes, pw.cost.sim_seconds));
+        csv.push(format!(
+            "{n},pairwise,{},{:.1},{pw_onmi:.3}",
+            pw.cost.probes, pw.cost.sim_seconds
+        ));
 
         // O(N³) interference probing.
         let itf = interference_probing(&routes, &hosts, PROBE_SECS, n, ctx.seed);

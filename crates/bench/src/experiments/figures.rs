@@ -39,7 +39,12 @@ pub fn fig4(ctx: &mut ReproCtx) {
     remote.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
 
     let max = local.iter().chain(&remote).map(|e| e.1).fold(0.0, f64::max);
-    println!("fixed node {} ({}), {} iterations", fixed, scenario.labels[fixed], metric.iterations());
+    println!(
+        "fixed node {} ({}), {} iterations",
+        fixed,
+        scenario.labels[fixed],
+        metric.iterations()
+    );
     println!("-- edges to LOCAL cluster peers --");
     for &(o, w) in &local {
         println!("  {:>14} {:>8.1} {}", scenario.labels[o], w, bar(w, max, 40));
@@ -71,8 +76,7 @@ pub fn fig5(ctx: &mut ReproCtx) {
     let report = ctx.report(Dataset::B);
     // Fixed edge between two nodes of the same physical cluster.
     let (a, b) = (1usize, 2usize);
-    let samples: Vec<u64> =
-        report.campaign.runs.iter().map(|r| r.fragments.edge(a, b)).collect();
+    let samples: Vec<u64> = report.campaign.runs.iter().map(|r| r.fragments.edge(a, b)).collect();
 
     let zeros = samples.iter().filter(|&&s| s == 0).count();
     let max = samples.iter().copied().max().unwrap_or(0);
@@ -96,7 +100,13 @@ pub fn fig5(ctx: &mut ReproCtx) {
     let hmax = *hist.iter().max().unwrap_or(&1) as f64;
     for (i, &c) in hist.iter().enumerate() {
         if c > 0 || i == 0 {
-            println!("  [{:>6}-{:>6}) {:>3} {}", i as u64 * bin, (i as u64 + 1) * bin, c, bar(c as f64, hmax, 40));
+            println!(
+                "  [{:>6}-{:>6}) {:>3} {}",
+                i as u64 * bin,
+                (i as u64 + 1) * bin,
+                c,
+                bar(c as f64, hmax, 40)
+            );
         }
     }
 
@@ -110,8 +120,7 @@ pub fn fig5(ctx: &mut ReproCtx) {
         np.samples_mbps.len()
     );
 
-    let rows: Vec<String> =
-        samples.iter().enumerate().map(|(i, s)| format!("{i},{s}")).collect();
+    let rows: Vec<String> = samples.iter().enumerate().map(|(i, s)| format!("{i},{s}")).collect();
     ctx.write_csv("fig5_single_run_distribution.csv", "run,fragments", &rows);
     let rows: Vec<String> =
         np.samples_mbps.iter().enumerate().map(|(i, s)| format!("{i},{s:.3}")).collect();
@@ -128,7 +137,8 @@ pub fn layout_figure(ctx: &mut ReproCtx, dataset: Dataset, fig: &str) {
     };
     let d = inverse_weight_distances(&g);
     let pos = kamada_kawai(&d, ctx.seed, KamadaKawaiConfig::default());
-    let rendered = render(&g, &pos, &scenario.labels, &scenario.ground_truth, RenderOptions::default());
+    let rendered =
+        render(&g, &pos, &scenario.labels, &scenario.ground_truth, RenderOptions::default());
 
     let dot = to_dot(&rendered, &format!("{fig}_{}", dataset.id()));
     ctx.write_artifact(&format!("{fig}_{}.dot", dataset.id().replace('-', "")), &dot);
@@ -218,10 +228,7 @@ pub fn fig13(ctx: &mut ReproCtx) {
             cells.join(",")
         })
         .collect();
-    let header = format!(
-        "iters,{}",
-        datasets.iter().map(|d| d.id()).collect::<Vec<_>>().join(",")
-    );
+    let header = format!("iters,{}", datasets.iter().map(|d| d.id()).collect::<Vec<_>>().join(","));
     ctx.write_csv("fig13_nmi_vs_iterations.csv", &header, &csv_rows);
 }
 

@@ -36,7 +36,12 @@ pub fn scaling_nodes(ctx: &mut ReproCtx) {
         let (routes, hosts) = flat_grid(n);
         let out = run_broadcast(&routes, &hosts, 0, &cfg, ctx.seed);
         makespans.push(out.makespan);
-        rows.push(vec![n.to_string(), "1".into(), format!("{:.2}", out.makespan), out.finished.to_string()]);
+        rows.push(vec![
+            n.to_string(),
+            "1".into(),
+            format!("{:.2}", out.makespan),
+            out.finished.to_string(),
+        ]);
     }
     // 128 nodes spread across 4 sites (the paper's hardest case).
     let (routes, hosts) = four_site_grid(32);
@@ -56,11 +61,8 @@ pub fn scaling_nodes(ctx: &mut ReproCtx) {
          absolute values differ, the shape claim is near-constancy)",
         max / min
     );
-    let csv: Vec<String> = rows
-        .iter()
-        .skip(1)
-        .map(|r| format!("{},{},{}", r[0], r[1], r[2]))
-        .collect();
+    let csv: Vec<String> =
+        rows.iter().skip(1).map(|r| format!("{},{},{}", r[0], r[1], r[2])).collect();
     ctx.write_csv("scaling_nodes.csv", "nodes,sites,makespan_sim_s", &csv);
 }
 

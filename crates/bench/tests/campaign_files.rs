@@ -57,6 +57,69 @@ fn same_seed_campaigns_are_byte_identical() {
     fs::remove_dir_all(&dir_b).ok();
 }
 
+/// The acceptance sweep for the reliability layer: three churn rates on the
+/// 512-host WAN preset. Every run's artifacts carry the reliability fields
+/// (hosts lost, pairs unobserved), losses grow with the churn rate, and
+/// `btt check`'s validator accepts the directory.
+#[test]
+fn churn_rate_sweep_on_wan_512_emits_reliability_fields() {
+    let dir = tmp_dir("churn");
+    let spec = SweepSpec {
+        scenarios: ScenarioSpec::parse_list(
+            "wan-512,wan-512+churn=0.02,wan-512+churn=0.08,wan-512+churn=0.15",
+        )
+        .unwrap(),
+        algorithms: vec![ClusteringAlgorithm::Louvain],
+        seeds: vec![2012],
+        iterations: Some(2),
+        pieces: 48,
+    };
+    let runs = spec.expand();
+    let records = run_sweep(&spec);
+    assert_eq!(records.len(), 4);
+
+    // Losses are zero without churn and grow (weakly) with the churn rate;
+    // coverage moves the opposite way.
+    let lost: Vec<u64> = records.iter().map(|r| r.reliability.hosts_lost).collect();
+    assert_eq!(lost[0], 0, "static preset loses nobody");
+    assert!(lost[1] > 0, "churn=0.02 on 512 hosts must lose someone");
+    assert!(lost[1] <= lost[2] && lost[2] <= lost[3], "losses grow with churn: {lost:?}");
+    assert_eq!(records[0].reliability.pair_coverage, 1.0);
+    for r in &records[1..] {
+        assert!(r.reliability.pair_coverage < 1.0, "{}", r.scenario_id);
+        assert!(r.reliability.hosts_lost > 0);
+        assert_eq!(r.run_hosts_lost.len(), 2, "one entry per iteration");
+        assert!(r.run_hosts_lost.iter().any(|&k| k > 0));
+        assert!(
+            r.reliability.confidence_weighted_onmi <= r.reliability.onmi_observed + 1e-12,
+            "confidence can only discount"
+        );
+    }
+
+    // The written artifacts carry the fields and validate via `btt check`'s
+    // own entry point.
+    let paths = write_outputs(&dir, &runs, &records).unwrap();
+    assert_eq!(check_outputs(&dir).unwrap(), (4, 5));
+    for (path, record) in paths.iter().step_by(2).zip(&records) {
+        let text = fs::read_to_string(path).unwrap();
+        assert!(text.contains("\"reliability\""), "{}", path.display());
+        assert!(text.contains("\"hosts_lost\""), "{}", path.display());
+        assert!(text.contains("\"pairs_unobserved\""), "{}", path.display());
+        let back = ReportRecord::from_json(&json::parse(&text).unwrap()).unwrap();
+        assert_eq!(&back, record, "{}", path.display());
+    }
+    // summary.csv carries the reliability columns with matching values.
+    let summary = fs::read_to_string(dir.join("summary.csv")).unwrap();
+    let rows = btt_core::serialize::csv::parse(&summary).unwrap();
+    let lost_col = rows[0].iter().position(|c| c == "hosts_lost").unwrap();
+    let unobs_col = rows[0].iter().position(|c| c == "pairs_unobserved").unwrap();
+    for (row, r) in rows[1..].iter().zip(&records) {
+        assert_eq!(row[lost_col], r.reliability.hosts_lost.to_string());
+        assert_eq!(row[unobs_col], r.reliability.pairs_unobserved.to_string());
+    }
+    fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn different_seeds_perturb_the_artifacts() {
     // Tripwire against the seed being ignored: a contended scenario must

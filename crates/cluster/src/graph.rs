@@ -75,8 +75,7 @@ impl WeightedGraph {
             let s: f64 = (offsets[v]..offsets[v + 1]).map(|i| weights[i]).sum();
             strength[v] = s + 2.0 * self_loops[v];
         }
-        let total_weight =
-            acc.values().sum::<f64>() + self_loops.iter().sum::<f64>();
+        let total_weight = acc.values().sum::<f64>() + self_loops.iter().sum::<f64>();
 
         WeightedGraph { offsets, targets, weights, self_loops, strength, total_weight }
     }
@@ -98,9 +97,9 @@ impl WeightedGraph {
             "edges must be sorted and deduplicated"
         );
         debug_assert!(
-            edges.iter().all(|&(a, b, w)| {
-                a < b && (b as usize) < n && w.is_finite() && w > 0.0
-            }),
+            edges
+                .iter()
+                .all(|&(a, b, w)| { a < b && (b as usize) < n && w.is_finite() && w > 0.0 }),
             "edges must be canonical: a < b < n, positive finite weight"
         );
         let mut degree = vec![0usize; n];
@@ -306,21 +305,12 @@ mod tests {
 
     #[test]
     fn sorted_fast_path_matches_general_constructor() {
-        let edges = vec![
-            (0u32, 1u32, 0.5),
-            (0, 3, 2.0),
-            (1, 2, 1.25),
-            (2, 3, 3.0),
-            (2, 4, 0.125),
-        ];
+        let edges = vec![(0u32, 1u32, 0.5), (0, 3, 2.0), (1, 2, 1.25), (2, 3, 3.0), (2, 4, 0.125)];
         let fast = WeightedGraph::from_sorted_edges(5, &edges);
         let general = WeightedGraph::from_edges(5, &edges);
         assert_eq!(fast, general);
         assert_eq!(fast.total_weight(), general.total_weight());
         // Isolated nodes and the empty graph work too.
-        assert_eq!(
-            WeightedGraph::from_sorted_edges(3, &[]),
-            WeightedGraph::from_edges(3, &[])
-        );
+        assert_eq!(WeightedGraph::from_sorted_edges(3, &[]), WeightedGraph::from_edges(3, &[]));
     }
 }

@@ -35,10 +35,7 @@ pub fn aggregate(g: &WeightedGraph, p: &Partition) -> WeightedGraph {
 pub fn induced_subgraph(g: &WeightedGraph, nodes: &[u32]) -> WeightedGraph {
     let mut index = vec![u32::MAX; g.num_nodes()];
     for (i, &v) in nodes.iter().enumerate() {
-        assert!(
-            index[v as usize] == u32::MAX,
-            "duplicate node {v} in induced_subgraph selection"
-        );
+        assert!(index[v as usize] == u32::MAX, "duplicate node {v} in induced_subgraph selection");
         index[v as usize] = i as u32;
     }
     let mut edges = Vec::new();
@@ -134,10 +131,7 @@ pub fn prune_edges(n: usize, edges: &[(u32, u32, f64)], cfg: PruneConfig) -> Vec
             // Heaviest first; ties resolved by input position for
             // determinism.
             ranked.sort_unstable_by(|&x, &y| {
-                edges[y as usize]
-                    .2
-                    .total_cmp(&edges[x as usize].2)
-                    .then(x.cmp(&y))
+                edges[y as usize].2.total_cmp(&edges[x as usize].2).then(x.cmp(&y))
             });
             for &e in ranked.iter().take(cfg.top_k) {
                 keep[e as usize] = true;
@@ -164,19 +158,10 @@ pub fn prune_edges(n: usize, edges: &[(u32, u32, f64)], cfg: PruneConfig) -> Vec
             }
         }
     }
-    let max_w = edges
-        .iter()
-        .zip(&keep)
-        .filter(|(_, &k)| k)
-        .map(|(e, _)| e.2)
-        .fold(0.0f64, f64::max);
+    let max_w =
+        edges.iter().zip(&keep).filter(|(_, &k)| k).map(|(e, _)| e.2).fold(0.0f64, f64::max);
     let floor = cfg.epsilon * max_w;
-    edges
-        .iter()
-        .zip(&keep)
-        .filter(|((_, _, w), &k)| k && *w >= floor)
-        .map(|(&e, _)| e)
-        .collect()
+    edges.iter().zip(&keep).filter(|((_, _, w), &k)| k && *w >= floor).map(|(&e, _)| e).collect()
 }
 
 #[cfg(test)]
@@ -209,10 +194,7 @@ mod tests {
 
     #[test]
     fn aggregation_preserves_total_weight() {
-        let g = WeightedGraph::from_edges(
-            4,
-            &[(0, 1, 2.0), (2, 3, 3.0), (1, 2, 1.0), (0, 0, 0.5)],
-        );
+        let g = WeightedGraph::from_edges(4, &[(0, 1, 2.0), (2, 3, 3.0), (1, 2, 1.0), (0, 0, 0.5)]);
         let p = Partition::from_assignments(&[0, 0, 1, 1]);
         let a = aggregate(&g, &p);
         assert_eq!(a.num_nodes(), 2);
@@ -231,12 +213,7 @@ mod tests {
     fn prune_keeps_top_k_union_and_order() {
         // Node 0 has three incident edges; top_k = 1 keeps only its
         // heaviest, but (0,2) survives via node 2's own top-1.
-        let edges = vec![
-            (0u32, 1u32, 5.0),
-            (0, 2, 1.0),
-            (0, 3, 3.0),
-            (1, 3, 4.0),
-        ];
+        let edges = vec![(0u32, 1u32, 5.0), (0, 2, 1.0), (0, 3, 3.0), (1, 3, 4.0)];
         let pruned = prune_edges(4, &edges, PruneConfig { top_k: 1, relative: 0.0, epsilon: 0.0 });
         assert_eq!(pruned, vec![(0, 1, 5.0), (0, 2, 1.0), (1, 3, 4.0)]);
         // top_k large enough keeps everything.
@@ -247,17 +224,18 @@ mod tests {
     #[test]
     fn prune_epsilon_drops_featherweight_edges() {
         let edges = vec![(0u32, 1u32, 100.0), (1, 2, 50.0), (2, 3, 0.001)];
-        let pruned = prune_edges(4, &edges, PruneConfig { top_k: usize::MAX, relative: 0.0, epsilon: 0.01 });
+        let pruned =
+            prune_edges(4, &edges, PruneConfig { top_k: usize::MAX, relative: 0.0, epsilon: 0.01 });
         assert_eq!(pruned, vec![(0, 1, 100.0), (1, 2, 50.0)]);
         // epsilon 0 disables the floor.
-        let all = prune_edges(4, &edges, PruneConfig { top_k: usize::MAX, relative: 0.0, epsilon: 0.0 });
+        let all =
+            prune_edges(4, &edges, PruneConfig { top_k: usize::MAX, relative: 0.0, epsilon: 0.0 });
         assert_eq!(all, edges);
     }
 
     #[test]
     fn prune_is_deterministic_under_weight_ties() {
-        let edges: Vec<(u32, u32, f64)> =
-            (1..6u32).map(|b| (0, b, 2.0)).collect();
+        let edges: Vec<(u32, u32, f64)> = (1..6u32).map(|b| (0, b, 2.0)).collect();
         let a = prune_edges(6, &edges, PruneConfig { top_k: 2, relative: 0.0, epsilon: 0.0 });
         let b = prune_edges(6, &edges, PruneConfig { top_k: 2, relative: 0.0, epsilon: 0.0 });
         assert_eq!(a, b);
@@ -284,29 +262,18 @@ mod tests {
             }
         }
         edges.push((5, 6, 0.5));
-        let kept = prune_edges(
-            7,
-            &edges,
-            PruneConfig { top_k: 1, relative: 0.5, epsilon: 0.0 },
-        );
+        let kept = prune_edges(7, &edges, PruneConfig { top_k: 1, relative: 0.5, epsilon: 0.0 });
         // All 15 internal edges survive via `relative`; the weak spoke
         // survives only via node 6's own top-1.
         assert_eq!(kept.len(), 16);
         // Raising the bar above the spoke's ratio drops it unless top_k
         // saves it — which it does, keeping node 6 connected.
-        let harsh = prune_edges(
-            7,
-            &edges,
-            PruneConfig { top_k: 1, relative: 0.99, epsilon: 0.0 },
-        );
+        let harsh = prune_edges(7, &edges, PruneConfig { top_k: 1, relative: 0.99, epsilon: 0.0 });
         assert!(harsh.iter().any(|&(a, b, _)| (a, b) == (5, 6)), "kNN backbone keeps node 6");
         // With the relative criterion disabled, only the top-k union
         // remains.
-        let topk_only = prune_edges(
-            7,
-            &edges,
-            PruneConfig { top_k: 1, relative: 0.0, epsilon: 0.0 },
-        );
+        let topk_only =
+            prune_edges(7, &edges, PruneConfig { top_k: 1, relative: 0.0, epsilon: 0.0 });
         assert!(topk_only.len() < kept.len());
     }
 
@@ -315,7 +282,15 @@ mod tests {
         use crate::modularity::modularity;
         let g = WeightedGraph::from_edges(
             6,
-            &[(0, 1, 1.0), (1, 2, 1.0), (0, 2, 1.0), (3, 4, 1.0), (4, 5, 1.0), (3, 5, 1.0), (2, 3, 1.0)],
+            &[
+                (0, 1, 1.0),
+                (1, 2, 1.0),
+                (0, 2, 1.0),
+                (3, 4, 1.0),
+                (4, 5, 1.0),
+                (3, 5, 1.0),
+                (2, 3, 1.0),
+            ],
         );
         let p = Partition::from_assignments(&[0, 0, 0, 1, 1, 1]);
         let q_fine = modularity(&g, &p);

@@ -172,8 +172,7 @@ fn split_node(
         .into_iter()
         .enumerate()
         .map(|(i, sub_members)| {
-            let original: Vec<u32> =
-                sub_members.iter().map(|&si| members[si as usize]).collect();
+            let original: Vec<u32> = sub_members.iter().map(|&si| members[si as usize]).collect();
             split_node(g, original, seed ^ ((i as u64 + 7) << 8), cfg, depth + 1, scratch)
         })
         .collect();

@@ -84,10 +84,7 @@ pub fn infomap(g: &WeightedGraph, seed: u64) -> InfomapResult {
     let mut rng = ChaCha12Rng::seed_from_u64(seed);
     let n = g.num_nodes();
     if n == 0 {
-        return InfomapResult {
-            levels: vec![Partition::singletons(0)],
-            codelengths: vec![0.0],
-        };
+        return InfomapResult { levels: vec![Partition::singletons(0)], codelengths: vec![0.0] };
     }
 
     let mut levels = Vec::new();
@@ -130,9 +127,8 @@ fn local_moving(g: &WeightedGraph, rng: &mut ChaCha12Rng) -> (Partition, bool) {
 
     let p: Vec<f64> = (0..n).map(|v| g.strength(v) / two_m).collect();
     // Module state in probability units.
-    let mut exit: Vec<f64> = (0..n)
-        .map(|v| (g.strength(v) - 2.0 * g.self_loop(v)) / two_m)
-        .collect();
+    let mut exit: Vec<f64> =
+        (0..n).map(|v| (g.strength(v) - 2.0 * g.self_loop(v)) / two_m).collect();
     let mut psum: Vec<f64> = p.clone();
     let mut q: f64 = exit.iter().sum();
 
@@ -161,13 +157,14 @@ fn local_moving(g: &WeightedGraph, rng: &mut ChaCha12Rng) -> (Partition, bool) {
             }
 
             // State of module A with v removed.
-            let exit_a_without =
-                exit[a] - (k_v - 2.0 * s_v) / two_m + 2.0 * w_to[a] / two_m;
+            let exit_a_without = exit[a] - (k_v - 2.0 * s_v) / two_m + 2.0 * w_to[a] / two_m;
             let psum_a_without = psum[a] - p[v];
 
             // Cost contribution of (A, B) pair before/after a candidate move.
             let cost_now = |ex_a: f64, ps_a: f64, ex_b: f64, ps_b: f64, q: f64| {
-                plogp(q) - 2.0 * (plogp(ex_a) + plogp(ex_b)) + plogp(ex_a + ps_a) + plogp(ex_b + ps_b)
+                plogp(q) - 2.0 * (plogp(ex_a) + plogp(ex_b))
+                    + plogp(ex_a + ps_a)
+                    + plogp(ex_b + ps_b)
             };
 
             let mut best: Option<(f64, usize, f64, f64)> = None; // (dl, b, exit_b', q')
@@ -180,7 +177,8 @@ fn local_moving(g: &WeightedGraph, rng: &mut ChaCha12Rng) -> (Partition, bool) {
                 let psum_b_with = psum[b] + p[v];
                 let q_new = q - exit[a] - exit[b] + exit_a_without + exit_b_with;
                 let before = cost_now(exit[a], psum[a], exit[b], psum[b], q);
-                let after = cost_now(exit_a_without, psum_a_without, exit_b_with, psum_b_with, q_new);
+                let after =
+                    cost_now(exit_a_without, psum_a_without, exit_b_with, psum_b_with, q_new);
                 let dl = after - before;
                 if dl < best.map_or(-EPS, |(bdl, _, _, _)| bdl) {
                     best = Some((dl, b, exit_b_with, q_new));
@@ -228,10 +226,7 @@ mod tests {
         let (g, truth) = ring_of_cliques(6, 6);
         let l_trivial = codelength(&g, &Partition::trivial(36));
         let l_truth = codelength(&g, &truth);
-        assert!(
-            l_truth < l_trivial,
-            "truth {l_truth} must compress below one-module {l_trivial}"
-        );
+        assert!(l_truth < l_trivial, "truth {l_truth} must compress below one-module {l_trivial}");
         // And below the singleton partition too.
         let l_singles = codelength(&g, &Partition::singletons(36));
         assert!(l_truth < l_singles);

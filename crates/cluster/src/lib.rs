@@ -43,10 +43,10 @@ pub mod partition;
 pub mod prelude {
     pub use crate::generators::{planted_partition, random_graph, ring_of_cliques};
     pub use crate::graph::WeightedGraph;
+    pub use crate::graph_ops::{prune_edges, PruneConfig};
     pub use crate::hierarchy::{recursive_louvain, HierNode, Hierarchy, HierarchyConfig};
     pub use crate::infomap::{codelength, infomap, InfomapResult};
     pub use crate::labelprop::label_propagation;
-    pub use crate::graph_ops::{prune_edges, PruneConfig};
     pub use crate::louvain::{
         louvain, louvain_into, louvain_with, Dendrogram, LouvainConfig, LouvainScratch,
     };

@@ -348,10 +348,8 @@ mod tests {
             modularities: vec![f64::NAN, 0.25],
         };
         assert_eq!(nan_d.best().num_clusters(), 1, "finite level wins");
-        let all_nan = Dendrogram {
-            levels: vec![Partition::singletons(3)],
-            modularities: vec![f64::NAN],
-        };
+        let all_nan =
+            Dendrogram { levels: vec![Partition::singletons(3)], modularities: vec![f64::NAN] };
         assert_eq!(all_nan.best().num_clusters(), 3, "falls back to level 0");
     }
 
@@ -366,11 +364,7 @@ mod tests {
             for seed in 0..4 {
                 let reused = louvain_into(g, seed, LouvainConfig::default(), &mut scratch);
                 let fresh = louvain(g, seed);
-                assert_eq!(
-                    reused.best().assignments(),
-                    fresh.best().assignments(),
-                    "seed {seed}"
-                );
+                assert_eq!(reused.best().assignments(), fresh.best().assignments(), "seed {seed}");
                 assert_eq!(reused.modularities, fresh.modularities);
             }
         }

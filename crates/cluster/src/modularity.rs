@@ -89,17 +89,13 @@ pub fn significance(
     for _ in 0..rounds {
         let mut weights: Vec<f64> = base.iter().map(|e| e.2).collect();
         weights.shuffle(&mut rng);
-        let shuffled: Vec<(u32, u32, f64)> = base
-            .iter()
-            .zip(&weights)
-            .map(|(&(a, b, _), &w)| (a, b, w))
-            .collect();
+        let shuffled: Vec<(u32, u32, f64)> =
+            base.iter().zip(&weights).map(|(&(a, b, _), &w)| (a, b, w)).collect();
         let ng = WeightedGraph::from_edges(g.num_nodes(), &shuffled);
         nulls.push(modularity(&ng, partition));
     }
     let null_mean = nulls.iter().sum::<f64>() / rounds as f64;
-    let var =
-        nulls.iter().map(|x| (x - null_mean).powi(2)).sum::<f64>() / (rounds - 1) as f64;
+    let var = nulls.iter().map(|x| (x - null_mean).powi(2)).sum::<f64>() / (rounds - 1) as f64;
     let null_std = var.sqrt();
     let z = if null_std > 0.0 { (q - null_mean) / null_std } else { 0.0 };
     Significance { q, null_mean, null_std, z }
@@ -198,9 +194,7 @@ mod tests {
         // Uniform random weights: any partition's Q is consistent with the
         // null ensemble.
         let g = crate::generators::random_graph(40, 0.4, 9);
-        let arbitrary = Partition::from_assignments(
-            &(0..40u32).map(|v| v % 3).collect::<Vec<_>>(),
-        );
+        let arbitrary = Partition::from_assignments(&(0..40u32).map(|v| v % 3).collect::<Vec<_>>());
         let s = significance(&g, &arbitrary, 24, 3);
         assert!(s.z.abs() < 4.0, "random structure should be unremarkable, z = {}", s.z);
     }

@@ -115,8 +115,7 @@ impl Partition {
     /// coarser clusters (Louvain level flattening).
     pub fn project(&self, coarser: &Partition) -> Partition {
         assert_eq!(self.num_clusters, coarser.len(), "level size mismatch");
-        let raw: Vec<u32> =
-            self.assign.iter().map(|&g| coarser.cluster_of(g as usize)).collect();
+        let raw: Vec<u32> = self.assign.iter().map(|&g| coarser.cluster_of(g as usize)).collect();
         Partition::from_assignments(&raw)
     }
 

@@ -162,9 +162,8 @@ mod tests {
         let grid = Grid5000::builder().bordeaux(8, 0, 8).build();
         let routes = Arc::new(RouteTable::new(grid.topology.clone()));
         let hosts = grid.all_hosts();
-        let clusters = Partition::from_assignments(
-            &(0..16).map(|i| u32::from(i >= 8)).collect::<Vec<_>>(),
-        );
+        let clusters =
+            Partition::from_assignments(&(0..16).map(|i| u32::from(i >= 8)).collect::<Vec<_>>());
         (routes, hosts, clusters)
     }
 

@@ -18,6 +18,7 @@
 
 use btt_cluster::partition::Partition;
 use btt_netsim::grid5000::Grid5000;
+use btt_netsim::perturb::ReliabilityCfg;
 use btt_netsim::routing::RouteTable;
 use btt_netsim::topology::NodeId;
 use std::sync::Arc;
@@ -77,15 +78,12 @@ impl Dataset {
                 // nodes plus a small Dell-side handful — the third ground-
                 // truth cluster is small, which is what makes the (non-
                 // hierarchical) clustering merge it into Bordeaux (§IV-C).
-                let grid =
-                    Grid5000::builder().bordeaux(24, 4, 4).flat_site("toulouse", 32).build();
+                let grid = Grid5000::builder().bordeaux(24, 4, 4).flat_site("toulouse", 32).build();
                 Scenario::new(self, grid)
             }
             Dataset::GT => {
-                let grid = Grid5000::builder()
-                    .flat_site("grenoble", 32)
-                    .flat_site("toulouse", 32)
-                    .build();
+                let grid =
+                    Grid5000::builder().flat_site("grenoble", 32).flat_site("toulouse", 32).build();
                 Scenario::new(self, grid)
             }
             Dataset::BGT => {
@@ -148,6 +146,10 @@ pub struct Scenario {
     pub ground_truth: Partition,
     /// Precomputed routes, shared across iterations.
     pub routes: Arc<RouteTable>,
+    /// Reliability perturbations applied during measurement (all-zero — the
+    /// static, failure-free behaviour — unless the scenario spec carries
+    /// `+churn=` / `+xtraffic=` / `+degrade=` suffixes).
+    pub reliability: ReliabilityCfg,
 }
 
 impl Scenario {
@@ -177,6 +179,7 @@ impl Scenario {
             labels,
             ground_truth,
             routes,
+            reliability: ReliabilityCfg::default(),
         }
     }
 
@@ -234,10 +237,7 @@ pub fn ip_labels(grid: &Grid5000, hosts: &[NodeId]) -> Vec<String> {
     let mut labels = Vec::with_capacity(hosts.len());
     for &h in hosts {
         let node = topo.node(h);
-        let key = (
-            node.site.clone().unwrap_or_default(),
-            node.cluster.clone().unwrap_or_default(),
-        );
+        let key = (node.site.clone().unwrap_or_default(), node.cluster.clone().unwrap_or_default());
         let idx = match subnets.iter().position(|s| *s == key) {
             Some(i) => i,
             None => {

@@ -123,11 +123,8 @@ mod tests {
     #[test]
     fn names_the_dell_cisco_trunk() {
         let scenario = Dataset::B.build();
-        let found = diagnosed_bottlenecks(
-            &scenario.routes,
-            &scenario.hosts,
-            &scenario.ground_truth,
-        );
+        let found =
+            diagnosed_bottlenecks(&scenario.routes, &scenario.hosts, &scenario.ground_truth);
         assert_eq!(found.len(), 1, "exactly one inter-switch bottleneck: {found:?}");
         assert!(
             found[0].endpoints.contains("dell") && found[0].endpoints.contains("cisco"),
@@ -143,11 +140,8 @@ mod tests {
     #[test]
     fn multi_site_candidates_rank_wan_segments_high() {
         let scenario = Dataset::GT.build();
-        let cands = bottleneck_candidates(
-            &scenario.routes,
-            &scenario.hosts,
-            &scenario.ground_truth,
-        );
+        let cands =
+            bottleneck_candidates(&scenario.routes, &scenario.hosts, &scenario.ground_truth);
         assert!(!cands.is_empty());
         // Both Renater segments carry every inter-site pair: coverage 1.0.
         let top: Vec<&BottleneckCandidate> =
@@ -162,11 +156,8 @@ mod tests {
     #[test]
     fn single_cluster_yields_nothing() {
         let scenario = Dataset::Small2x2.build();
-        let found = bottleneck_candidates(
-            &scenario.routes,
-            &scenario.hosts,
-            &scenario.ground_truth,
-        );
+        let found =
+            bottleneck_candidates(&scenario.routes, &scenario.hosts, &scenario.ground_truth);
         assert!(found.is_empty());
     }
 
@@ -174,11 +165,8 @@ mod tests {
     #[test]
     fn candidates_sorted_and_bounded() {
         let scenario = Dataset::BGTL.build();
-        let cands = bottleneck_candidates(
-            &scenario.routes,
-            &scenario.hosts,
-            &scenario.ground_truth,
-        );
+        let cands =
+            bottleneck_candidates(&scenario.routes, &scenario.hosts, &scenario.ground_truth);
         for w in cands.windows(2) {
             assert!(w[0].coverage >= w[1].coverage - 1e-12);
         }

@@ -49,8 +49,8 @@ pub mod prelude {
     pub use crate::diagnosis::{bottleneck_candidates, diagnosed_bottlenecks, BottleneckCandidate};
     pub use crate::pipeline::{
         analyze, convergence_series, convergence_series_serial, convergence_series_timed,
-        metric_graph, sparse_metric_graph, ClusteringAlgorithm, ConvergencePoint,
-        InferenceTiming, PipelineError, TomographyReport, DEFAULT_PRUNE, SPARSE_NODE_THRESHOLD,
+        metric_graph, sparse_metric_graph, ClusteringAlgorithm, ConvergencePoint, InferenceTiming,
+        PipelineError, TomographyReport, DEFAULT_PRUNE, SPARSE_NODE_THRESHOLD,
     };
     pub use crate::report::{cluster_listing, convergence_table, summary_line};
     pub use crate::scenarios::ScenarioSpec;

@@ -32,9 +32,9 @@ use btt_cluster::modularity::modularity;
 use btt_cluster::nmi::nmi;
 use btt_cluster::onmi::onmi_partitions;
 use btt_cluster::partition::Partition;
+use btt_netsim::util::splitmix64;
 use btt_swarm::broadcast::Campaign;
 use btt_swarm::metrics::MetricAccumulator;
-use btt_netsim::util::splitmix64;
 use rayon::prelude::*;
 use std::time::Instant;
 
@@ -157,6 +157,77 @@ pub struct ConvergencePoint {
     pub modularity: f64,
 }
 
+/// How a campaign fared under failures: the per-report *reliability block*.
+///
+/// All-zero/identity for a churn-free campaign. `onmi_observed` restricts
+/// scoring to hosts with at least one clean (undisrupted) run — the hosts
+/// whose cluster assignment rests on real measurements — and
+/// `confidence_weighted_onmi` discounts that score by the mean per-pair
+/// observation coverage, so a report that looks accurate only because most
+/// of the graph went unmeasured cannot claim full marks.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReliabilityReport {
+    /// Total host-loss events across all runs (hosts still down at their
+    /// run's end; a host lost in two runs counts twice).
+    pub hosts_lost: u64,
+    /// Runs in which at least one host was disrupted.
+    pub runs_disrupted: u32,
+    /// Unordered pairs with zero full observations across the campaign —
+    /// the measurement graph's blind spots.
+    pub pairs_unobserved: u64,
+    /// Mean per-pair observation fraction (1.0 = every pair observed in
+    /// every run).
+    pub pair_coverage: f64,
+    /// oNMI of the final partition vs ground truth, restricted to hosts
+    /// fully observed in at least one run.
+    pub onmi_observed: f64,
+    /// `pair_coverage × onmi_observed`.
+    pub confidence_weighted_onmi: f64,
+}
+
+impl ReliabilityReport {
+    /// Computes the block from a finished campaign and its final clustering.
+    pub fn from_campaign(
+        campaign: &Campaign,
+        final_partition: &Partition,
+        ground_truth: &Partition,
+    ) -> ReliabilityReport {
+        let observed = campaign.observed_hosts();
+        let onmi_observed = if observed.iter().all(|&o| o) {
+            onmi_partitions(final_partition, ground_truth)
+        } else {
+            // Score only the hosts whose assignment rests on at least one
+            // clean measurement, via the induced sub-partitions.
+            let sub = |p: &Partition| {
+                let raw: Vec<u32> = p
+                    .assignments()
+                    .iter()
+                    .zip(&observed)
+                    .filter(|&(_, &o)| o)
+                    .map(|(&c, _)| c)
+                    .collect();
+                Partition::from_assignments(&raw)
+            };
+            let (f, g) = (sub(final_partition), sub(ground_truth));
+            if f.is_empty() {
+                0.0
+            } else {
+                onmi_partitions(&f, &g)
+            }
+        };
+        let pair_coverage = campaign.metric.pair_coverage();
+        ReliabilityReport {
+            hosts_lost: campaign.hosts_lost(),
+            runs_disrupted: campaign.runs.iter().filter(|r| r.disrupted.iter().any(|&d| d)).count()
+                as u32,
+            pairs_unobserved: campaign.metric.pairs_unobserved() as u64,
+            pair_coverage,
+            onmi_observed,
+            confidence_weighted_onmi: pair_coverage * onmi_observed,
+        }
+    }
+}
+
 /// Full output of a tomography run on one scenario.
 #[derive(Debug, Clone)]
 pub struct TomographyReport {
@@ -175,6 +246,8 @@ pub struct TomographyReport {
     pub final_partition: Partition,
     /// Ground truth used for scoring.
     pub ground_truth: Partition,
+    /// How the campaign fared under failures (identity values when static).
+    pub reliability: ReliabilityReport,
 }
 
 impl TomographyReport {
@@ -276,7 +349,7 @@ pub fn convergence_series_timed(
             .iter()
             .enumerate()
             .map(|(i, run)| {
-                acc.push_run(&run.fragments);
+                acc.push_run_partial(&run.fragments, &run.participated());
                 (base + i + 1, auto_metric_graph(&acc))
             })
             .collect();
@@ -372,6 +445,8 @@ pub fn analyze(
     let convergence = convergence_series(&campaign, &scenario.ground_truth, algorithm, seed);
     let g = auto_metric_graph(&campaign.metric);
     let final_partition = algorithm.cluster(&g, splitmix64(seed ^ 0xFFFF_FFFF));
+    let reliability =
+        ReliabilityReport::from_campaign(&campaign, &final_partition, &scenario.ground_truth);
     Ok(TomographyReport {
         scenario_id: scenario.id.clone(),
         algorithm,
@@ -380,6 +455,7 @@ pub fn analyze(
         convergence,
         final_partition,
         ground_truth: scenario.ground_truth.clone(),
+        reliability,
     })
 }
 
@@ -405,6 +481,8 @@ mod tests {
                 makespan: 1.0,
                 finished: true,
                 sim_steps: 10,
+                disrupted: vec![false; n],
+                departed: vec![false; n],
             });
         }
         let mut metric = MetricAccumulator::new(n);
@@ -451,6 +529,14 @@ mod tests {
                 .collect(),
             final_partition: Partition::trivial(4),
             ground_truth: Partition::trivial(4),
+            reliability: ReliabilityReport {
+                hosts_lost: 0,
+                runs_disrupted: 0,
+                pairs_unobserved: 0,
+                pair_coverage: 1.0,
+                onmi_observed: 1.0,
+                confidence_weighted_onmi: 1.0,
+            },
         };
         // Dips below threshold reset the convergence point.
         let r = mk(&[0.5, 1.0, 0.6, 1.0, 1.0]);
@@ -514,6 +600,55 @@ mod tests {
     }
 
     #[test]
+    fn reliability_block_identity_on_static_campaigns() {
+        let scenario = crate::scenarios::ScenarioSpec::parse("2x2").unwrap().build();
+        let report = crate::session::TomographySession::over(scenario)
+            .iterations(2)
+            .pieces(48)
+            .seed(3)
+            .run();
+        let r = &report.reliability;
+        assert_eq!(r.hosts_lost, 0);
+        assert_eq!(r.runs_disrupted, 0);
+        assert_eq!(r.pairs_unobserved, 0);
+        assert_eq!(r.pair_coverage, 1.0);
+        // With every host observed, the block's score IS the plain oNMI of
+        // the final partition, and full coverage leaves it undiscounted.
+        let full = onmi_partitions(&report.final_partition, &report.ground_truth);
+        assert!((r.onmi_observed - full).abs() < 1e-12, "{} vs {full}", r.onmi_observed);
+        assert_eq!(r.confidence_weighted_onmi, r.onmi_observed);
+    }
+
+    #[test]
+    fn reliability_block_reflects_partial_campaigns() {
+        // Hand-build a campaign where host 3 is disrupted in every run.
+        let n = 4;
+        let mut c = fake_campaign(n, 3, &[(0, 1), (2, 3)]);
+        for run in &mut c.runs {
+            run.disrupted[3] = true;
+            run.departed[3] = true;
+        }
+        // Re-aggregate honouring participation.
+        let mut metric = MetricAccumulator::new(n);
+        for r in &c.runs {
+            metric.push_run_partial(&r.fragments, &r.participated());
+        }
+        c.metric = metric;
+        let truth = Partition::from_assignments(&[0, 0, 1, 1]);
+        let fp = Partition::from_assignments(&[0, 0, 1, 1]);
+        let rel = ReliabilityReport::from_campaign(&c, &fp, &truth);
+        assert_eq!(rel.hosts_lost, 3, "lost once per run");
+        assert_eq!(rel.runs_disrupted, 3);
+        // Pairs involving host 3 were never observed: (0,3), (1,3), (2,3).
+        assert_eq!(rel.pairs_unobserved, 3);
+        assert!((rel.pair_coverage - 0.5).abs() < 1e-12, "3 of 6 pairs observed");
+        // Scoring restricted to the observed hosts {0, 1, 2}: identical
+        // induced partitions score 1.0, and confidence discounts it.
+        assert!((rel.onmi_observed - 1.0).abs() < 1e-9);
+        assert!((rel.confidence_weighted_onmi - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
     fn empty_campaign_is_a_typed_error() {
         let scenario = crate::scenarios::ScenarioSpec::parse("2x2").unwrap().build();
         let empty = Campaign { runs: Vec::new(), metric: MetricAccumulator::new(4) };
@@ -530,14 +665,8 @@ mod tests {
 
     #[test]
     fn infomap_parses_as_im() {
-        assert_eq!(
-            ClusteringAlgorithm::from_name("im"),
-            Some(ClusteringAlgorithm::Infomap)
-        );
-        assert_eq!(
-            ClusteringAlgorithm::from_name("IM"),
-            Some(ClusteringAlgorithm::Infomap)
-        );
+        assert_eq!(ClusteringAlgorithm::from_name("im"), Some(ClusteringAlgorithm::Infomap));
+        assert_eq!(ClusteringAlgorithm::from_name("IM"), Some(ClusteringAlgorithm::Infomap));
         assert_eq!(ClusteringAlgorithm::from_name("imp"), None);
         // Every advertised name round-trips.
         for a in ClusteringAlgorithm::ALL {

@@ -9,8 +9,12 @@ use std::fmt::Write;
 pub fn convergence_table(report: &TomographyReport) -> String {
     let mut out = String::new();
     writeln!(out, "dataset {}: NMI vs measurement iterations", report.scenario_id).unwrap();
-    writeln!(out, "{:>5}  {:>8}  {:>8}  {:>8}  {:>10}", "iters", "oNMI", "NMI", "clusters", "modularity")
-        .unwrap();
+    writeln!(
+        out,
+        "{:>5}  {:>8}  {:>8}  {:>8}  {:>10}",
+        "iters", "oNMI", "NMI", "clusters", "modularity"
+    )
+    .unwrap();
     for p in &report.convergence {
         writeln!(
             out,
@@ -21,10 +25,8 @@ pub fn convergence_table(report: &TomographyReport) -> String {
     }
     match report.converged_at(0.999) {
         Some(k) => writeln!(out, "converged to oNMI ≥ 0.999 at iteration {k}").unwrap(),
-        None => {
-            writeln!(out, "did not converge to oNMI ≥ 0.999 (final {:.4})", report.last().onmi)
-                .unwrap()
-        }
+        None => writeln!(out, "did not converge to oNMI ≥ 0.999 (final {:.4})", report.last().onmi)
+            .unwrap(),
     }
     out
 }
@@ -42,16 +44,17 @@ pub fn cluster_listing(report: &TomographyReport, labels: &[String]) -> String {
     )
     .unwrap();
     for (c, members) in p.clusters().iter().enumerate() {
-        let names: Vec<&str> =
-            members.iter().map(|&v| labels[v as usize].as_str()).collect();
+        let names: Vec<&str> = members.iter().map(|&v| labels[v as usize].as_str()).collect();
         writeln!(out, "  cluster {c} ({} nodes): {}", members.len(), names.join(", ")).unwrap();
     }
     out
 }
 
-/// One summary line per dataset for campaign-level overviews.
+/// One summary line per dataset for campaign-level overviews. Churned
+/// campaigns append their reliability block (losses, coverage,
+/// confidence-weighted accuracy).
 pub fn summary_line(report: &TomographyReport) -> String {
-    format!(
+    let mut line = format!(
         "{:8} hosts={:<3} iters={:<3} clusters={}/{} oNMI={:.3} converged@{} meas={:.1}s-sim",
         report.scenario_id,
         report.ground_truth.len(),
@@ -59,11 +62,17 @@ pub fn summary_line(report: &TomographyReport) -> String {
         report.final_partition.num_clusters(),
         report.ground_truth.num_clusters(),
         report.last().onmi,
-        report
-            .converged_at(0.999)
-            .map_or_else(|| "never".to_string(), |k| k.to_string()),
+        report.converged_at(0.999).map_or_else(|| "never".to_string(), |k| k.to_string()),
         report.measurement_time(),
-    )
+    );
+    let rel = &report.reliability;
+    if rel.hosts_lost > 0 || rel.pairs_unobserved > 0 {
+        line.push_str(&format!(
+            " lost={} unobs-pairs={} coverage={:.2} cw-oNMI={:.3}",
+            rel.hosts_lost, rel.pairs_unobserved, rel.pair_coverage, rel.confidence_weighted_onmi
+        ));
+    }
+    line
 }
 
 #[cfg(test)]

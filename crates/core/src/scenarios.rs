@@ -2,15 +2,14 @@
 //!
 //! A [`ScenarioSpec`] names anything the pipeline can run: one of the
 //! paper's Grid'5000 [`Dataset`]s, or a parameterized synthetic topology
-//! from [`btt_netsim::synthetic`]. Specs have a compact textual syntax for
-//! the `btt` campaign CLI:
+//! from [`btt_netsim::synthetic`] — optionally decorated with reliability
+//! suffixes (`+churn=` / `+xtraffic=` / `+degrade=`, see
+//! [`btt_netsim::perturb`]) that make the measurement campaign dynamic,
+//! e.g. `wan:16x64:0.5:20+churn=0.05+xtraffic=0.2`.
 //!
-//! | spec | meaning |
-//! |---|---|
-//! | `B`, `B-T`, `G-T`, `B-G-T`, `B-G-T-L`, `2x2` | a paper dataset (Fig. 13 legend names) |
-//! | `fat-tree:<pods>x<racks>x<hosts>[:<edge_oversub>[:<core_oversub>]]` | two-tier fat-tree (defaults 4, 1) |
-//! | `star:<arms>x<hosts>[:<uplink_ratio>[:<hub_hosts>]]` | star-of-stars (defaults 0.25, 4) |
-//! | `wan:<sites>x<hosts>[:<bottleneck_ratio>]` | uniform heterogeneous WAN (default 0.5) |
+//! **The full grammar is documented in one place** — README §"Scenario
+//! specs" and `docs/ARCHITECTURE.md` §"Scenario grammar" — rather than
+//! scattered across parser comments; `btt list` prints a summary.
 //!
 //! Parsing and [`ScenarioSpec::id`] are inverse-compatible: the id of a
 //! parsed spec parses back to the same spec, so ids are safe keys for
@@ -19,6 +18,7 @@
 use crate::dataset::{Dataset, Scenario};
 use btt_cluster::partition::Partition;
 use btt_netsim::grid5000::Grid5000;
+use btt_netsim::perturb::ReliabilityCfg;
 use btt_netsim::synthetic::{FatTree, HeteroWan, StarOfStars};
 
 /// Default iteration count for synthetic scenarios (sweeps favour breadth
@@ -51,6 +51,14 @@ pub enum ScenarioSpec {
         /// values model consumer-edge peers with long broadcast times).
         access_mbps: f64,
     },
+    /// Any base scenario measured under reliability perturbations
+    /// (`+churn=` / `+xtraffic=` / `+degrade=` suffixes).
+    Perturbed {
+        /// The underlying (non-perturbed) scenario.
+        base: Box<ScenarioSpec>,
+        /// Perturbation intensities (at least one nonzero).
+        reliability: ReliabilityCfg,
+    },
 }
 
 /// Named scale presets: shorthands for the large synthetic scenarios the
@@ -71,6 +79,11 @@ pub const SCALE_PRESETS: &[(&str, &str)] = &[
     ("edge-512", "wan:16x32:0.5:20"),
     ("edge-1k", "wan:16x64:0.5:20"),
     ("edge-2k", "wan:32x64:0.5:2"),
+    // Churned variants: the same networks measured under failures — the
+    // reliability claim's standard test points.
+    ("wan-512-churn", "wan:16x32:0.5+churn=0.05+xtraffic=0.2"),
+    ("fat-tree-1k-churn", "fat-tree:8x8x16:4:2+churn=0.05+xtraffic=0.2"),
+    ("edge-1k-churn", "wan:16x64:0.5:20+churn=0.1+degrade=0.1"),
 ];
 
 /// Formats a ratio parameter for spec ids. Rust's shortest-round-trip
@@ -98,6 +111,45 @@ impl ScenarioSpec {
             if text.eq_ignore_ascii_case(name) {
                 return ScenarioSpec::parse(spec);
             }
+        }
+        // Reliability suffixes: `<base>+churn=0.05+xtraffic=0.2+degrade=0.1`.
+        if let Some((base_text, suffixes)) = text.split_once('+') {
+            // The base may itself resolve to a perturbed spec (a churned
+            // preset name): later suffixes override its intensities.
+            let (base, mut rel) = match ScenarioSpec::parse(base_text)? {
+                ScenarioSpec::Perturbed { base, reliability } => (*base, reliability),
+                other => (other, ReliabilityCfg::default()),
+            };
+            for pair in suffixes.split('+') {
+                let Some((key, value)) = pair.split_once('=') else {
+                    return Err(format!(
+                        "{text:?}: reliability suffix {pair:?} wants key=value (churn, xtraffic, degrade)"
+                    ));
+                };
+                let v = value
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|r| r.is_finite() && (0.0..=1.0).contains(r))
+                    .ok_or_else(|| {
+                        format!("{text:?}: {key} wants a fraction in [0, 1], got {value:?}")
+                    })?;
+                match key.trim().to_ascii_lowercase().as_str() {
+                    "churn" => rel.churn = v,
+                    "xtraffic" => rel.xtraffic = v,
+                    "degrade" => rel.degrade = v,
+                    other => {
+                        return Err(format!(
+                            "{text:?}: unknown reliability suffix {other:?} (valid: churn, xtraffic, degrade)"
+                        ))
+                    }
+                }
+            }
+            // All-zero suffixes normalize to the base spec, so ids stay
+            // canonical (`wan:2x2+churn=0` round-trips to `wan:2x2`).
+            if rel.is_off() {
+                return Ok(base);
+            }
+            return Ok(ScenarioSpec::Perturbed { base: Box::new(base), reliability: rel });
         }
         let (kind, rest) = match text.split_once(':') {
             Some((k, r)) => (k, r),
@@ -175,7 +227,8 @@ impl ScenarioSpec {
     }
 
     /// The canonical spec string: parseable by [`ScenarioSpec::parse`] and
-    /// safe to embed in file names (letters, digits, `x . : -` only).
+    /// safe to embed in file names after sanitization (letters, digits,
+    /// `x . : - + =` only; campaign outputs map `: + =` to `-`).
     pub fn id(&self) -> String {
         match self {
             ScenarioSpec::Dataset(d) => d.id().to_string(),
@@ -206,6 +259,24 @@ impl ScenarioSpec {
                         fmt_ratio(*access_mbps)
                     )
                 }
+            }
+            ScenarioSpec::Perturbed { base, reliability } => {
+                // Canonical suffix order (churn, xtraffic, degrade), zero
+                // entries omitted — ids parse back to the same spec.
+                let mut id = base.id();
+                for (key, v) in [
+                    ("churn", reliability.churn),
+                    ("xtraffic", reliability.xtraffic),
+                    ("degrade", reliability.degrade),
+                ] {
+                    if v != 0.0 {
+                        id.push('+');
+                        id.push_str(key);
+                        id.push('=');
+                        id.push_str(&fmt_ratio(v));
+                    }
+                }
+                id
             }
         }
     }
@@ -253,16 +324,21 @@ impl ScenarioSpec {
                 }
                 s
             }
+            ScenarioSpec::Perturbed { base, reliability } => {
+                // The base network and ground truth, measured under
+                // failures: only the id and the reliability config differ.
+                let mut s = base.build();
+                s.id = self.id();
+                s.reliability = *reliability;
+                s
+            }
         }
     }
 
     /// Parses a comma-separated list of specs, e.g.
     /// `"B,G-T,star:3x8,wan:3x4:0.5"`.
     pub fn parse_list(text: &str) -> Result<Vec<ScenarioSpec>, String> {
-        text.split(',')
-            .filter(|s| !s.trim().is_empty())
-            .map(ScenarioSpec::parse)
-            .collect()
+        text.split(',').filter(|s| !s.trim().is_empty()).map(ScenarioSpec::parse).collect()
     }
 }
 
@@ -276,8 +352,7 @@ fn per_cluster_truth(grid: &Grid5000, s: &Scenario) -> Partition {
         .iter()
         .map(|&h| {
             let n = topo.node(h);
-            let key =
-                (n.site.clone().unwrap_or_default(), n.cluster.clone().unwrap_or_default());
+            let key = (n.site.clone().unwrap_or_default(), n.cluster.clone().unwrap_or_default());
             match keys.iter().position(|k| *k == key) {
                 Some(i) => i as u32,
                 None => {
@@ -335,9 +410,64 @@ mod tests {
             "star:3x8:0.5:0",
             "wan:2x2:0.5:0",
             "wan:2x2:0.5:20:9",
+            "wan:2x2+churn",
+            "wan:2x2+churn=1.5",
+            "wan:2x2+churn=-0.1",
+            "wan:2x2+crash=0.5",
+            "wan:2x2+churn=nope",
         ] {
             assert!(ScenarioSpec::parse(text).is_err(), "{text:?} should fail");
         }
+    }
+
+    #[test]
+    fn reliability_suffixes_parse_and_round_trip() {
+        let spec = ScenarioSpec::parse("wan:16x64:0.5:20+churn=0.05+xtraffic=0.2").unwrap();
+        match &spec {
+            ScenarioSpec::Perturbed { base, reliability } => {
+                assert!(matches!(**base, ScenarioSpec::Wan { .. }));
+                assert_eq!(reliability.churn, 0.05);
+                assert_eq!(reliability.xtraffic, 0.2);
+                assert_eq!(reliability.degrade, 0.0);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Canonical id round-trips, in fixed suffix order.
+        assert_eq!(spec.id(), "wan:16x64:0.5:20+churn=0.05+xtraffic=0.2");
+        assert_eq!(ScenarioSpec::parse(&spec.id()).unwrap(), spec);
+        // Suffix order in the input does not matter; the id is canonical.
+        let reordered = ScenarioSpec::parse("wan:16x64:0.5:20+xtraffic=0.2+churn=0.05").unwrap();
+        assert_eq!(reordered, spec);
+        // Datasets and presets take suffixes too.
+        let d = ScenarioSpec::parse("G-T+churn=0.1").unwrap();
+        assert_eq!(d.id(), "G-T+churn=0.1");
+        let p = ScenarioSpec::parse("wan-512+degrade=0.3").unwrap();
+        assert_eq!(p.id(), "wan:16x32:0.5+degrade=0.3");
+        // All-zero suffixes normalize back to the base.
+        let z = ScenarioSpec::parse("wan:2x2+churn=0").unwrap();
+        assert_eq!(z, ScenarioSpec::parse("wan:2x2").unwrap());
+        // Suffixes on a churned preset override its intensities.
+        let o = ScenarioSpec::parse("wan-512-churn+churn=0.5").unwrap();
+        match o {
+            ScenarioSpec::Perturbed { reliability, .. } => {
+                assert_eq!(reliability.churn, 0.5);
+                assert_eq!(reliability.xtraffic, 0.2, "preset xtraffic kept");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn perturbed_build_carries_the_reliability_config() {
+        let s = ScenarioSpec::parse("star:3x4:0.1:4+churn=0.2+xtraffic=0.1").unwrap().build();
+        assert_eq!(s.id, "star:3x4:0.1:4+churn=0.2+xtraffic=0.1");
+        assert_eq!(s.reliability.churn, 0.2);
+        assert_eq!(s.reliability.xtraffic, 0.1);
+        // Same network and ground truth as the unperturbed base.
+        let base = ScenarioSpec::parse("star:3x4:0.1:4").unwrap().build();
+        assert_eq!(base.reliability, btt_netsim::perturb::ReliabilityCfg::default());
+        assert_eq!(s.ground_truth, base.ground_truth);
+        assert_eq!(s.hosts.len(), base.hosts.len());
     }
 
     #[test]

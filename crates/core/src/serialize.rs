@@ -18,7 +18,7 @@
 //! values), so `parse(render(x)) == x` exactly and same-seed runs are
 //! byte-identical.
 
-use crate::pipeline::{ConvergencePoint, TomographyReport};
+use crate::pipeline::{ConvergencePoint, ReliabilityReport, TomographyReport};
 use btt_cluster::partition::Partition;
 
 /// Minimal JSON: a value model, a deterministic writer, and a strict parser.
@@ -80,9 +80,7 @@ pub mod json {
         /// non-objects.
         pub fn get(&self, key: &str) -> Option<&Json> {
             match self {
-                Json::Object(fields) => {
-                    fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
-                }
+                Json::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
                 _ => None,
             }
         }
@@ -147,9 +145,7 @@ pub mod json {
 
         fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
             let (nl, pad, pad_in) = match indent {
-                Some(w) => {
-                    ("\n", " ".repeat(w * depth), " ".repeat(w * (depth + 1)))
-                }
+                Some(w) => ("\n", " ".repeat(w * depth), " ".repeat(w * (depth + 1))),
                 None => ("", String::new(), String::new()),
             };
             match self {
@@ -524,7 +520,12 @@ pub mod json {
                     _ => break,
                 }
             }
-            let tok = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+            // The scanned bytes are all ASCII (digits, sign, point,
+            // exponent), but surface a typed error rather than panic if
+            // that invariant is ever broken — this runs inside the
+            // `btt check` validation path on untrusted artifacts.
+            let tok = std::str::from_utf8(&self.bytes[start..self.pos])
+                .map_err(|_| JsonError { message: "invalid number bytes".into(), at: start })?;
             if !valid_number_token(tok) {
                 return Err(JsonError { message: format!("invalid number {tok:?}"), at: start });
             }
@@ -543,10 +544,7 @@ pub mod json {
                 .ok()
                 .filter(|f| f.is_finite())
                 .map(Json::Float)
-                .ok_or_else(|| JsonError {
-                    message: format!("invalid number {tok:?}"),
-                    at: start,
-                })
+                .ok_or_else(|| JsonError { message: format!("invalid number {tok:?}"), at: start })
         }
     }
 }
@@ -555,7 +553,9 @@ pub mod json {
 pub mod csv {
     /// Escapes one field: quoted iff it contains a comma, quote, or newline.
     pub fn escape(field: &str) -> String {
-        if field.contains(',') || field.contains('"') || field.contains('\n')
+        if field.contains(',')
+            || field.contains('"')
+            || field.contains('\n')
             || field.contains('\r')
         {
             format!("\"{}\"", field.replace('"', "\"\""))
@@ -683,8 +683,9 @@ pub mod csv {
 
 use json::{fmt_f64, Json, JsonError};
 
-/// Version tag stamped into every report JSON document.
-pub const REPORT_SCHEMA: &str = "btt-report-v1";
+/// Version tag stamped into every report JSON document. v2 added the
+/// required `reliability` block and `run_hosts_lost` series.
+pub const REPORT_SCHEMA: &str = "btt-report-v2";
 
 /// The JSON-facing projection of a tomography run: everything campaign
 /// tooling needs to diff runs across PRs, without the raw per-run fragment
@@ -717,6 +718,11 @@ pub struct ReportRecord {
     pub run_makespans: Vec<f64>,
     /// First stable iteration with oNMI ≥ 0.999, if any.
     pub converged_at: Option<u32>,
+    /// The reliability block: hosts lost, unobserved pairs, coverage, and
+    /// confidence-weighted accuracy (identity values for static runs).
+    pub reliability: ReliabilityReport,
+    /// Hosts lost (still down at run end) per iteration.
+    pub run_hosts_lost: Vec<u32>,
 }
 
 impl ReportRecord {
@@ -734,6 +740,8 @@ impl ReportRecord {
             ground_truth: canonical(&report.ground_truth),
             run_makespans: report.campaign.runs.iter().map(|r| r.makespan).collect(),
             converged_at: report.converged_at(0.999),
+            reliability: report.reliability,
+            run_hosts_lost: report.campaign.runs.iter().map(|r| r.hosts_lost() as u32).collect(),
         }
     }
 
@@ -756,10 +764,7 @@ impl ReportRecord {
             ("seed", Json::UInt(self.seed)),
             ("hosts", Json::UInt(self.hosts as u64)),
             ("pieces", Json::UInt(self.pieces as u64)),
-            (
-                "converged_at",
-                self.converged_at.map_or(Json::Null, |k| Json::UInt(k as u64)),
-            ),
+            ("converged_at", self.converged_at.map_or(Json::Null, |k| Json::UInt(k as u64))),
             ("measurement_time_s", Json::Float(self.measurement_time())),
             (
                 "convergence",
@@ -783,6 +788,24 @@ impl ReportRecord {
             (
                 "run_makespans_s",
                 Json::Array(self.run_makespans.iter().map(|&m| Json::Float(m)).collect()),
+            ),
+            (
+                "reliability",
+                Json::obj(vec![
+                    ("hosts_lost", Json::UInt(self.reliability.hosts_lost)),
+                    ("runs_disrupted", Json::UInt(self.reliability.runs_disrupted as u64)),
+                    ("pairs_unobserved", Json::UInt(self.reliability.pairs_unobserved)),
+                    ("pair_coverage", Json::Float(self.reliability.pair_coverage)),
+                    ("onmi_observed", Json::Float(self.reliability.onmi_observed)),
+                    (
+                        "confidence_weighted_onmi",
+                        Json::Float(self.reliability.confidence_weighted_onmi),
+                    ),
+                ]),
+            ),
+            (
+                "run_hosts_lost",
+                Json::Array(self.run_hosts_lost.iter().map(|&k| Json::UInt(k as u64)).collect()),
             ),
         ])
     }
@@ -834,6 +857,35 @@ impl ReportRecord {
             Json::Null => None,
             other => Some(u32_of(other, "converged_at")?),
         };
+        // The reliability block: required of every record this writer
+        // emits; a present-but-malformed block is corruption.
+        let reliability = {
+            let r = field("reliability")?;
+            let rf = |key: &str| r.get(key).and_then(Json::as_f64).ok_or_else(|| bad(key));
+            ReliabilityReport {
+                hosts_lost: r
+                    .get("hosts_lost")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| bad("hosts_lost"))?,
+                runs_disrupted: u32_of(
+                    r.get("runs_disrupted").ok_or_else(|| bad("runs_disrupted"))?,
+                    "runs_disrupted",
+                )?,
+                pairs_unobserved: r
+                    .get("pairs_unobserved")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| bad("pairs_unobserved"))?,
+                pair_coverage: rf("pair_coverage")?,
+                onmi_observed: rf("onmi_observed")?,
+                confidence_weighted_onmi: rf("confidence_weighted_onmi")?,
+            }
+        };
+        let run_hosts_lost = field("run_hosts_lost")?
+            .as_array()
+            .ok_or_else(|| bad("run_hosts_lost"))?
+            .iter()
+            .map(|k| u32_of(k, "run_hosts_lost"))
+            .collect::<Result<Vec<_>, JsonError>>()?;
         Ok(ReportRecord {
             scenario_id: field("scenario")?.as_str().ok_or_else(|| bad("scenario"))?.to_string(),
             algorithm: field("algorithm")?.as_str().ok_or_else(|| bad("algorithm"))?.to_string(),
@@ -852,6 +904,8 @@ impl ReportRecord {
                 .map(|m| m.as_f64().ok_or_else(|| bad("run_makespans_s")))
                 .collect::<Result<Vec<_>, JsonError>>()?,
             converged_at,
+            reliability,
+            run_hosts_lost,
         })
     }
 }
@@ -876,10 +930,8 @@ pub fn partition_to_json(p: &Partition) -> Json {
 pub fn partition_from_json(v: &Json) -> Option<Partition> {
     let items = v.as_array()?;
     let n = items.len() as u64;
-    let raw: Option<Vec<u32>> = items
-        .iter()
-        .map(|c| c.as_u64().filter(|&u| u < n).map(|u| u as u32))
-        .collect();
+    let raw: Option<Vec<u32>> =
+        items.iter().map(|c| c.as_u64().filter(|&u| u < n).map(|u| u as u32)).collect();
     Some(Partition::from_assignments(&raw?))
 }
 
@@ -941,11 +993,26 @@ mod tests {
     #[test]
     fn json_parser_rejects_garbage() {
         for text in [
-            "", "nul", "{", "[1,", "{\"a\" 1}", "\"\\q\"", "\"unterminated", "01x", "1 2",
-            "{\"a\":1,}", "\"\\ud800\"",
+            "",
+            "nul",
+            "{",
+            "[1,",
+            "{\"a\" 1}",
+            "\"\\q\"",
+            "\"unterminated",
+            "01x",
+            "1 2",
+            "{\"a\":1,}",
+            "\"\\ud800\"",
             // RFC 8259 number grammar: no leading zeros, no bare trailing
             // point, no empty exponent, no leading point.
-            "01", "[1.]", "-", "1e", "1e+", "[-.5]", "00.5",
+            "01",
+            "[1.]",
+            "-",
+            "1e",
+            "1e+",
+            "[-.5]",
+            "00.5",
         ] {
             assert!(parse(text).is_err(), "{text:?} should fail");
         }

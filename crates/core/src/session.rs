@@ -16,7 +16,7 @@
 
 use crate::dataset::{Dataset, Scenario};
 use crate::pipeline::{analyze, ClusteringAlgorithm, TomographyReport};
-use btt_swarm::broadcast::{run_campaign, RootPolicy};
+use btt_swarm::broadcast::{run_campaign_with_reliability, RootPolicy};
 use btt_swarm::config::SwarmConfig;
 
 /// A configured end-to-end tomography run over one scenario.
@@ -99,18 +99,20 @@ impl TomographySession {
         self.analyze_with(self.measure(), self.algorithm)
     }
 
-    /// Runs phase 1 only: the broadcast measurement campaign. The campaign
-    /// depends on everything in the session *except* the clustering
-    /// algorithm, so sweeps over several algorithms can measure once and
+    /// Runs phase 1 only: the broadcast measurement campaign (under the
+    /// scenario's reliability perturbations, if any). The campaign depends
+    /// on everything in the session *except* the clustering algorithm, so
+    /// sweeps over several algorithms can measure once and
     /// [`TomographySession::analyze_with`] each.
     pub fn measure(&self) -> btt_swarm::broadcast::Campaign {
-        run_campaign(
+        run_campaign_with_reliability(
             &self.scenario.routes,
             &self.scenario.hosts,
             &self.cfg,
             self.iterations,
             self.root_policy,
             self.seed,
+            &self.scenario.reliability,
         )
     }
 
@@ -140,11 +142,8 @@ mod tests {
 
     #[test]
     fn small_session_runs_end_to_end() {
-        let report = TomographySession::new(Dataset::Small2x2)
-            .iterations(3)
-            .pieces(64)
-            .seed(42)
-            .run();
+        let report =
+            TomographySession::new(Dataset::Small2x2).iterations(3).pieces(64).seed(42).run();
         assert_eq!(report.scenario_id, "2x2");
         assert_eq!(report.convergence.len(), 3);
         assert_eq!(report.campaign.runs.len(), 3);
@@ -156,9 +155,8 @@ mod tests {
 
     #[test]
     fn sessions_are_reproducible() {
-        let mk = || {
-            TomographySession::new(Dataset::Small2x2).iterations(2).pieces(48).seed(9).run()
-        };
+        let mk =
+            || TomographySession::new(Dataset::Small2x2).iterations(2).pieces(48).seed(9).run();
         let a = mk();
         let b = mk();
         assert_eq!(a.convergence, b.convergence);

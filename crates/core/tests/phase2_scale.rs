@@ -46,13 +46,8 @@ fn analyze_boundary_rejects_empty_campaigns() {
         PipelineError::EmptyCampaign
     );
     let session = measured(Dataset::Small2x2, 2, 48, 7);
-    let report = analyze(
-        session.scenario(),
-        session.measure(),
-        ClusteringAlgorithm::Louvain,
-        7,
-    )
-    .expect("non-empty campaign analyzes");
+    let report = analyze(session.scenario(), session.measure(), ClusteringAlgorithm::Louvain, 7)
+        .expect("non-empty campaign analyzes");
     assert_eq!(report.convergence.len(), 2);
     assert_eq!(report.last().iterations, 2);
 }

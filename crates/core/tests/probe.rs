@@ -11,11 +11,7 @@ use btt_core::prelude::*;
 fn probe_all_datasets() {
     for d in Dataset::PAPER_SETS {
         let wall = std::time::Instant::now();
-        let report = TomographySession::new(d)
-            .pieces(4000)
-            .iterations(16)
-            .seed(2012)
-            .run();
+        let report = TomographySession::new(d).pieces(4000).iterations(16).seed(2012).run();
         println!("{}  [wall {:.1?}]", summary_line(&report), wall.elapsed());
         let series: Vec<String> =
             report.convergence.iter().map(|p| format!("{:.2}", p.onmi)).collect();

@@ -6,7 +6,7 @@
 //! across PRs and silent format drift would corrupt those comparisons.
 
 use btt_cluster::partition::Partition;
-use btt_core::pipeline::ConvergencePoint;
+use btt_core::pipeline::{ConvergencePoint, ReliabilityReport};
 use btt_core::serialize::{convergence_csv, csv, json, ReportRecord};
 
 /// A fully hand-constructed record exercising the tricky cases: a u64 seed
@@ -40,6 +40,15 @@ fn golden_record() -> ReportRecord {
         ground_truth: Partition::from_assignments(&[0, 0, 1, 1]),
         run_makespans: vec![1.5, 2.25],
         converged_at: None,
+        reliability: ReliabilityReport {
+            hosts_lost: 1,
+            runs_disrupted: 1,
+            pairs_unobserved: 2,
+            pair_coverage: 0.75,
+            onmi_observed: 0.5,
+            confidence_weighted_onmi: 0.375,
+        },
+        run_hosts_lost: vec![0, 1],
     }
 }
 

@@ -34,12 +34,15 @@ fn gen_json(seed: u64, depth: u32) -> Json {
             Json::Float(if raw & 4 == 0 { x.trunc() } else { x })
         }
         5 => Json::Str(gen_string(mix(seed))),
-        6 => Json::Array(
-            (0..(seed % 4)).map(|i| gen_json(mix(seed ^ i), depth - 1)).collect(),
-        ),
+        6 => Json::Array((0..(seed % 4)).map(|i| gen_json(mix(seed ^ i), depth - 1)).collect()),
         _ => Json::Object(
             (0..(seed % 4))
-                .map(|i| (format!("k{i}-{}", gen_string(mix(seed ^ (i << 8)))), gen_json(mix(seed ^ i ^ 0xF00D), depth - 1)))
+                .map(|i| {
+                    (
+                        format!("k{i}-{}", gen_string(mix(seed ^ (i << 8)))),
+                        gen_json(mix(seed ^ i ^ 0xF00D), depth - 1),
+                    )
+                })
                 .collect(),
         ),
     }
@@ -48,8 +51,18 @@ fn gen_json(seed: u64, depth: u32) -> Json {
 /// Strings biased towards serializer-hostile content.
 fn gen_string(seed: u64) -> String {
     const PIECES: [&str; 12] = [
-        "plain", "with space", "comma,comma", "\"quoted\"", "back\\slash", "new\nline",
-        "tab\there", "\r", "unicode é😀", "\u{1}control", "trailing ", "",
+        "plain",
+        "with space",
+        "comma,comma",
+        "\"quoted\"",
+        "back\\slash",
+        "new\nline",
+        "tab\there",
+        "\r",
+        "unicode é😀",
+        "\u{1}control",
+        "trailing ",
+        "",
     ];
     let mut out = String::new();
     let mut s = seed;
@@ -124,6 +137,15 @@ proptest! {
             ground_truth: Partition::from_assignments(&assign[12 - hosts..]),
             run_makespans: (0..points).map(|i| onmi(i) * 40.0).collect(),
             converged_at: if seed & 1 == 0 { None } else { Some((seed % 30) as u32) },
+            reliability: btt_core::pipeline::ReliabilityReport {
+                hosts_lost: seed % 7,
+                runs_disrupted: (seed % 5) as u32,
+                pairs_unobserved: seed % 11,
+                pair_coverage: onmi(1),
+                onmi_observed: onmi(2),
+                confidence_weighted_onmi: onmi(1) * onmi(2),
+            },
+            run_hosts_lost: (0..points).map(|i| (seed >> (i % 32)) as u32 % 4).collect(),
         };
         let text = record.to_json().render_pretty();
         let back = ReportRecord::from_json(&json::parse(&text).expect("record json parses"))

@@ -30,7 +30,8 @@ pub fn to_dot(r: &Rendered, graph_name: &str) -> String {
     for &(a, b, w) in &r.edges {
         let la = &r.nodes[a as usize].label;
         let lb = &r.nodes[b as usize].label;
-        let penwidth = if r.max_weight > 0.0 { (0.3 + 2.7 * w / r.max_weight).max(0.3) } else { 1.0 };
+        let penwidth =
+            if r.max_weight > 0.0 { (0.3 + 2.7 * w / r.max_weight).max(0.3) } else { 1.0 };
         writeln!(
             out,
             "  \"{}\" -- \"{}\" [weight={:.4}, penwidth={:.2}];",
@@ -69,8 +70,7 @@ mod tests {
 
     fn sample() -> Rendered {
         let g = WeightedGraph::from_edges(3, &[(0, 1, 2.0), (1, 2, 1.0)]);
-        let pos =
-            vec![Point2::new(0.0, 0.0), Point2::new(5.0, 5.0), Point2::new(10.0, 0.0)];
+        let pos = vec![Point2::new(0.0, 0.0), Point2::new(5.0, 5.0), Point2::new(10.0, 0.0)];
         let labels = vec!["172.16.0.1".to_string(), "172.16.0.2".into(), "172.16.1.1".into()];
         let truth = Partition::from_assignments(&[0, 0, 1]);
         render(&g, &pos, &labels, &truth, RenderOptions { edge_fraction: 1.0, size: 10.0 })

@@ -219,10 +219,7 @@ mod tests {
         // "Before": the jittered circle (max_outer = 0 short-circuits).
         let before = kamada_kawai(&d, 5, KamadaKawaiConfig { max_outer: 0, ..Default::default() });
         let after = kamada_kawai(&d, 5, KamadaKawaiConfig::default());
-        assert!(
-            stress(&d, &after, 100.0) < stress(&d, &before, 100.0),
-            "stress must decrease"
-        );
+        assert!(stress(&d, &after, 100.0) < stress(&d, &before, 100.0), "stress must decrease");
     }
 
     #[test]

@@ -43,6 +43,6 @@ pub mod prelude {
     pub use crate::fruchterman_reingold::{fruchterman_reingold, FrConfig};
     pub use crate::geometry::Point2;
     pub use crate::kamada_kawai::{kamada_kawai, stress, KamadaKawaiConfig};
-    pub use crate::render::{render, Rendered, RenderedNode, RenderOptions, Shape};
+    pub use crate::render::{render, RenderOptions, Rendered, RenderedNode, Shape};
     pub use crate::svg::to_svg;
 }

@@ -25,8 +25,14 @@ pub enum Shape {
 }
 
 /// The shape palette in cluster-id order.
-pub const SHAPES: [Shape; 6] =
-    [Shape::Diamond, Shape::Circle, Shape::Triangle, Shape::Square, Shape::Pentagon, Shape::Hexagon];
+pub const SHAPES: [Shape; 6] = [
+    Shape::Diamond,
+    Shape::Circle,
+    Shape::Triangle,
+    Shape::Square,
+    Shape::Pentagon,
+    Shape::Hexagon,
+];
 
 impl Shape {
     /// Shape for ground-truth cluster `c`.
@@ -122,7 +128,9 @@ pub fn render(
     // Top fraction of edges by weight (self-loops never drawn).
     let mut edges: Vec<(u32, u32, f64)> =
         g.edges().into_iter().filter(|&(a, b, _)| a != b).collect();
-    edges.sort_by(|x, y| y.2.partial_cmp(&x.2).expect("finite weights").then(x.0.cmp(&y.0)).then(x.1.cmp(&y.1)));
+    edges.sort_by(|x, y| {
+        y.2.partial_cmp(&x.2).expect("finite weights").then(x.0.cmp(&y.0)).then(x.1.cmp(&y.1))
+    });
     let keep = (edges.len() as f64 * opts.edge_fraction).ceil() as usize;
     edges.truncate(keep);
     let max_weight = edges.first().map_or(0.0, |e| e.2);
@@ -135,10 +143,7 @@ mod tests {
     use super::*;
 
     fn setup() -> (WeightedGraph, Vec<Point2>, Vec<String>, Partition) {
-        let g = WeightedGraph::from_edges(
-            4,
-            &[(0, 1, 4.0), (1, 2, 3.0), (2, 3, 2.0), (0, 3, 1.0)],
-        );
+        let g = WeightedGraph::from_edges(4, &[(0, 1, 4.0), (1, 2, 3.0), (2, 3, 2.0), (0, 3, 1.0)]);
         let pos = vec![
             Point2::new(0.0, 0.0),
             Point2::new(10.0, 0.0),
@@ -163,7 +168,8 @@ mod tests {
     #[test]
     fn full_fraction_keeps_everything() {
         let (g, pos, labels, truth) = setup();
-        let r = render(&g, &pos, &labels, &truth, RenderOptions { edge_fraction: 1.0, size: 100.0 });
+        let r =
+            render(&g, &pos, &labels, &truth, RenderOptions { edge_fraction: 1.0, size: 100.0 });
         assert_eq!(r.edges.len(), 4);
     }
 

@@ -59,7 +59,9 @@ fn flip(p: Point2, size: f64, pad: f64) -> Point2 {
 fn glyph(shape: Shape, p: Point2, r: f64, fill: &str) -> String {
     let attrs = format!("fill=\"{fill}\" stroke=\"#333\" stroke-width=\"0.2\"");
     match shape {
-        Shape::Circle => format!("  <circle cx=\"{:.2}\" cy=\"{:.2}\" r=\"{r:.2}\" {attrs}/>\n", p.x, p.y),
+        Shape::Circle => {
+            format!("  <circle cx=\"{:.2}\" cy=\"{:.2}\" r=\"{r:.2}\" {attrs}/>\n", p.x, p.y)
+        }
         Shape::Square => format!(
             "  <rect x=\"{:.2}\" y=\"{:.2}\" width=\"{:.2}\" height=\"{:.2}\" {attrs}/>\n",
             p.x - r,

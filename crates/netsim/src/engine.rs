@@ -130,7 +130,12 @@ struct ActiveFlow {
 impl ActiveFlow {
     /// Bytes delivered by simulated time `t` (closed form, no mutation).
     fn delivered_at(&self, t: SimTime) -> Bytes {
-        if t <= self.accrue_from {
+        // Strictly-before: at `t == accrue_from` the linear form below
+        // yields the same `accrued` for finite rates, while infinite-rate
+        // bounded flows (zero-latency loopback) must already report their
+        // full budget — their `eta` is exactly `accrue_from`, and reporting
+        // zero there would spin the undershoot guard forever.
+        if t < self.accrue_from {
             return self.accrued;
         }
         if self.rate.is_infinite() {
@@ -415,7 +420,13 @@ impl SimNet {
     /// (reported by [`advance`](Self::advance)); `None` makes an open stream.
     /// `tag` is returned in completions so callers can map flows back to
     /// protocol state without a lookup table.
-    pub fn start_flow(&mut self, src: NodeId, dst: NodeId, bytes: Option<Bytes>, tag: u64) -> FlowId {
+    pub fn start_flow(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        bytes: Option<Bytes>,
+        tag: u64,
+    ) -> FlowId {
         self.start_flow_capped(src, dst, bytes, None, tag)
     }
 
@@ -455,8 +466,9 @@ impl SimNet {
             let mut guess = cap.unwrap_or(f64::INFINITY);
             for ch in &route {
                 let c = ch.idx();
-                let slack =
-                    self.topo.link(ch.link()).capacity.bytes_per_sec() - core.channels[c].rate;
+                // The solver's capacity, not the topology's: degraded links
+                // must not be overloaded by the provisional rate.
+                let slack = core.solver.capacity(c) - core.channels[c].rate;
                 guess = guess.min(slack);
             }
             guess.max(0.0)
@@ -532,6 +544,48 @@ impl SimNet {
             started_at: flow.started_at,
             ended_at: time,
         })
+    }
+
+    /// Force-completes every flow that `host` terminates (as source or
+    /// destination) — the engine half of a host crash. Flows are stopped in
+    /// ascending flow-id order (deterministic), each marking only its own
+    /// channels dirty exactly as [`stop_flow`](Self::stop_flow) does, and
+    /// their lifetime stats are returned together with the caller-supplied
+    /// tags so protocol drivers can map them back to transfers.
+    pub fn fail_host(&mut self, host: NodeId) -> Vec<(FlowId, u64, FlowStats)> {
+        let mut doomed: Vec<(u64, u64)> = self
+            .core
+            .get_mut()
+            .flows
+            .iter()
+            .filter(|(_, f)| f.src == host || f.dst == host)
+            .map(|(&id, f)| (id, f.tag))
+            .collect();
+        doomed.sort_unstable();
+        doomed
+            .into_iter()
+            .map(|(id, tag)| {
+                let stats = self.stop_flow(FlowId(id)).expect("flow listed as live");
+                (FlowId(id), tag, stats)
+            })
+            .collect()
+    }
+
+    /// Sets both directions of `link` to `factor` × the built capacity —
+    /// the engine half of a link degradation (`factor < 1.0`) or restoration
+    /// (`factor == 1.0`). The fairness solver marks the two channels dirty,
+    /// so exactly the flows in their component are re-rated at the next
+    /// resolve; channel byte accounting stays exact through the same
+    /// re-solve path as any other churn.
+    pub fn set_link_capacity_factor(&mut self, link: crate::topology::LinkId, factor: f64) {
+        assert!(factor >= 0.0 && factor.is_finite(), "capacity factor must be finite and >= 0");
+        let base = self.topo.link(link).capacity.bytes_per_sec();
+        let time = self.time;
+        let core = self.core.get_mut();
+        for ch in [link.forward(), link.reverse()] {
+            core.solver.set_capacity(ch.idx(), base * factor);
+        }
+        core.schedule_refresh(time);
     }
 
     /// Drains and returns bytes delivered on `id` since the last drain.
@@ -998,6 +1052,26 @@ mod tests {
     }
 
     #[test]
+    fn bounded_loopback_flow_completes_without_livelock() {
+        // A bounded flow on an empty route (zero-latency loopback) runs at
+        // infinite rate and must complete the instant it starts — even with
+        // a delivery mark armed past its budget. (Regression: at
+        // `t == accrue_from` the closed form reported zero delivered bytes
+        // while `eta` promised completion *at* that instant, so the
+        // undershoot guard re-keyed the event at `now` forever.)
+        let (t, h0, _) = pair(100.0);
+        let mut net = SimNet::new(t);
+        let f = net.start_flow(h0, h0, Some(4096.0), 5);
+        net.set_delivery_mark(f, 1e9); // mark beyond the budget: ignored
+        let done = net.advance(1.0);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].kind, CompletionKind::Finished);
+        assert_eq!(done[0].tag, 5);
+        assert_eq!(done[0].at, 0.0, "zero-latency loopback completes immediately");
+        assert_eq!(net.active_flows(), 0);
+    }
+
+    #[test]
     fn mark_on_infinite_rate_stream_does_not_livelock() {
         // A loopback stream (empty route) runs at infinite rate but
         // delivers nothing; a mark on it can never fire and must not spin
@@ -1031,14 +1105,87 @@ mod tests {
         let at_stop: f64 = net.channel_bytes().iter().sum();
         net.advance(0.4); // stays inside the pending refresh window
         let later: f64 = net.channel_bytes().iter().sum();
-        assert!(
-            (later - at_stop).abs() < 1e-6,
-            "phantom accrual after stop: {at_stop} -> {later}"
-        );
+        assert!((later - at_stop).abs() < 1e-6, "phantom accrual after stop: {at_stop} -> {later}");
         // Sanity: the flow really moved bytes before stopping (2 channels;
         // channel accrual also covers the ~100 µs startup latency window,
         // hence the loose tolerance).
         assert!((at_stop - 2.0 * f.delivered).abs() / at_stop < 1e-3);
+    }
+
+    #[test]
+    fn fail_host_stops_exactly_its_flows() {
+        let mut b = TopologyBuilder::new();
+        let h0 = b.add_host("h0", "s", "c");
+        let h1 = b.add_host("h1", "s", "c");
+        let h2 = b.add_host("h2", "s", "c");
+        let sw = b.add_switch("sw", "s");
+        for h in [h0, h1, h2] {
+            b.link(h, sw, LinkSpec::lan(Bandwidth::from_mbps(800.0)));
+        }
+        let t = Arc::new(b.build().unwrap());
+        let mut net = SimNet::new(t);
+        let a = net.start_flow(h0, h1, None, 10); // h1 terminates
+        let bz = net.start_flow(h1, h2, None, 11); // h1 sources
+        let c = net.start_flow(h0, h2, None, 12); // untouched
+        net.advance(1.0);
+        let failed = net.fail_host(h1);
+        assert_eq!(failed.len(), 2);
+        // Ascending flow-id order, with tags and positive lifetime stats.
+        assert_eq!(failed[0].0, a);
+        assert_eq!(failed[0].1, 10);
+        assert_eq!(failed[1].0, bz);
+        assert_eq!(failed[1].1, 11);
+        assert!(failed.iter().all(|(_, _, s)| s.delivered > 0.0));
+        assert_eq!(net.active_flows(), 1);
+        // The survivor speeds up to full rate after the failure.
+        net.advance(0.1);
+        net.take_delivered(c);
+        net.advance(1.0);
+        let got = net.take_delivered(c);
+        let full = Bandwidth::from_mbps(800.0).bytes_per_sec();
+        assert!((got - full).abs() / full < 1e-2, "{got} vs {full}");
+        // Idempotent: nothing left to fail.
+        assert!(net.fail_host(h1).is_empty());
+    }
+
+    #[test]
+    fn link_degradation_rerates_flows_and_restores() {
+        let (t, h0, h1) = pair(800.0);
+        let mut net = SimNet::new(t.clone());
+        let s = net.start_flow(h0, h1, None, 0);
+        net.advance(1.0);
+        net.take_delivered(s);
+        // Degrade h0's access link to a quarter capacity.
+        let link = t.neighbors(h0)[0].1;
+        net.set_link_capacity_factor(link, 0.25);
+        net.advance(1.0);
+        let degraded = net.take_delivered(s);
+        let quarter = Bandwidth::from_mbps(200.0).bytes_per_sec();
+        assert!((degraded - quarter).abs() / quarter < 1e-2, "{degraded} vs {quarter}");
+        // Restore: back to full rate, and a new flow's provisional slack
+        // guess respects the *current* (restored) capacity.
+        net.set_link_capacity_factor(link, 1.0);
+        net.advance(1.0);
+        let restored = net.take_delivered(s);
+        let full = Bandwidth::from_mbps(800.0).bytes_per_sec();
+        assert!((restored - full).abs() / full < 1e-2, "{restored} vs {full}");
+    }
+
+    #[test]
+    fn degraded_link_bounds_provisional_rates_under_batching() {
+        // With refresh batching, a flow started onto a degraded link must
+        // take the degraded slack as its provisional rate — never the built
+        // capacity (which would overload the channel until the refresh).
+        let (t, h0, h1) = pair(800.0);
+        let mut net = SimNet::new(t.clone());
+        net.set_rate_refresh(0.5);
+        let link = t.neighbors(h0)[0].1;
+        net.set_link_capacity_factor(link, 0.1);
+        let s = net.start_flow(h0, h1, None, 0);
+        net.advance(0.25); // inside the refresh window: provisional rate only
+        let got = net.take_delivered(s);
+        let bound = Bandwidth::from_mbps(80.0).bytes_per_sec() * 0.25;
+        assert!(got <= bound * (1.0 + 1e-6), "{got} exceeds degraded bound {bound}");
     }
 
     #[test]
@@ -1055,7 +1202,11 @@ mod tests {
                 events.extend(net.advance(dt));
             }
             let d = net.take_delivered(s);
-            (events, d.to_bits(), net.channel_bytes().iter().map(|b| b.to_bits()).collect::<Vec<_>>())
+            (
+                events,
+                d.to_bits(),
+                net.channel_bytes().iter().map(|b| b.to_bits()).collect::<Vec<_>>(),
+            )
         };
         let coarse = run(&[2.0]);
         let fine = run(&[0.3, 0.45, 0.05, 0.7, 0.2, 0.3]);

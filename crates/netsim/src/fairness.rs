@@ -248,6 +248,24 @@ impl IncrementalMaxMin {
         self.index.get(&id).map_or(0.0, |&s| self.slots[s as usize].rate)
     }
 
+    /// The current capacity of channel `c` (bytes/sec) — the built capacity
+    /// unless changed by [`IncrementalMaxMin::set_capacity`].
+    #[inline]
+    pub fn capacity(&self, c: usize) -> f64 {
+        self.caps[c]
+    }
+
+    /// Changes channel `c`'s capacity (reliability perturbations: link
+    /// degradation and restoration), marking it dirty so the next resolve
+    /// re-rates exactly the flows in its component.
+    pub fn set_capacity(&mut self, c: usize, cap: f64) {
+        assert!(cap >= 0.0 && cap.is_finite(), "capacity must be finite and non-negative");
+        if self.caps[c] != cap {
+            self.caps[c] = cap;
+            self.mark_dirty(c);
+        }
+    }
+
     /// Number of flows crossing channel `c`.
     #[inline]
     pub fn channel_load(&self, c: usize) -> usize {
@@ -410,8 +428,10 @@ impl IncrementalMaxMin {
             std::collections::BinaryHeap::with_capacity(nc);
         for lc in 0..nc {
             if self.load[lc] > 0 {
-                chan_heap
-                    .push(ShareKey { key: self.residual[lc] / self.load[lc] as f64, lc: lc as u32 });
+                chan_heap.push(ShareKey {
+                    key: self.residual[lc] / self.load[lc] as f64,
+                    lc: lc as u32,
+                });
             }
         }
         // Capped flows, lowest cap first (same ShareKey ordering, lc = flow).
@@ -537,7 +557,8 @@ mod tests {
     fn single_flow_gets_link_rate() {
         let (t, hs, rt) = star(2, 800.0);
         let route = rt.route(hs[0], hs[1]);
-        let rates = max_min_rates(&t.channel_capacities(), &[FlowInput { route: &route, cap: None }]);
+        let rates =
+            max_min_rates(&t.channel_capacities(), &[FlowInput { route: &route, cap: None }]);
         assert!((rates[0] - Bandwidth::from_mbps(800.0).bytes_per_sec()).abs() < 1.0);
     }
 
@@ -575,7 +596,8 @@ mod tests {
         let (t, hs, rt) = star(2, 800.0);
         let route = rt.route(hs[0], hs[1]);
         let cap = Bandwidth::from_mbps(100.0).bytes_per_sec();
-        let rates = max_min_rates(&t.channel_capacities(), &[FlowInput { route: &route, cap: Some(cap) }]);
+        let rates =
+            max_min_rates(&t.channel_capacities(), &[FlowInput { route: &route, cap: Some(cap) }]);
         assert!((rates[0] - cap).abs() < 1.0);
     }
 
@@ -627,7 +649,10 @@ mod tests {
 
     #[test]
     fn loopback_flows() {
-        let rates = max_min_rates(&[], &[FlowInput { route: &[], cap: None }, FlowInput { route: &[], cap: Some(5.0) }]);
+        let rates = max_min_rates(
+            &[],
+            &[FlowInput { route: &[], cap: None }, FlowInput { route: &[], cap: Some(5.0) }],
+        );
         assert!(rates[0].is_infinite());
         assert_eq!(rates[1], 5.0);
     }
@@ -748,7 +773,8 @@ mod tests {
             .filter(|(a, b)| a != b)
             .map(|(a, b)| rt.route(a, b))
             .collect();
-        let flows: Vec<FlowInput<'_>> = routes.iter().map(|r| FlowInput { route: r, cap: None }).collect();
+        let flows: Vec<FlowInput<'_>> =
+            routes.iter().map(|r| FlowInput { route: r, cap: None }).collect();
         let caps = t.channel_capacities();
         let rates = max_min_rates(&caps, &flows);
         let mut used = vec![0.0; caps.len()];
@@ -762,7 +788,8 @@ mod tests {
         }
         // Work conservation: every flow is bottlenecked somewhere.
         for (f, rate) in flows.iter().zip(&rates) {
-            let bottlenecked = f.route.iter().any(|ch| used[ch.idx()] >= caps[ch.idx()] * (1.0 - 1e-6));
+            let bottlenecked =
+                f.route.iter().any(|ch| used[ch.idx()] >= caps[ch.idx()] * (1.0 - 1e-6));
             assert!(bottlenecked, "flow at {rate} B/s has slack everywhere");
         }
     }

@@ -144,10 +144,14 @@ impl Grid5000Builder {
                     let dell = b.add_switch("bordeaux/dell", site);
                     let mut clusters = Vec::new();
 
-                    let mk_hosts = |b: &mut TopologyBuilder, cluster: &str, n: usize, sw: NodeId| {
+                    let mk_hosts = |b: &mut TopologyBuilder,
+                                    cluster: &str,
+                                    n: usize,
+                                    sw: NodeId| {
                         let hs: Vec<NodeId> = (0..n)
                             .map(|i| {
-                                let h = b.add_host(format!("{site}/{cluster}-{i:02}"), site, cluster);
+                                let h =
+                                    b.add_host(format!("{site}/{cluster}-{i:02}"), site, cluster);
                                 b.link(h, sw, access);
                                 h
                             })
@@ -196,7 +200,10 @@ impl Grid5000Builder {
                         b.link(r, sw, uplink);
                         routers.push((name.clone(), r));
                     }
-                    sites.push(SiteHosts { site: name.clone(), clusters: vec![("main".into(), hs)] });
+                    sites.push(SiteHosts {
+                        site: name.clone(),
+                        clusters: vec![("main".into(), hs)],
+                    });
                 }
             }
         }
@@ -350,19 +357,11 @@ mod tests {
 
     #[test]
     fn lyon_core_attachment_is_special() {
-        let g = Grid5000::builder()
-            .flat_site("grenoble", 2)
-            .flat_site("lyon", 2)
-            .build();
+        let g = Grid5000::builder().flat_site("grenoble", 2).flat_site("lyon", 2).build();
         let lyon_router = g.topology.find_node("lyon/router").unwrap();
         let core = g.topology.find_node("renater/core").unwrap();
-        let (_, link) = g
-            .topology
-            .neighbors(lyon_router)
-            .iter()
-            .copied()
-            .find(|&(n, _)| n == core)
-            .unwrap();
+        let (_, link) =
+            g.topology.neighbors(lyon_router).iter().copied().find(|&(n, _)| n == core).unwrap();
         let l = g.topology.link(link);
         assert!(l.capacity.mbps() > RENATER_EFFECTIVE_MBPS, "lyon gets the wider core link");
         assert!(l.latency < WAN_SEGMENT_LATENCY);

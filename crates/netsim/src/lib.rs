@@ -15,7 +15,9 @@
 //!   used for exactly this purpose;
 //! * [`engine`] — [`SimNet`](engine::SimNet): bounded flows and open streams
 //!   advanced over a virtual clock, with event-accurate completions;
-//! * [`traffic`] — on/off background load for robustness experiments.
+//! * [`traffic`] — on/off background load for robustness experiments;
+//! * [`perturb`] — deterministic reliability schedules (host churn, link
+//!   degradation, seeded cross-traffic) applied at exact clock instants.
 //!
 //! ## Example: two hosts through a switch
 //!
@@ -45,6 +47,7 @@
 pub mod engine;
 pub mod fairness;
 pub mod grid5000;
+pub mod perturb;
 pub mod routing;
 pub mod synthetic;
 pub mod topology;
@@ -56,6 +59,9 @@ pub mod util;
 pub mod prelude {
     pub use crate::engine::{Completion, FlowId, FlowStats, SimNet};
     pub use crate::grid5000::{Grid5000, Grid5000Builder, SiteHosts};
+    pub use crate::perturb::{
+        Perturbation, PerturbationSchedule, ReliabilityCfg, TimedPerturbation,
+    };
     pub use crate::routing::RouteTable;
     pub use crate::synthetic::{FatTree, HeteroWan, StarOfStars, WanSite};
     pub use crate::topology::{ChannelId, LinkId, LinkSpec, NodeId, Topology, TopologyBuilder};

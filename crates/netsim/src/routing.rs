@@ -71,10 +71,8 @@ impl RouteTable {
             let (parent, link) = parents[cur.idx()]
                 .unwrap_or_else(|| panic!("no route from {src} to {dst} (disconnected topology?)"));
             // The flow travels parent -> cur over `link`.
-            let ch = self
-                .topo
-                .channel_from(link, parent)
-                .expect("BFS parent must be a link endpoint");
+            let ch =
+                self.topo.channel_from(link, parent).expect("BFS parent must be a link endpoint");
             rev.push(ch);
             cur = parent;
         }

@@ -148,9 +148,8 @@ impl StarOfStars {
         assert!(self.arms > 0 && self.hosts_per_arm > 0 && self.hub_hosts > 0);
         assert!(self.uplink_ratio > 0.0);
         let access = LinkSpec::lan(Bandwidth::from_mbps(SYNTH_ACCESS_MBPS));
-        let uplink = Bandwidth::from_mbps(
-            self.hosts_per_arm as f64 * SYNTH_ACCESS_MBPS * self.uplink_ratio,
-        );
+        let uplink =
+            Bandwidth::from_mbps(self.hosts_per_arm as f64 * SYNTH_ACCESS_MBPS * self.uplink_ratio);
 
         let mut b = TopologyBuilder::new();
         let hub_sw = b.add_switch("hub/switch", "hub");
@@ -161,8 +160,10 @@ impl StarOfStars {
                 id
             })
             .collect();
-        let mut sites =
-            vec![crate::grid5000::SiteHosts { site: "hub".into(), clusters: vec![("main".into(), hub_hosts)] }];
+        let mut sites = vec![crate::grid5000::SiteHosts {
+            site: "hub".into(),
+            clusters: vec![("main".into(), hub_hosts)],
+        }];
         for a in 0..self.arms {
             let site = format!("arm-{a}");
             let sw = b.add_switch(format!("{site}/switch"), site.clone());
@@ -336,8 +337,7 @@ mod tests {
         let rack0 = &g.sites[0].clusters[0].1;
         let rack1 = &g.sites[0].clusters[1].1;
         let mut net = SimNet::new(g.topology.clone());
-        let flows: Vec<_> =
-            (0..4).map(|i| net.start_flow(rack0[i], rack1[i], None, 0)).collect();
+        let flows: Vec<_> = (0..4).map(|i| net.start_flow(rack0[i], rack1[i], None, 0)).collect();
         net.advance(1.0);
         let total: f64 = flows.iter().map(|&f| net.take_delivered(f)).sum();
         let uplink = Bandwidth::from_mbps(SYNTH_ACCESS_MBPS).bytes_per_sec();
@@ -353,8 +353,7 @@ mod tests {
         let arm0 = &g.sites[1].clusters[0].1;
         let arm1 = &g.sites[2].clusters[0].1;
         let mut net = SimNet::new(g.topology.clone());
-        let flows: Vec<_> =
-            (0..4).map(|i| net.start_flow(arm0[i], arm1[i], None, 0)).collect();
+        let flows: Vec<_> = (0..4).map(|i| net.start_flow(arm0[i], arm1[i], None, 0)).collect();
         net.advance(1.0);
         let total: f64 = flows.iter().map(|&f| net.take_delivered(f)).sum();
         // Uplink = 4 × 890 × 0.25 = one access link's worth.

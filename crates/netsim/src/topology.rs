@@ -254,11 +254,7 @@ impl Topology {
 
     /// Hosts belonging to the given site name.
     pub fn hosts_in_site(&self, site: &str) -> Vec<NodeId> {
-        self.hosts
-            .iter()
-            .copied()
-            .filter(|&h| self.node(h).site.as_deref() == Some(site))
-            .collect()
+        self.hosts.iter().copied().filter(|&h| self.node(h).site.as_deref() == Some(site)).collect()
     }
 
     /// Hosts belonging to the given (site, cluster) pair.
@@ -343,7 +339,12 @@ impl TopologyBuilder {
     }
 
     /// Adds a host that can source and sink traffic.
-    pub fn add_host(&mut self, name: impl Into<String>, site: impl Into<String>, cluster: impl Into<String>) -> NodeId {
+    pub fn add_host(
+        &mut self,
+        name: impl Into<String>,
+        site: impl Into<String>,
+        cluster: impl Into<String>,
+    ) -> NodeId {
         self.add_node(Node {
             name: name.into(),
             kind: NodeKind::Host,
@@ -354,7 +355,12 @@ impl TopologyBuilder {
 
     /// Adds an intra-site switch.
     pub fn add_switch(&mut self, name: impl Into<String>, site: impl Into<String>) -> NodeId {
-        self.add_node(Node { name: name.into(), kind: NodeKind::Switch, site: Some(site.into()), cluster: None })
+        self.add_node(Node {
+            name: name.into(),
+            kind: NodeKind::Switch,
+            site: Some(site.into()),
+            cluster: None,
+        })
     }
 
     /// Adds a router (site border or WAN core).
@@ -450,7 +456,10 @@ mod tests {
         let b = t.link(l).b;
         assert_eq!(t.channel_from(l, a), Some(l.forward()));
         assert_eq!(t.channel_from(l, b), Some(l.reverse()));
-        assert_eq!(t.channel_from(l, NodeId(2)).is_some(), t.link(l).a == NodeId(2) || t.link(l).b == NodeId(2));
+        assert_eq!(
+            t.channel_from(l, NodeId(2)).is_some(),
+            t.link(l).a == NodeId(2) || t.link(l).b == NodeId(2)
+        );
     }
 
     #[test]

@@ -150,7 +150,11 @@ mod tests {
     fn generates_and_stops_streams() {
         let (t, hosts) = star(8);
         let mut net = SimNet::new(t);
-        let mut bg = BackgroundTraffic::new(&hosts, TrafficConfig { mean_on: 1.0, mean_off: 1.0, pairs: 4 }, 42);
+        let mut bg = BackgroundTraffic::new(
+            &hosts,
+            TrafficConfig { mean_on: 1.0, mean_off: 1.0, pairs: 4 },
+            42,
+        );
         let mut saw_active = false;
         for _ in 0..200 {
             bg.tick(&mut net);

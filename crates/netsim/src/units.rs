@@ -128,7 +128,10 @@ mod tests {
 
     #[test]
     fn gbps_is_1000_mbps() {
-        assert_eq!(Bandwidth::from_gbps(10.0).bytes_per_sec(), Bandwidth::from_mbps(10_000.0).bytes_per_sec());
+        assert_eq!(
+            Bandwidth::from_gbps(10.0).bytes_per_sec(),
+            Bandwidth::from_mbps(10_000.0).bytes_per_sec()
+        );
     }
 
     #[test]

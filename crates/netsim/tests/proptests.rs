@@ -241,6 +241,82 @@ proptest! {
         }
     }
 
+    /// Engine determinism under mid-broadcast flow teardown: a random
+    /// script that advances to random event times and force-stops random
+    /// flows there (individually and via whole-host failure, the crash
+    /// path) produces a bit-identical event log, flow stats, and channel
+    /// accounting when replayed — the invariant the reliability layer's
+    /// host-churn perturbations rest on.
+    #[test]
+    fn mid_broadcast_teardown_is_bitwise_deterministic(
+        clusters in 2usize..4,
+        hosts_per in 2usize..4,
+        trunk in 100f64..900.0,
+        nflows in 3usize..10,
+        script in proptest::collection::vec((any::<u16>(), 0.0005f64..0.4), 3..24),
+        seed in any::<u64>(),
+    ) {
+        let topo = two_tier(clusters, hosts_per, 890.0, trunk);
+        let hosts = topo.hosts().to_vec();
+        let run = || {
+            let mut x = seed | 1;
+            let mut next = || {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (x >> 33) as usize
+            };
+            let mut net = SimNet::new(topo.clone());
+            let mut live: Vec<FlowId> = Vec::new();
+            for i in 0..nflows {
+                let ai = next() % hosts.len();
+                let bi = if i % 5 == 4 {
+                    ai // occasional loopback: infinite-rate edge case
+                } else {
+                    let mut bi = next() % (hosts.len() - 1);
+                    if bi >= ai { bi += 1; }
+                    bi
+                };
+                // Mix of bounded flows and open streams, some with marks.
+                let bytes = if i % 2 == 0 { Some((1 + next() % 4_000) as f64 * 1024.0) } else { None };
+                let f = net.start_flow(hosts[ai], hosts[bi], bytes, i as u64);
+                if i % 3 == 0 { net.set_delivery_mark(f, (1 + next() % 512) as f64 * 1024.0); }
+                live.push(f);
+            }
+            let mut log: Vec<u64> = Vec::new();
+            for (pick, dt) in &script {
+                // Advance to the next event (random event times), then tear
+                // something down right at that instant.
+                for c in net.advance_to_next_event(*dt) {
+                    log.push(c.at.to_bits());
+                    log.push(c.tag);
+                    live.retain(|&f| net.flow_endpoints(f).is_some());
+                }
+                if live.is_empty() { continue; }
+                if *pick % 5 == 0 {
+                    // Whole-host failure: stop every flow touching a host.
+                    let h = hosts[(*pick as usize / 5) % hosts.len()];
+                    for (f, tag, stats) in net.fail_host(h) {
+                        log.push(tag);
+                        log.push(stats.delivered.to_bits());
+                        let _ = f;
+                    }
+                    live.retain(|&f| net.flow_endpoints(f).is_some());
+                } else {
+                    let idx = *pick as usize % live.len();
+                    let f = live.swap_remove(idx);
+                    if let Some(stats) = net.stop_flow(f) {
+                        log.push(stats.delivered.to_bits());
+                        log.push(stats.ended_at.to_bits());
+                    }
+                }
+            }
+            let chan: Vec<u64> = net.channel_bytes().iter().map(|b| b.to_bits()).collect();
+            (log, chan, net.active_flows(), net.time().to_bits())
+        };
+        let a = run();
+        let b = run();
+        prop_assert_eq!(a, b, "same-seed teardown script must replay bit-identically");
+    }
+
     /// Bounded flows complete exactly once and at a time consistent with
     /// their byte count and available bandwidth.
     #[test]

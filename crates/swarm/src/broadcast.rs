@@ -10,6 +10,9 @@
 use crate::config::SwarmConfig;
 use crate::metrics::MetricAccumulator;
 use crate::swarm::{RunOutcome, Swarm};
+use btt_netsim::perturb::{
+    generate_schedule, horizon_estimate, PerturbationSchedule, ReliabilityCfg,
+};
 use btt_netsim::routing::RouteTable;
 use btt_netsim::topology::NodeId;
 use btt_netsim::util::seed_for_iteration;
@@ -66,6 +69,19 @@ pub fn run_broadcast(
     Swarm::new(routes.clone(), hosts, root, cfg.clone(), seed).run()
 }
 
+/// Like [`run_broadcast`] with a reliability perturbation schedule attached
+/// (host churn, link degradation, cross-traffic).
+pub fn run_broadcast_perturbed(
+    routes: &Arc<RouteTable>,
+    hosts: &[NodeId],
+    root: usize,
+    cfg: &SwarmConfig,
+    seed: u64,
+    schedule: PerturbationSchedule,
+) -> BroadcastResult {
+    Swarm::new(routes.clone(), hosts, root, cfg.clone(), seed).with_perturbations(schedule).run()
+}
+
 /// A full measurement campaign: per-iteration outcomes plus the aggregated
 /// Eq. (2) metric.
 #[derive(Debug, Clone)]
@@ -90,7 +106,7 @@ impl Campaign {
         let n = self.runs.first().map_or(0, |r| r.fragments.len());
         let mut acc = MetricAccumulator::new(n);
         for run in self.runs.iter().take(k) {
-            acc.push_run(&run.fragments);
+            acc.push_run_partial(&run.fragments, &run.participated());
         }
         acc
     }
@@ -99,6 +115,27 @@ impl Campaign {
     /// cost (what the paper compares against probing methods).
     pub fn total_measurement_time(&self) -> f64 {
         self.runs.iter().map(|r| r.makespan).sum()
+    }
+
+    /// Total host-loss events across all runs (a host lost in two runs
+    /// counts twice — each run is an independent broadcast).
+    pub fn hosts_lost(&self) -> u64 {
+        self.runs.iter().map(|r| r.hosts_lost() as u64).sum()
+    }
+
+    /// Per-host: true when the host fully participated in at least one run
+    /// (its clustering assignment rests on at least one clean measurement).
+    pub fn observed_hosts(&self) -> Vec<bool> {
+        let n = self.runs.first().map_or(0, |r| r.fragments.len());
+        let mut seen = vec![false; n];
+        for run in &self.runs {
+            for (i, &d) in run.disrupted.iter().enumerate() {
+                if !d {
+                    seen[i] = true;
+                }
+            }
+        }
+        seen
     }
 }
 
@@ -115,17 +152,56 @@ pub fn run_campaign(
     root_policy: RootPolicy,
     base_seed: u64,
 ) -> Campaign {
+    run_campaign_with_reliability(
+        routes,
+        hosts,
+        cfg,
+        iterations,
+        root_policy,
+        base_seed,
+        &ReliabilityCfg::default(),
+    )
+}
+
+/// [`run_campaign`] under reliability perturbations: each iteration gets an
+/// independent deterministic schedule (host churn, link degradation,
+/// cross-traffic) derived from its iteration seed, sized to the scenario's
+/// makespan floor ([`horizon_estimate`]), with the iteration's root excluded
+/// from churn. Partial runs fold into the metric with per-pair observation
+/// counts, so truncated measurements never dilute clean ones.
+#[allow(clippy::too_many_arguments)]
+pub fn run_campaign_with_reliability(
+    routes: &Arc<RouteTable>,
+    hosts: &[NodeId],
+    cfg: &SwarmConfig,
+    iterations: u32,
+    root_policy: RootPolicy,
+    base_seed: u64,
+    reliability: &ReliabilityCfg,
+) -> Campaign {
+    reliability.validate();
+    let horizon = if reliability.is_off() {
+        0.0
+    } else {
+        horizon_estimate(routes.topology(), hosts, cfg.file_bytes())
+    };
     let runs: Vec<BroadcastResult> = (0..iterations)
         .into_par_iter()
         .map(|k| {
             let seed = seed_for_iteration(base_seed, k as u64);
             let root = root_policy.root_for(k, hosts.len(), base_seed);
-            run_broadcast(routes, hosts, root, cfg, seed)
+            if reliability.is_off() {
+                run_broadcast(routes, hosts, root, cfg, seed)
+            } else {
+                let schedule =
+                    generate_schedule(routes.topology(), hosts, root, reliability, horizon, seed);
+                run_broadcast_perturbed(routes, hosts, root, cfg, seed, schedule)
+            }
         })
         .collect();
     let mut metric = MetricAccumulator::new(hosts.len());
     for r in &runs {
-        metric.push_run(&r.fragments);
+        metric.push_run_partial(&r.fragments, &r.participated());
     }
     Campaign { runs, metric }
 }
@@ -191,6 +267,70 @@ mod tests {
         assert!((m2.w(0, 1) - manual).abs() < 1e-9);
         let mall = c.metric_after(99);
         assert_eq!(mall.iterations(), 5, "prefix longer than runs clamps");
+    }
+
+    #[test]
+    fn churned_campaign_records_losses_and_weighs_observations() {
+        let (routes, hosts) = star(10);
+        let rel = ReliabilityCfg { churn: 0.4, ..ReliabilityCfg::default() };
+        let c = run_campaign_with_reliability(
+            &routes,
+            &hosts,
+            &cfg(),
+            4,
+            RootPolicy::Fixed(0),
+            2012,
+            &rel,
+        );
+        assert_eq!(c.runs.len(), 4);
+        // Losses happen (churn 0.4 of 9 leechers, half never recover) and
+        // the metric's coverage drops below the churn-free 1.0.
+        assert!(c.hosts_lost() > 0, "churn must cost hosts");
+        assert!(c.metric.pair_coverage() < 1.0, "coverage {}", c.metric.pair_coverage());
+        // Every run still finishes for its survivors.
+        for run in &c.runs {
+            assert!(run.finished);
+            assert_eq!(run.disrupted.len(), hosts.len());
+        }
+        // Determinism: the same seed reproduces the same failures.
+        let d = run_campaign_with_reliability(
+            &routes,
+            &hosts,
+            &cfg(),
+            4,
+            RootPolicy::Fixed(0),
+            2012,
+            &rel,
+        );
+        assert_eq!(c.metric, d.metric);
+        for (x, y) in c.runs.iter().zip(&d.runs) {
+            assert_eq!(x.fragments, y.fragments);
+            assert_eq!(x.departed, y.departed);
+        }
+        // Observed-host mask: the root and most survivors are observed.
+        let observed = c.observed_hosts();
+        assert!(observed[0]);
+        assert!(observed.iter().filter(|&&o| o).count() >= hosts.len() / 2);
+    }
+
+    #[test]
+    fn reliability_off_is_bit_identical_to_plain_campaign() {
+        let (routes, hosts) = star(6);
+        let plain = run_campaign(&routes, &hosts, &cfg(), 3, RootPolicy::Fixed(0), 9);
+        let off = run_campaign_with_reliability(
+            &routes,
+            &hosts,
+            &cfg(),
+            3,
+            RootPolicy::Fixed(0),
+            9,
+            &ReliabilityCfg::default(),
+        );
+        assert_eq!(plain.metric, off.metric);
+        for (x, y) in plain.runs.iter().zip(&off.runs) {
+            assert_eq!(x.fragments, y.fragments);
+            assert_eq!(x.makespan.to_bits(), y.makespan.to_bits());
+        }
     }
 
     #[test]

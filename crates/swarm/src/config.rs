@@ -122,10 +122,7 @@ impl SwarmConfig {
         assert!(self.num_pieces > 0, "need at least one piece");
         assert!(self.max_peers >= 1, "peers need at least one connection");
         assert!(self.upload_slots >= 1, "need at least one upload slot");
-        assert!(
-            self.regular_slots <= self.upload_slots,
-            "regular slots cannot exceed total slots"
-        );
+        assert!(self.regular_slots <= self.upload_slots, "regular slots cannot exceed total slots");
         assert!(self.rechoke_interval > 0.0 && self.optimistic_interval > 0.0);
         assert!(self.step > 0.0 && self.max_sim_time > self.step);
         assert!(self.idle_grace > 0.0, "idle grace must be positive");

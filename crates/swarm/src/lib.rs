@@ -49,7 +49,9 @@ pub mod tracker;
 /// Commonly used items.
 pub mod prelude {
     pub use crate::bitfield::Bitfield;
-    pub use crate::broadcast::{run_broadcast, run_campaign, BroadcastResult, Campaign, RootPolicy};
+    pub use crate::broadcast::{
+        run_broadcast, run_campaign, BroadcastResult, Campaign, RootPolicy,
+    };
     pub use crate::config::{SelectionPolicy, SwarmConfig};
     pub use crate::metrics::{FragmentMatrix, MetricAccumulator, WindowedMetric};
     pub use crate::swarm::Swarm;

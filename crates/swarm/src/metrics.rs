@@ -87,25 +87,43 @@ impl FragmentMatrix {
 /// phase — costs O(nnz) rather than O(n²). A convergence study over `n`
 /// iterations therefore aggregates each run exactly once and snapshots
 /// after every push, instead of re-aggregating every prefix from scratch.
+///
+/// ## Partial runs
+///
+/// Under host churn a broadcast may end with some hosts crashed: their
+/// measurements are *truncated*, not merely noisy. The accumulator therefore
+/// keeps a per-pair **observation count** — the number of runs in which both
+/// endpoints participated for the whole broadcast
+/// ([`MetricAccumulator::push_run_partial`]) — and Eq. (2) divides each
+/// edge's sum by *its own* observation count instead of the global iteration
+/// count. A pair measured cleanly in 3 of 5 runs is averaged over those 3,
+/// rather than silently diluted by two truncated zeros; pairs never observed
+/// carry no edge at all. With no churn every pair is observed every run and
+/// the metric is bit-identical to the historical global average.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MetricAccumulator {
     n: usize,
-    /// Symmetric sums of `edge(a,b)` over runs, upper triangle flattened.
+    /// Symmetric sums of `edge(a,b)` over observed runs, upper triangle
+    /// flattened.
     sums: Vec<f64>,
     iterations: u32,
     /// Peer pairs `(a, b)`, `a < b`, whose sum is nonzero, sorted
     /// lexicographically — the sparse support of the measurement graph.
     nonzero: Vec<(u32, u32)>,
+    /// Per-pair observation counts (upper triangle, parallel to `sums`).
+    obs: Vec<u32>,
 }
 
 impl MetricAccumulator {
     /// An empty accumulator for `n` peers.
     pub fn new(n: usize) -> Self {
+        let tri = n * (n.saturating_sub(1)) / 2;
         MetricAccumulator {
             n,
-            sums: vec![0.0; n * (n.saturating_sub(1)) / 2],
+            sums: vec![0.0; tri],
             iterations: 0,
             nonzero: Vec::new(),
+            obs: vec![0; tri],
         }
     }
 
@@ -147,15 +165,39 @@ impl MetricAccumulator {
     /// convergence studies, in place of an O(prefixes · n²) re-aggregation
     /// per prefix.
     pub fn push_run(&mut self, m: &FragmentMatrix) {
+        self.push_run_partial(m, &[]);
+    }
+
+    /// Streams one **partial** broadcast run: `participated[i]` is true when
+    /// peer `i` was up for the whole run (an empty slice means everyone
+    /// participated — the no-churn fast path used by
+    /// [`MetricAccumulator::push_run`]).
+    ///
+    /// Only pairs whose *both* endpoints participated contribute: their
+    /// fragments join the sums and their observation count increments.
+    /// Truncated pairs contribute neither, so Eq. (2) averages each edge
+    /// over exactly the runs that measured it cleanly.
+    pub fn push_run_partial(&mut self, m: &FragmentMatrix, participated: &[bool]) {
         assert_eq!(m.len(), self.n, "matrix size mismatch");
+        assert!(
+            participated.is_empty() || participated.len() == self.n,
+            "participation mask size mismatch"
+        );
         // Pairs whose sum turns nonzero with this run; the (a, b) loop walks
         // pairs in lexicographic order, so `fresh` comes out sorted.
         let mut fresh: Vec<(u32, u32)> = Vec::new();
         for a in 0..self.n {
+            if !participated.is_empty() && !participated[a] {
+                continue;
+            }
             for b in (a + 1)..self.n {
+                if !participated.is_empty() && !participated[b] {
+                    continue;
+                }
+                let idx = self.tri_index(a, b);
+                self.obs[idx] += 1;
                 let e = m.edge(a, b);
                 if e > 0 {
-                    let idx = self.tri_index(a, b);
                     if self.sums[idx] == 0.0 {
                         fresh.push((a as u32, b as u32));
                     }
@@ -192,12 +234,41 @@ impl MetricAccumulator {
         self.nonzero.len()
     }
 
-    /// Eq. (2): the averaged metric `w(e)` for edge `(a, b)`.
-    pub fn w(&self, a: usize, b: usize) -> f64 {
+    /// Number of runs in which pair `(a, b)` was fully observed (both
+    /// endpoints up for the whole broadcast).
+    pub fn observations(&self, a: usize, b: usize) -> u32 {
+        self.obs[self.tri_index(a, b)]
+    }
+
+    /// Number of unordered pairs never fully observed in any run — the
+    /// blind spots a churned campaign leaves in the measurement graph.
+    pub fn pairs_unobserved(&self) -> usize {
         if self.iterations == 0 {
+            return 0;
+        }
+        self.obs.iter().filter(|&&o| o == 0).count()
+    }
+
+    /// Mean per-pair observation fraction (`obs / iterations`, averaged
+    /// over all pairs): 1.0 for a churn-free campaign, lower as failures
+    /// truncate more pair measurements.
+    pub fn pair_coverage(&self) -> f64 {
+        if self.iterations == 0 || self.obs.is_empty() {
+            return 1.0;
+        }
+        let total: u64 = self.obs.iter().map(|&o| o as u64).sum();
+        total as f64 / (self.obs.len() as f64 * self.iterations as f64)
+    }
+
+    /// Eq. (2): the averaged metric `w(e)` for edge `(a, b)` — the pair's
+    /// accumulated fragments over *its own* observation count (confidence
+    /// weighting; equal to the global iteration count without churn).
+    pub fn w(&self, a: usize, b: usize) -> f64 {
+        let idx = self.tri_index(a, b);
+        if self.obs[idx] == 0 {
             return 0.0;
         }
-        self.sums[self.tri_index(a, b)] / self.iterations as f64
+        self.sums[idx] / self.obs[idx] as f64
     }
 
     /// All edges with nonzero metric as `(a, b, w)` triples, sorted with
@@ -211,14 +282,15 @@ impl MetricAccumulator {
         if self.iterations == 0 {
             return Vec::new();
         }
-        // Divide per edge (not multiply by a reciprocal): bit-identical to
-        // the historical dense scan, which is what keeps reports
-        // byte-identical per seed across the streaming refactor.
-        let iters = self.iterations as f64;
+        // Divide per edge by its own observation count (not multiply by a
+        // reciprocal): bit-identical to the historical dense scan on
+        // churn-free campaigns, where every pair's count equals the
+        // iteration count.
         self.nonzero
             .iter()
             .map(|&(a, b)| {
-                (a, b, self.sums[self.tri_index(a as usize, b as usize)] / iters)
+                let idx = self.tri_index(a as usize, b as usize);
+                (a, b, self.sums[idx] / self.obs[idx] as f64)
             })
             .collect()
     }
@@ -396,6 +468,74 @@ mod tests {
         assert_eq!((edges[1].0, edges[1].1), (2, 3), "no duplicate for re-touched edge");
         assert!((edges[0].2 - 0.5).abs() < 1e-12);
         assert!((edges[1].2 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partial_runs_weigh_edges_by_observation_count() {
+        let mut acc = MetricAccumulator::new(3);
+        // Run 1: everyone up; edge(0,1) = 4, edge(1,2) = 2.
+        let mut m1 = FragmentMatrix::new(3);
+        for _ in 0..4 {
+            m1.record(0, 1);
+        }
+        m1.record(1, 2);
+        m1.record(2, 1);
+        acc.push_run_partial(&m1, &[true, true, true]);
+        // Run 2: host 2 crashed mid-run; its (truncated) fragments must not
+        // dilute pairs involving it.
+        let mut m2 = FragmentMatrix::new(3);
+        for _ in 0..2 {
+            m2.record(0, 1);
+        }
+        m2.record(1, 2); // truncated measurement: ignored
+        acc.push_run_partial(&m2, &[true, true, false]);
+        assert_eq!(acc.iterations(), 2);
+        assert_eq!(acc.observations(0, 1), 2);
+        assert_eq!(acc.observations(1, 2), 1);
+        assert_eq!(acc.observations(0, 2), 1);
+        // (0,1): both runs observed -> (4 + 2) / 2.
+        assert!((acc.w(0, 1) - 3.0).abs() < 1e-12);
+        // (1,2): only run 1 observed -> 2 / 1, NOT (2 + 1) / 2.
+        assert!((acc.w(1, 2) - 2.0).abs() < 1e-12);
+        assert_eq!(acc.pairs_unobserved(), 0);
+        // Coverage: (2 + 1 + 1) / (3 pairs x 2 runs).
+        assert!((acc.pair_coverage() - 4.0 / 6.0).abs() < 1e-12);
+        // Edges list uses per-edge observation counts too.
+        let edges = acc.edges();
+        assert_eq!(edges, vec![(0, 1, 3.0), (1, 2, 2.0)]);
+    }
+
+    #[test]
+    fn never_observed_pairs_are_counted() {
+        let mut acc = MetricAccumulator::new(3);
+        let m = FragmentMatrix::new(3);
+        acc.push_run_partial(&m, &[true, true, false]);
+        acc.push_run_partial(&m, &[true, true, false]);
+        assert_eq!(acc.pairs_unobserved(), 2, "(0,2) and (1,2) never observed");
+        assert_eq!(acc.w(0, 2), 0.0);
+        // A fresh accumulator reports no blind spots (nothing measured yet).
+        assert_eq!(MetricAccumulator::new(3).pairs_unobserved(), 0);
+        assert_eq!(MetricAccumulator::new(3).pair_coverage(), 1.0);
+    }
+
+    #[test]
+    fn full_participation_is_bit_identical_to_push_run() {
+        let n = 5;
+        let mut m = FragmentMatrix::new(n);
+        m.record(0, 1);
+        m.record(3, 2);
+        m.record(1, 4);
+        let mut plain = MetricAccumulator::new(n);
+        let mut masked = MetricAccumulator::new(n);
+        for _ in 0..3 {
+            plain.push_run(&m);
+            masked.push_run_partial(&m, &[true; 5]);
+        }
+        assert_eq!(plain, masked);
+        for (a, b, w) in plain.edges() {
+            let wm = masked.w(a as usize, b as usize);
+            assert_eq!(w.to_bits(), wm.to_bits());
+        }
     }
 
     #[test]

@@ -47,7 +47,11 @@ impl PickContext<'_> {
 
 /// Picks the next piece for this (uploader, downloader) pair, or `None` when
 /// no candidate exists.
-pub fn pick_piece(policy: SelectionPolicy, ctx: &PickContext<'_>, rng: &mut impl Rng) -> Option<u32> {
+pub fn pick_piece(
+    policy: SelectionPolicy,
+    ctx: &PickContext<'_>,
+    rng: &mut impl Rng,
+) -> Option<u32> {
     if ctx.random_first {
         return random_candidate(ctx, rng);
     }
@@ -211,7 +215,8 @@ mod tests {
         let avail = vec![1u16; 256];
         let mut r = rng();
         for _ in 0..200 {
-            let p = pick_piece(SelectionPolicy::Random, &ctx(&up, &down, &inf, &avail), &mut r).unwrap();
+            let p = pick_piece(SelectionPolicy::Random, &ctx(&up, &down, &inf, &avail), &mut r)
+                .unwrap();
             assert!(p == 130 || p == 200, "picked {p}");
         }
     }
@@ -237,7 +242,8 @@ mod tests {
         let inf = Bitfield::empty(512);
         let mut avail = vec![10u16; 512];
         avail[300] = 1;
-        let p = pick_piece(SelectionPolicy::ExactRarest, &ctx(&up, &down, &inf, &avail), &mut rng());
+        let p =
+            pick_piece(SelectionPolicy::ExactRarest, &ctx(&up, &down, &inf, &avail), &mut rng());
         assert_eq!(p, Some(300));
     }
 
@@ -250,7 +256,9 @@ mod tests {
         let mut counts = [0u32; 64];
         let mut r = rng();
         for _ in 0..6400 {
-            let p = pick_piece(SelectionPolicy::ExactRarest, &ctx(&up, &down, &inf, &avail), &mut r).unwrap();
+            let p =
+                pick_piece(SelectionPolicy::ExactRarest, &ctx(&up, &down, &inf, &avail), &mut r)
+                    .unwrap();
             counts[p as usize] += 1;
         }
         // Every piece should be picked at least once; none should dominate.
@@ -275,8 +283,7 @@ mod tests {
         let mut rare = 0;
         let tries = 1000;
         for _ in 0..tries {
-            let p =
-                pick_piece(SelectionPolicy::SampledRarest { sample: 16 }, &c, &mut r).unwrap();
+            let p = pick_piece(SelectionPolicy::SampledRarest { sample: 16 }, &c, &mut r).unwrap();
             if avail[p as usize] == 1 {
                 rare += 1;
             }

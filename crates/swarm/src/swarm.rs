@@ -45,6 +45,7 @@ use crate::rate::RateEstimator;
 use crate::selection::{pick_piece, PickContext};
 use crate::tracker::PeerGraph;
 use btt_netsim::engine::{CompletionKind, FlowId, SimNet};
+use btt_netsim::perturb::{Perturbation, PerturbationSchedule};
 use btt_netsim::routing::RouteTable;
 use btt_netsim::topology::NodeId;
 use btt_netsim::util::FxHashMap;
@@ -111,6 +112,11 @@ struct Peer {
     completed_at: Option<f64>,
     /// Positions (into `nbrs`) currently holding optimistic unchokes.
     optimistic: Vec<u32>,
+    /// False while the host is crashed (reliability perturbations).
+    alive: bool,
+    /// True once the host has crashed at least once this run — its
+    /// measurements are truncated and phase 2 must not average them in.
+    ever_down: bool,
 }
 
 impl Peer {
@@ -162,14 +168,35 @@ pub struct Swarm {
     /// Next simulated instant the external traffic hook is due (hooks are
     /// contracted to run once per `step` of simulated time, not per event).
     next_hook: f64,
-    /// Leechers that have not finished downloading yet.
+    /// Live leechers that have not finished downloading yet.
     incomplete: usize,
+    /// Currently-crashed incomplete leechers with a scheduled revival — the
+    /// run must wait for them (they are *surviving* hosts, §"reliability").
+    down_incomplete: usize,
     root: usize,
-    /// Protocol events processed (fragment completions + rechoke rounds).
+    /// Protocol events processed (fragment completions + rechoke rounds +
+    /// applied perturbations).
     events: usize,
     next_rechoke: f64,
     rechoke_round: u64,
+    /// Reliability perturbations for this run (empty = static behaviour).
+    schedule: PerturbationSchedule,
+    /// Next unapplied schedule entry.
+    sched_cursor: usize,
+    /// Swarm index of each participating host (perturbations name hosts by
+    /// topology node id).
+    host_index: FxHashMap<NodeId, u32>,
+    /// Live cross-traffic streams by schedule key.
+    xflows: FxHashMap<u32, FlowId>,
 }
+
+/// Flow tag marking scheduled cross-traffic streams (never a transfer tag).
+const XTRAFFIC_TAG: u64 = u64::MAX;
+
+/// A peer whose live neighbor count falls below this floor after a crash
+/// re-announces to the tracker for replacement peers (the tracker has
+/// dropped departed peers by then).
+const REANNOUNCE_FLOOR: usize = 2;
 
 impl Swarm {
     /// Builds a broadcast swarm over `hosts` (topology node ids of the
@@ -195,12 +222,7 @@ impl Swarm {
         // Mirror positions: pos_of[u][i] = index of i in u's neighbor list.
         let pos_of: Vec<FxHashMap<u32, u32>> = (0..n)
             .map(|u| {
-                graph
-                    .neighbors(u)
-                    .iter()
-                    .enumerate()
-                    .map(|(pos, &p)| (p, pos as u32))
-                    .collect()
+                graph.neighbors(u).iter().enumerate().map(|(pos, &p)| (p, pos as u32)).collect()
             })
             .collect();
 
@@ -237,6 +259,8 @@ impl Swarm {
                         .collect(),
                     completed_at: is_root.then_some(0.0),
                     optimistic: Vec::new(),
+                    alive: true,
+                    ever_down: false,
                 }
             })
             .collect();
@@ -252,6 +276,8 @@ impl Swarm {
         // fixed-step engine had). This is the knob that keeps per-fragment
         // cost flat at 1000+ hosts.
         net.set_rate_refresh(cfg.rate_refresh.unwrap_or(cfg.step));
+        let host_index: FxHashMap<NodeId, u32> =
+            hosts.iter().enumerate().map(|(i, &h)| (h, i as u32)).collect();
         Swarm {
             fragments: FragmentMatrix::new(n),
             cfg,
@@ -262,11 +288,26 @@ impl Swarm {
             retry_queue: Vec::new(),
             next_hook: 0.0,
             incomplete: n - 1,
+            down_incomplete: 0,
             root,
             events: 0,
             next_rechoke: 0.0,
             rechoke_round: 0,
+            schedule: PerturbationSchedule::default(),
+            sched_cursor: 0,
+            host_index,
+            xflows: FxHashMap::default(),
         }
+    }
+
+    /// Attaches a reliability perturbation schedule (host churn, link
+    /// degradation, cross-traffic) to this run. Events apply at their exact
+    /// simulated instants in both drive modes, so perturbed runs stay
+    /// byte-identical across [`DriveMode`]s.
+    pub fn with_perturbations(mut self, schedule: PerturbationSchedule) -> Self {
+        self.schedule = schedule;
+        self.sched_cursor = 0;
+        self
     }
 
     /// Swarm index of the root seed.
@@ -323,11 +364,13 @@ impl Swarm {
         self.slice(self.cfg.step, hook)
     }
 
-    /// One slice of the drive loop: run due timers, let the hook inject
-    /// traffic, then advance to the next fragment completion — but never
-    /// past the next rechoke boundary nor further than `max_dt` (which may
-    /// be infinite for pure event-driven pacing).
+    /// One slice of the drive loop: apply due perturbations, run due timers,
+    /// let the hook inject traffic, then advance to the next fragment
+    /// completion — but never past the next rechoke boundary, the next
+    /// scheduled perturbation, nor further than `max_dt` (which may be
+    /// infinite for pure event-driven pacing).
     fn slice(&mut self, max_dt: f64, hook: &mut dyn FnMut(&mut SimNet)) -> f64 {
+        self.apply_due_perturbations();
         if self.net.time() + 1e-9 >= self.next_rechoke {
             self.on_rechoke();
         }
@@ -338,11 +381,17 @@ impl Swarm {
             hook(&mut self.net);
             self.next_hook = self.net.time() + self.cfg.step;
         }
-        let deadline = if max_dt.is_finite() {
+        let mut deadline = if max_dt.is_finite() {
             self.next_rechoke.min(self.net.time() + max_dt)
         } else {
             self.next_rechoke
         };
+        // Stop exactly at the next perturbation instant: both drive modes
+        // land on the same absolute boundary, which is what keeps perturbed
+        // runs byte-identical across pacings.
+        if let Some(at) = self.schedule.next_at(self.sched_cursor) {
+            deadline = deadline.min(at.max(self.net.time()));
+        }
         let fired = self.net.advance_to_next_event_until(deadline);
         let any = !fired.is_empty();
         for c in fired {
@@ -359,15 +408,300 @@ impl Swarm {
         self.net.time()
     }
 
+    /// Applies every schedule entry due at the current instant. Runs at the
+    /// top of each slice; the slice deadline never moves past an unapplied
+    /// entry, so events apply at their exact simulated time in both drive
+    /// modes and in schedule order (deterministic, including the RNG draws
+    /// the triggered rechokes consume).
+    fn apply_due_perturbations(&mut self) {
+        let mut applied = false;
+        while let Some(ev) = self.schedule.get(self.sched_cursor) {
+            if ev.at > self.net.time() + 1e-9 {
+                break;
+            }
+            let what = ev.what;
+            self.sched_cursor += 1;
+            self.events += 1;
+            applied = true;
+            match what {
+                Perturbation::HostDown { host } => {
+                    if let Some(&d) = self.host_index.get(&host) {
+                        self.host_down(d as usize);
+                    }
+                }
+                Perturbation::HostUp { host } => {
+                    if let Some(&d) = self.host_index.get(&host) {
+                        self.host_up(d as usize);
+                    }
+                }
+                Perturbation::LinkDegrade { link, factor } => {
+                    self.net.set_link_capacity_factor(link, factor);
+                }
+                Perturbation::LinkRestore { link } => {
+                    self.net.set_link_capacity_factor(link, 1.0);
+                }
+                Perturbation::XTrafficStart { src, dst, key } => {
+                    // Competing bulk stream: contends in the fluid solver
+                    // with every transfer sharing its links. Skipped when an
+                    // endpoint is currently crashed.
+                    let src_up =
+                        self.host_index.get(&src).is_none_or(|&i| self.peers[i as usize].alive);
+                    let dst_up =
+                        self.host_index.get(&dst).is_none_or(|&i| self.peers[i as usize].alive);
+                    if src_up && dst_up {
+                        let f = self.net.start_flow(src, dst, None, XTRAFFIC_TAG);
+                        self.xflows.insert(key, f);
+                    }
+                }
+                Perturbation::XTrafficStop { key } => {
+                    if let Some(f) = self.xflows.remove(&key) {
+                        // May already be gone if an endpoint crashed.
+                        self.net.stop_flow(f);
+                    }
+                }
+            }
+        }
+        if applied {
+            self.flush_haves();
+            self.process_retries();
+        }
+    }
+
+    /// A host crashes: force-complete its flows in the engine, abort every
+    /// transfer it participates in (re-queuing the aborted pieces), sever
+    /// interest, evict its choke slots everywhere, remove its pieces from
+    /// neighbors' availability counts, and re-announce thin survivors to the
+    /// tracker.
+    fn host_down(&mut self, d: usize) {
+        if !self.peers[d].alive {
+            return;
+        }
+        let host = self.peers[d].host;
+        // Engine half: every flow the host terminates force-completes now,
+        // re-rating only the dirty fairness components.
+        self.net.fail_host(host);
+        self.peers[d].alive = false;
+        self.peers[d].ever_down = true;
+        // The host's own downloads abort; reservations release.
+        for j in 0..self.peers[d].nbrs.len() {
+            if let Some(t) = self.peers[d].nbrs[j].transfer.take() {
+                if let Some(p) = t.piece {
+                    self.peers[d].inflight.clear(p);
+                }
+            }
+        }
+        self.peers[d].optimistic.clear();
+        let pieces = self.peers[d].have.len();
+        let mut rechoke: Vec<usize> = Vec::new();
+        let mut thin: Vec<usize> = Vec::new();
+        for j in 0..self.peers[d].nbrs.len() {
+            let (u, pos) = {
+                let nb = &self.peers[d].nbrs[j];
+                (nb.peer as usize, nb.pos_at_peer as usize)
+            };
+            // The neighbor's download *from* the dead host aborts; its piece
+            // re-enters the rarest-first queue via the released reservation.
+            if let Some(t) = self.peers[u].nbrs[pos].transfer.take() {
+                if let Some(p) = t.piece {
+                    self.peers[u].inflight.clear(p);
+                }
+                self.retry_queue.push(u as u32);
+            }
+            // Sever interest in both directions (mirrors stay in sync).
+            self.peers[u].nbrs[pos].im_interested = false;
+            self.peers[d].nbrs[j].they_interested = false;
+            if self.peers[d].nbrs[j].im_interested {
+                self.peers[d].nbrs[j].im_interested = false;
+                if self.peers[u].nbrs[pos].they_interested {
+                    self.peers[u].nbrs[pos].they_interested = false;
+                    if self.peers[u].nbrs[pos].am_unchoking {
+                        rechoke.push(u); // the uploader lost a customer
+                    }
+                }
+            }
+            // Choker eviction on both sides.
+            self.peers[u].nbrs[pos].am_unchoking = false;
+            self.peers[u].optimistic.retain(|&x| x as usize != pos);
+            self.peers[d].nbrs[j].am_unchoking = false;
+            if self.peers[u].alive {
+                // The dead host's pieces leave the neighbor's rarity view.
+                for p in 0..pieces {
+                    if self.peers[d].have.get(p) {
+                        self.peers[u].avail[p as usize] =
+                            self.peers[u].avail[p as usize].saturating_sub(1);
+                    }
+                }
+                let live = self.peers[u]
+                    .nbrs
+                    .iter()
+                    .filter(|nb| self.peers[nb.peer as usize].alive)
+                    .count();
+                if live < REANNOUNCE_FLOOR {
+                    thin.push(u);
+                }
+            }
+        }
+        // Liveness accounting: an incomplete leecher leaves the active set;
+        // if the schedule revives it later the run must still wait for it.
+        if self.peers[d].completed_at.is_none() {
+            self.incomplete -= 1;
+            if self.schedule.has_pending_host_up(self.sched_cursor, host) {
+                self.down_incomplete += 1;
+            }
+        }
+        // Tracker re-announce: survivors left with too few live peers get
+        // replacements (the tracker drops departed peers on re-announce).
+        for u in thin {
+            self.reannounce(u);
+        }
+        rechoke.sort_unstable();
+        rechoke.dedup();
+        for p in rechoke {
+            if self.peers[p].alive {
+                self.rechoke_peer(p, false);
+            }
+        }
+    }
+
+    /// A crashed host restarts with its piece state intact (client
+    /// restart): availability is recomputed from live neighbors, bitfields
+    /// re-exchange, interest re-derives, and spare-slot uploaders
+    /// re-evaluate so the peer resumes without waiting a full rechoke
+    /// interval.
+    fn host_up(&mut self, d: usize) {
+        if self.peers[d].alive {
+            return;
+        }
+        self.peers[d].alive = true;
+        let pieces = self.peers[d].have.len();
+        for p in 0..pieces as usize {
+            self.peers[d].avail[p] = 0;
+        }
+        let d_complete = self.peers[d].completed_at.is_some();
+        let mut rechoke: Vec<usize> = Vec::new();
+        for j in 0..self.peers[d].nbrs.len() {
+            let (u, pos) = {
+                let nb = &self.peers[d].nbrs[j];
+                (nb.peer as usize, nb.pos_at_peer as usize)
+            };
+            if !self.peers[u].alive {
+                continue;
+            }
+            // Bitfield exchange, both directions.
+            for p in 0..pieces {
+                if self.peers[u].have.get(p) {
+                    self.peers[d].avail[p as usize] =
+                        self.peers[d].avail[p as usize].saturating_add(1);
+                }
+                if self.peers[d].have.get(p) {
+                    self.peers[u].avail[p as usize] =
+                        self.peers[u].avail[p as usize].saturating_add(1);
+                }
+            }
+            // Interest re-derivation (mirrored), as on a real reconnect.
+            let d_wants = !d_complete && {
+                let (dp, up) = two_mut(&mut self.peers, d, u);
+                dp.have.is_interested_in(&up.have)
+            };
+            self.peers[d].nbrs[j].im_interested = d_wants;
+            self.peers[u].nbrs[pos].they_interested = d_wants;
+            let u_wants = self.peers[u].completed_at.is_none() && {
+                let (dp, up) = two_mut(&mut self.peers, d, u);
+                up.have.is_interested_in(&dp.have)
+            };
+            self.peers[u].nbrs[pos].im_interested = u_wants;
+            self.peers[d].nbrs[j].they_interested = u_wants;
+            if d_wants && self.unchoked_count(u) < self.cfg.upload_slots {
+                rechoke.push(u);
+            }
+        }
+        if self.peers[d].completed_at.is_none() {
+            self.incomplete += 1;
+            self.down_incomplete = self.down_incomplete.saturating_sub(1);
+        }
+        for u in rechoke {
+            self.rechoke_peer(u, false);
+        }
+        // The revived host fills its own slots if anyone wants from it.
+        self.rechoke_peer(d, false);
+        self.retry_queue.push(d as u32);
+    }
+
+    /// Tracker re-announce for a peer whose live neighbor count fell below
+    /// [`REANNOUNCE_FLOOR`]: the tracker (which drops departed peers) hands
+    /// back random live replacements, connected with a fresh bitfield
+    /// exchange — the mechanism that keeps crash-thinned swarms connected.
+    fn reannounce(&mut self, u: usize) {
+        let connected: Vec<u32> = self.peers[u].nbrs.iter().map(|nb| nb.peer).collect();
+        let live: usize = connected.iter().filter(|&&p| self.peers[p as usize].alive).count();
+        if live >= REANNOUNCE_FLOOR {
+            return;
+        }
+        let mut candidates: Vec<u32> = (0..self.peers.len() as u32)
+            .filter(|&v| v as usize != u && self.peers[v as usize].alive && !connected.contains(&v))
+            .collect();
+        candidates.shuffle(&mut self.rng);
+        for v in candidates.into_iter().take(REANNOUNCE_FLOOR - live) {
+            self.connect_peers(u, v as usize);
+        }
+    }
+
+    /// Opens a fresh connection between two live peers mid-run: mirror
+    /// [`Nbr`] entries on both sides, bitfield exchange, interest
+    /// derivation, and a retry nudge so transfers can start.
+    fn connect_peers(&mut self, u: usize, v: usize) {
+        debug_assert_ne!(u, v);
+        let pos_u = self.peers[u].nbrs.len() as u32; // v's mirror index at u
+        let pos_v = self.peers[v].nbrs.len() as u32; // u's mirror index at v
+        let pieces = self.peers[u].have.len();
+        let (u_wants, v_wants) = {
+            let (up, vp) = two_mut(&mut self.peers, u, v);
+            (
+                up.completed_at.is_none() && up.have.is_interested_in(&vp.have),
+                vp.completed_at.is_none() && vp.have.is_interested_in(&up.have),
+            )
+        };
+        let mk_nbr = |peer: u32, pos_at_peer: u32, im: bool, they: bool, window: f64| Nbr {
+            peer,
+            pos_at_peer,
+            im_interested: im,
+            they_interested: they,
+            am_unchoking: false,
+            rate_from: RateEstimator::new(window),
+            rate_to: RateEstimator::new(window),
+            link_rate_from: (0.0, f64::NEG_INFINITY),
+            link_rate_to: (0.0, f64::NEG_INFINITY),
+            transfer: None,
+        };
+        let window = self.cfg.rate_window;
+        self.peers[u].nbrs.push(mk_nbr(v as u32, pos_v, u_wants, v_wants, window));
+        self.peers[v].nbrs.push(mk_nbr(u as u32, pos_u, v_wants, u_wants, window));
+        for p in 0..pieces {
+            if self.peers[v].have.get(p) {
+                self.peers[u].avail[p as usize] = self.peers[u].avail[p as usize].saturating_add(1);
+            }
+            if self.peers[u].have.get(p) {
+                self.peers[v].avail[p as usize] = self.peers[v].avail[p as usize].saturating_add(1);
+            }
+        }
+        if u_wants && self.unchoked_count(v) < self.cfg.upload_slots {
+            self.rechoke_peer(v, false);
+        }
+        if v_wants && self.unchoked_count(u) < self.cfg.upload_slots {
+            self.rechoke_peer(u, false);
+        }
+        self.retry_queue.push(u as u32);
+        self.retry_queue.push(v as u32);
+    }
+
     /// The rechoke timer: drain every active transfer so tit-for-tat scores
     /// are current, propagate announcements, run the choking algorithm, and
     /// sweep dormant pairs as a retry safety net.
     fn on_rechoke(&mut self) {
         self.service_all();
         self.flush_haves();
-        let rounds_per_optimistic = (self.cfg.optimistic_interval / self.cfg.rechoke_interval)
-            .round()
-            .max(1.0) as u64;
+        let rounds_per_optimistic =
+            (self.cfg.optimistic_interval / self.cfg.rechoke_interval).round().max(1.0) as u64;
         let rotate = self.rechoke_round.is_multiple_of(rounds_per_optimistic);
         self.rechoke_all(rotate);
         self.rechoke_round += 1;
@@ -382,7 +716,7 @@ impl Swarm {
     /// pair's score must reflect bytes up to the boundary).
     fn service_all(&mut self) {
         for d in 0..self.peers.len() {
-            if self.peers[d].completed_at.is_some() {
+            if self.peers[d].completed_at.is_some() || !self.peers[d].alive {
                 continue;
             }
             for j in 0..self.peers[d].nbrs.len() {
@@ -411,7 +745,7 @@ impl Swarm {
             queue.dedup();
             for d in queue {
                 let d = d as usize;
-                if self.peers[d].completed_at.is_some() {
+                if self.peers[d].completed_at.is_some() || !self.peers[d].alive {
                     continue;
                 }
                 for j in 0..self.peers[d].nbrs.len() {
@@ -495,8 +829,7 @@ impl Swarm {
                     if self.peers[d].have.is_full() {
                         self.peers[d].completed_at = Some(now);
                         self.incomplete -= 1;
-                        let t =
-                            self.peers[d].nbrs[j].transfer.take().expect("transfer present");
+                        let t = self.peers[d].nbrs[j].transfer.take().expect("transfer present");
                         self.net.stop_flow(t.flow);
                         self.finalize_peer(d);
                         return;
@@ -539,8 +872,7 @@ impl Swarm {
                     // complete per event (the legacy engine's 50 ms service
                     // cadence); on slow streams the piece boundary is
                     // further out than a step and marks stay piece-exact.
-                    let ahead =
-                        (piece_bytes - t.got).max(self.net.flow_rate(flow) * self.cfg.step);
+                    let ahead = (piece_bytes - t.got).max(self.net.flow_rate(flow) * self.cfg.step);
                     self.net.set_delivery_mark(flow, ahead);
                     break;
                 }
@@ -560,8 +892,7 @@ impl Swarm {
                     } else if on_mark {
                         // The grace window itself fired with nothing new:
                         // stop the stream.
-                        let t =
-                            self.peers[d].nbrs[j].transfer.take().expect("transfer present");
+                        let t = self.peers[d].nbrs[j].transfer.take().expect("transfer present");
                         self.net.stop_flow(t.flow);
                         let still = {
                             let (dp, up) = two_mut(&mut self.peers, d, u);
@@ -591,7 +922,10 @@ impl Swarm {
     /// Starts a download stream from neighbor `j` of peer `d` if a piece is
     /// available, arming its fragment delivery mark.
     fn try_start_transfer(&mut self, d: usize, j: usize) {
-        if self.peers[d].completed_at.is_some() || self.peers[d].nbrs[j].transfer.is_some() {
+        if self.peers[d].completed_at.is_some()
+            || !self.peers[d].alive
+            || self.peers[d].nbrs[j].transfer.is_some()
+        {
             return;
         }
         let (u, pos) = {
@@ -618,8 +952,7 @@ impl Swarm {
             self.peers[d].inflight.set(p);
             let flow =
                 self.net.start_flow(self.peers[u].host, self.peers[d].host, None, pair_tag(d, j));
-            let ahead =
-                self.cfg.piece_bytes.max(self.net.flow_rate(flow) * self.cfg.step);
+            let ahead = self.cfg.piece_bytes.max(self.net.flow_rate(flow) * self.cfg.step);
             self.net.set_delivery_mark(flow, ahead);
             self.peers[d].nbrs[j].transfer = Some(Transfer { flow, piece: Some(p), got: 0.0 });
         }
@@ -682,6 +1015,11 @@ impl Swarm {
                         let nb = &self.peers[owner].nbrs[j];
                         (nb.peer as usize, nb.pos_at_peer as usize)
                     };
+                    if !self.peers[u].alive {
+                        // Crashed neighbors miss announcements; their whole
+                        // availability view is recomputed on revival.
+                        continue;
+                    }
                     self.peers[u].avail[piece as usize] =
                         self.peers[u].avail[piece as usize].saturating_add(1);
                     if self.peers[u].completed_at.is_some() || self.peers[u].have.get(piece) {
@@ -742,6 +1080,9 @@ impl Swarm {
     /// them (tit-for-tat); seeds and finished peers rank by *upload* rate to
     /// the neighbor, as the original client's seed policy does.
     fn rechoke_peer(&mut self, p: usize, rotate_optimistic: bool) {
+        if !self.peers[p].alive {
+            return;
+        }
         let now = self.net.time();
         let decisions: Vec<(usize, bool)> = {
             let Self { cfg, peers, rng, .. } = self;
@@ -771,11 +1112,8 @@ impl Swarm {
 
             // Optimistic slots among the remaining interested neighbors.
             let opt_slots = cfg.upload_slots - cfg.regular_slots.min(cfg.upload_slots);
-            let pool: Vec<u32> = cands
-                .iter()
-                .map(|&(_, _, j)| j)
-                .filter(|j| !regular.contains(j))
-                .collect();
+            let pool: Vec<u32> =
+                cands.iter().map(|&(_, _, j)| j).filter(|j| !regular.contains(j)).collect();
             if rotate_optimistic {
                 pr.optimistic.clear();
             } else {
@@ -819,15 +1157,18 @@ impl Swarm {
         }
     }
 
-    /// Drives the simulation until every leecher completes or the safety
-    /// time limit is hit, returning the final state summary. Pacing follows
-    /// [`SwarmConfig::drive`]: completion-to-completion by default.
+    /// Drives the simulation until every **surviving** leecher completes
+    /// (crashed-for-good hosts do not gate the run; crashed hosts with a
+    /// scheduled revival do) or the safety time limit is hit, returning the
+    /// final state summary. Pacing follows [`SwarmConfig::drive`]:
+    /// completion-to-completion by default.
     pub fn run(mut self) -> RunOutcome {
         let max_dt = match self.cfg.drive {
             DriveMode::EventDriven => f64::INFINITY,
             DriveMode::FixedStep => self.cfg.step,
         };
-        while self.incomplete > 0 && self.net.time() < self.cfg.max_sim_time {
+        while self.incomplete + self.down_incomplete > 0 && self.net.time() < self.cfg.max_sim_time
+        {
             self.slice(max_dt, &mut |_| {});
         }
         self.into_outcome()
@@ -839,7 +1180,8 @@ impl Swarm {
     /// [`SwarmConfig::drive`] so injected traffic tracks simulated time,
     /// never event density.
     pub fn run_with(mut self, hook: &mut dyn FnMut(&mut SimNet)) -> RunOutcome {
-        while self.incomplete > 0 && self.net.time() < self.cfg.max_sim_time {
+        while self.incomplete + self.down_incomplete > 0 && self.net.time() < self.cfg.max_sim_time
+        {
             self.slice(self.cfg.step, hook);
         }
         self.into_outcome()
@@ -847,18 +1189,29 @@ impl Swarm {
 
     fn into_outcome(self) -> RunOutcome {
         let completion: Vec<Option<f64>> = self.peers.iter().map(|p| p.completed_at).collect();
+        let disrupted: Vec<bool> = self.peers.iter().map(|p| p.ever_down).collect();
+        let departed: Vec<bool> = self.peers.iter().map(|p| !p.alive).collect();
+        // The broadcast reference time over *surviving* hosts: a host lost
+        // before completing does not gate the broadcast; one that completed
+        // before crashing contributes its real completion time.
         let makespan = completion
             .iter()
             .enumerate()
             .filter(|&(i, _)| i != self.root)
-            .map(|(_, t)| t.unwrap_or(self.cfg.max_sim_time))
+            .filter_map(|(i, t)| match t {
+                Some(t) => Some(*t),
+                None if departed[i] => None,
+                None => Some(self.cfg.max_sim_time),
+            })
             .fold(0.0f64, f64::max);
         RunOutcome {
             fragments: self.fragments,
             completion,
             makespan,
-            finished: self.incomplete == 0,
+            finished: self.incomplete == 0 && self.down_incomplete == 0,
             sim_steps: self.events,
+            disrupted,
+            departed,
         }
     }
 }
@@ -872,13 +1225,36 @@ pub struct RunOutcome {
     pub fragments: FragmentMatrix,
     /// Per-peer completion times; the root is 0.0, unfinished peers `None`.
     pub completion: Vec<Option<f64>>,
-    /// Max leecher completion time — the paper's broadcast reference time.
+    /// Max completion time over surviving leechers — the paper's broadcast
+    /// reference time (lost hosts do not gate it).
     pub makespan: f64,
-    /// Whether all leechers finished within the safety limit.
+    /// Whether all surviving leechers finished within the safety limit.
     pub finished: bool,
-    /// Number of protocol events processed (fragment completions serviced
-    /// plus rechoke rounds) — identical across drive modes.
+    /// Number of protocol events processed (fragment completions serviced,
+    /// rechoke rounds, and applied perturbations) — identical across drive
+    /// modes.
     pub sim_steps: usize,
+    /// Per-peer: true when the host crashed at *any* point during the run —
+    /// its measurements are truncated, so phase-2 aggregation must not
+    /// average its pairs in for this run.
+    pub disrupted: Vec<bool>,
+    /// Per-peer: true when the host was still down when the run ended (a
+    /// *lost* host, in the reliability report's terms).
+    pub departed: Vec<bool>,
+}
+
+impl RunOutcome {
+    /// Hosts still down when the run ended.
+    pub fn hosts_lost(&self) -> usize {
+        self.departed.iter().filter(|&&d| d).count()
+    }
+
+    /// The per-peer full-participation mask
+    /// ([`crate::metrics::MetricAccumulator::push_run_partial`]'s second
+    /// argument): true where the host was up for the entire run.
+    pub fn participated(&self) -> Vec<bool> {
+        self.disrupted.iter().map(|&d| !d).collect()
+    }
 }
 
 #[cfg(test)]
@@ -985,11 +1361,8 @@ mod tests {
         let (routes, hosts) = star_hosts(12, 890.0);
         let mut swarm = Swarm::new(routes, &hosts, 0, quick_cfg(2048), 5);
         swarm.step();
-        let root_unchoked = swarm.peers[0]
-            .nbrs
-            .iter()
-            .filter(|nb| nb.am_unchoking && nb.they_interested)
-            .count();
+        let root_unchoked =
+            swarm.peers[0].nbrs.iter().filter(|nb| nb.am_unchoking && nb.they_interested).count();
         assert!(root_unchoked <= 4, "{root_unchoked} > 4 upload slots");
         assert!(root_unchoked >= 1, "root must serve someone");
     }
@@ -997,11 +1370,7 @@ mod tests {
     #[test]
     fn endgame_duplicates_are_bounded() {
         let (routes, hosts) = star_hosts(5, 890.0);
-        let cfg = SwarmConfig {
-            num_pieces: 64,
-            endgame_pieces: 16,
-            ..SwarmConfig::default()
-        };
+        let cfg = SwarmConfig { num_pieces: 64, endgame_pieces: 16, ..SwarmConfig::default() };
         let out = Swarm::new(routes, &hosts, 0, cfg, 123).run();
         assert!(out.finished);
         for d in 1..5 {
@@ -1051,8 +1420,8 @@ mod tests {
             TrafficConfig { mean_on: 30.0, mean_off: 0.01, pairs: 12 },
             99,
         );
-        let loaded = Swarm::new(routes, &hosts, 0, quick_cfg(4096), 3)
-            .run_with(&mut |net| bg.tick(net));
+        let loaded =
+            Swarm::new(routes, &hosts, 0, quick_cfg(4096), 3).run_with(&mut |net| bg.tick(net));
         assert!(loaded.finished, "must complete under load");
         assert!(
             loaded.makespan > quiet.makespan,
@@ -1064,6 +1433,131 @@ mod tests {
         for d in 1..8 {
             assert_eq!(loaded.fragments.received_by(d), 4096);
         }
+    }
+
+    #[test]
+    fn crashed_host_is_lost_and_survivors_complete() {
+        use btt_netsim::perturb::{Perturbation, PerturbationSchedule, TimedPerturbation};
+        let (routes, hosts) = star_hosts(6, 890.0);
+        // Host 3 crashes early and never comes back.
+        let schedule = PerturbationSchedule::new(vec![TimedPerturbation {
+            at: 0.05,
+            what: Perturbation::HostDown { host: hosts[3] },
+        }]);
+        let out =
+            Swarm::new(routes, &hosts, 0, quick_cfg(256), 21).with_perturbations(schedule).run();
+        assert!(out.finished, "survivors must complete");
+        assert_eq!(out.hosts_lost(), 1);
+        assert!(out.departed[3] && out.disrupted[3]);
+        assert!(out.completion[3].is_none(), "lost host never completes");
+        for d in [1, 2, 4, 5] {
+            assert!(!out.disrupted[d]);
+            assert_eq!(out.fragments.received_by(d), 256, "survivor {d}");
+            assert!(out.completion[d].is_some());
+        }
+        // Participation mask matches the disruption record.
+        assert_eq!(out.participated(), vec![true, true, true, false, true, true]);
+        // The makespan is gated by survivors only.
+        assert!(out.makespan < quick_cfg(256).max_sim_time);
+    }
+
+    #[test]
+    fn revived_host_completes_its_download() {
+        use btt_netsim::perturb::{Perturbation, PerturbationSchedule, TimedPerturbation};
+        let (routes, hosts) = star_hosts(5, 890.0);
+        let schedule = PerturbationSchedule::new(vec![
+            TimedPerturbation { at: 0.1, what: Perturbation::HostDown { host: hosts[2] } },
+            TimedPerturbation { at: 4.0, what: Perturbation::HostUp { host: hosts[2] } },
+        ]);
+        let out =
+            Swarm::new(routes, &hosts, 0, quick_cfg(512), 5).with_perturbations(schedule).run();
+        assert!(out.finished, "the run waits for the revived host");
+        assert_eq!(out.hosts_lost(), 0);
+        assert!(out.disrupted[2], "restart is recorded as a disruption");
+        assert!(!out.departed[2]);
+        let t2 = out.completion[2].expect("revived host completes");
+        assert!(t2 > 4.0, "completion after the revival instant, got {t2}");
+        assert!(out.fragments.received_by(2) >= 512);
+    }
+
+    #[test]
+    fn drive_modes_agree_bit_for_bit_under_perturbations() {
+        use btt_netsim::perturb::{generate_schedule, ReliabilityCfg};
+        let (routes, hosts) = star_hosts(8, 700.0);
+        let cfg_rel = ReliabilityCfg { churn: 0.3, xtraffic: 0.3, degrade: 0.25 };
+        let horizon =
+            btt_netsim::perturb::horizon_estimate(routes.topology(), &hosts, 96.0 * 16384.0);
+        let run = |drive| {
+            let cfg = SwarmConfig { drive, ..quick_cfg(96) };
+            let schedule = generate_schedule(routes.topology(), &hosts, 0, &cfg_rel, horizon, 77);
+            assert!(!schedule.is_empty());
+            Swarm::new(routes.clone(), &hosts, 0, cfg, 77).with_perturbations(schedule).run()
+        };
+        let ev = run(DriveMode::EventDriven);
+        let fs = run(DriveMode::FixedStep);
+        assert_eq!(ev.fragments, fs.fragments);
+        assert_eq!(ev.completion, fs.completion, "bit-identical completion under churn");
+        assert_eq!(ev.makespan.to_bits(), fs.makespan.to_bits());
+        assert_eq!(ev.sim_steps, fs.sim_steps);
+        assert_eq!(ev.disrupted, fs.disrupted);
+        assert_eq!(ev.departed, fs.departed);
+    }
+
+    #[test]
+    fn cross_traffic_schedule_slows_the_broadcast() {
+        use btt_netsim::perturb::{Perturbation, PerturbationSchedule, TimedPerturbation};
+        let (routes, hosts) = star_hosts(6, 890.0);
+        let quiet = Swarm::new(routes.clone(), &hosts, 0, quick_cfg(4096), 3).run();
+        assert!(quiet.finished);
+        // Saturating cross-traffic into every leecher for the whole run.
+        let mut events = Vec::new();
+        let mut key = 0u32;
+        for (i, &dst) in hosts.iter().enumerate().skip(1) {
+            let src = hosts[(i + 1) % hosts.len()];
+            if src == dst {
+                continue;
+            }
+            events.push(TimedPerturbation {
+                at: 0.0,
+                what: Perturbation::XTrafficStart { src, dst, key },
+            });
+            key += 1;
+        }
+        let loaded = Swarm::new(routes, &hosts, 0, quick_cfg(4096), 3)
+            .with_perturbations(PerturbationSchedule::new(events))
+            .run();
+        assert!(loaded.finished, "must still complete under load");
+        assert!(
+            loaded.makespan > quiet.makespan,
+            "competing traffic should cost time: {} vs {}",
+            loaded.makespan,
+            quiet.makespan
+        );
+        for d in 1..6 {
+            assert_eq!(loaded.fragments.received_by(d), 4096, "conservation under load");
+        }
+    }
+
+    #[test]
+    fn mid_run_degradation_slows_the_affected_host() {
+        use btt_netsim::perturb::{Perturbation, PerturbationSchedule, TimedPerturbation};
+        let (routes, hosts) = star_hosts(5, 890.0);
+        let quiet = Swarm::new(routes.clone(), &hosts, 0, quick_cfg(2048), 9).run();
+        // Degrade host 2's access link to 5% almost immediately.
+        let link = routes.topology().neighbors(hosts[2])[0].1;
+        let schedule = PerturbationSchedule::new(vec![TimedPerturbation {
+            at: 0.01,
+            what: Perturbation::LinkDegrade { link, factor: 0.05 },
+        }]);
+        let slow =
+            Swarm::new(routes, &hosts, 0, quick_cfg(2048), 9).with_perturbations(schedule).run();
+        assert!(slow.finished);
+        let t_quiet = quiet.completion[2].unwrap();
+        let t_slow = slow.completion[2].unwrap();
+        assert!(
+            t_slow > 2.0 * t_quiet,
+            "degraded access must cost the host dearly: {t_slow} vs {t_quiet}"
+        );
     }
 
     #[test]

@@ -130,6 +130,8 @@ proptest! {
                     makespan: 1.0,
                     finished: true,
                     sim_steps: 1,
+                    disrupted: vec![false; n],
+                    departed: vec![false; n],
                 }
             })
             .collect();

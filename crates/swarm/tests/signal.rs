@@ -69,10 +69,7 @@ fn makespan_roughly_constant_in_node_count() {
     }
     let min = makespans.iter().cloned().fold(f64::INFINITY, f64::min);
     let max = makespans.iter().cloned().fold(0.0f64, f64::max);
-    assert!(
-        max / min < 2.5,
-        "makespan should be near-constant in N: {makespans:?}"
-    );
+    assert!(max / min < 2.5, "makespan should be near-constant in N: {makespans:?}");
 }
 
 /// Single-run edge metric is highly variable (paper Fig. 5): across runs, a

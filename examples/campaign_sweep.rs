@@ -40,11 +40,7 @@ fn main() {
         // 12 iterations of a 1024-fragment file: small synthetic WANs are
         // noisy at smaller sizes (single hosts can stay misranked for a
         // few iterations at unlucky seeds).
-        let report = TomographySession::over(scenario)
-            .iterations(12)
-            .pieces(1024)
-            .seed(2012)
-            .run();
+        let report = TomographySession::over(scenario).iterations(12).pieces(1024).seed(2012).run();
         println!("{}", convergence_table(&report));
 
         // ── 3. Project into the structured record and write JSON + CSV.

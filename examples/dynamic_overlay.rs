@@ -12,8 +12,8 @@
 //! cargo run --release --example dynamic_overlay
 //! ```
 
-use bittorrent_tomography::prelude::*;
 use bittorrent_tomography::netsim::util::seed_for_iteration;
+use bittorrent_tomography::prelude::*;
 use std::sync::Arc;
 
 fn main() {
@@ -73,10 +73,7 @@ fn main() {
                 println!("      -> diagnosed bottleneck link: {}", b.endpoints);
             }
             if !found.is_empty() {
-                println!(
-                    "topology change detected {} iteration(s) after migration",
-                    k + 1 - 6
-                );
+                println!("topology change detected {} iteration(s) after migration", k + 1 - 6);
                 return;
             }
         }

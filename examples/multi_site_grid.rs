@@ -11,11 +11,8 @@ use bittorrent_tomography::prelude::*;
 use std::fs;
 
 fn main() {
-    let report = TomographySession::new(Dataset::BGTL)
-        .pieces(4_000)
-        .iterations(15)
-        .seed(2012)
-        .run();
+    let report =
+        TomographySession::new(Dataset::BGTL).pieces(4_000).iterations(15).seed(2012).run();
 
     println!("{}", convergence_table(&report));
     let scenario = Dataset::BGTL.build();
@@ -47,7 +44,10 @@ fn main() {
             .map(|(i, _)| positions[i])
             .collect();
         let n = pts.len() as f64;
-        Point2::new(pts.iter().map(|p| p.x).sum::<f64>() / n, pts.iter().map(|p| p.y).sum::<f64>() / n)
+        Point2::new(
+            pts.iter().map(|p| p.x).sum::<f64>() / n,
+            pts.iter().map(|p| p.y).sum::<f64>() / n,
+        )
     };
     let all = centroid_all(&positions);
     for site in ["bordeaux", "grenoble", "toulouse", "lyon"] {

@@ -56,8 +56,7 @@ fn main() {
     }
 
     // The trunk separates left from right.
-    let truth = Partition::from_assignments(
-        &(0..16).map(|i| u32::from(i >= 8)).collect::<Vec<_>>(),
-    );
+    let truth =
+        Partition::from_assignments(&(0..16).map(|i| u32::from(i >= 8)).collect::<Vec<_>>());
     println!("agreement with ground truth: oNMI = {:.3}", onmi_partitions(&clusters, &truth));
 }

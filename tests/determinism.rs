@@ -6,11 +6,7 @@
 use bittorrent_tomography::prelude::*;
 
 fn run_once(dataset: Dataset, seed: u64) -> String {
-    let report = TomographySession::new(dataset)
-        .pieces(256)
-        .iterations(3)
-        .seed(seed)
-        .run();
+    let report = TomographySession::new(dataset).pieces(256).iterations(3).seed(seed).run();
     format!("{report:?}")
 }
 

@@ -7,11 +7,7 @@
 use bittorrent_tomography::prelude::*;
 
 fn run(dataset: Dataset, iterations: u32) -> TomographyReport {
-    TomographySession::new(dataset)
-        .pieces(2_500)
-        .iterations(iterations)
-        .seed(2012)
-        .run()
+    TomographySession::new(dataset).pieces(2_500).iterations(iterations).seed(2012).run()
 }
 
 /// Dataset B (single-site Bordeaux): the trunk bottleneck splits the site
@@ -77,11 +73,8 @@ fn dataset_bt_separates_bordeaux_from_toulouse() {
 /// and the correct answer is a single cluster.
 #[test]
 fn two_by_two_is_one_cluster() {
-    let report = TomographySession::new(Dataset::Small2x2)
-        .pieces(2_500)
-        .iterations(8)
-        .seed(2012)
-        .run();
+    let report =
+        TomographySession::new(Dataset::Small2x2).pieces(2_500).iterations(8).seed(2012).run();
     assert_eq!(report.final_partition.num_clusters(), 1);
     assert!((report.last().onmi - 1.0).abs() < 1e-9);
 }

@@ -8,18 +8,25 @@
 //! serialized bytes. This is the refactor's central safety property: the
 //! fast path cannot drift from the reference pacing.
 
+use bittorrent_tomography::core::scenarios::ScenarioSpec;
 use bittorrent_tomography::core::serialize::ReportRecord;
 use bittorrent_tomography::prelude::*;
 use bittorrent_tomography::swarm::config::{DriveMode, SwarmConfig};
 
 fn record(dataset: Dataset, drive: DriveMode, seed: u64) -> String {
     let cfg = SwarmConfig { num_pieces: 600, drive, ..SwarmConfig::default() };
-    let report = TomographySession::new(dataset)
+    let report = TomographySession::new(dataset).swarm_config(cfg).iterations(3).seed(seed).run();
+    ReportRecord::new(&report, 600).to_json().render_pretty()
+}
+
+fn record_spec(spec: &str, pieces: u32, iterations: u32, drive: DriveMode, seed: u64) -> String {
+    let cfg = SwarmConfig { num_pieces: pieces, drive, ..SwarmConfig::default() };
+    let report = TomographySession::over(ScenarioSpec::parse(spec).expect("spec parses").build())
         .swarm_config(cfg)
-        .iterations(3)
+        .iterations(iterations)
         .seed(seed)
         .run();
-    ReportRecord::new(&report, 600).to_json().render_pretty()
+    ReportRecord::new(&report, pieces).to_json().render_pretty()
 }
 
 /// Byte-for-byte equal serialized reports on the paper's Grid'5000
@@ -30,7 +37,8 @@ fn drive_modes_produce_identical_reports_on_grid5000_scenarios() {
         let event = record(dataset, DriveMode::EventDriven, 2012);
         let stepped = record(dataset, DriveMode::FixedStep, 2012);
         assert_eq!(
-            event, stepped,
+            event,
+            stepped,
             "{}: event-driven and fixed-step reports must be byte-identical",
             dataset.id()
         );
@@ -44,6 +52,30 @@ fn drive_modes_agree_across_seeds() {
     for seed in [1u64, 7, 99] {
         let event = record(Dataset::B, DriveMode::EventDriven, seed);
         let stepped = record(Dataset::B, DriveMode::FixedStep, seed);
+        assert_eq!(event, stepped, "seed {seed}");
+    }
+}
+
+/// The equivalence survives the reliability layer: on the churned 512-host
+/// WAN preset, host crashes, recoveries, and cross-traffic all apply at
+/// exact absolute instants, so both pacings produce byte-identical reports
+/// — including the reliability block.
+#[test]
+fn drive_modes_agree_on_churned_preset() {
+    let event = record_spec("wan-512-churn", 96, 2, DriveMode::EventDriven, 2012);
+    let stepped = record_spec("wan-512-churn", 96, 2, DriveMode::FixedStep, 2012);
+    assert_eq!(event, stepped, "wan-512-churn: perturbed reports must be byte-identical");
+    assert!(event.contains("\"reliability\""));
+}
+
+/// All three perturbation kinds at small scale, across seeds: the cheap
+/// exhaustive variant of the churned-preset pin.
+#[test]
+fn drive_modes_agree_under_all_perturbation_kinds() {
+    let spec = "star:3x4:0.1:4+churn=0.25+xtraffic=0.3+degrade=0.25";
+    for seed in [2u64, 31] {
+        let event = record_spec(spec, 128, 3, DriveMode::EventDriven, seed);
+        let stepped = record_spec(spec, 128, 3, DriveMode::FixedStep, seed);
         assert_eq!(event, stepped, "seed {seed}");
     }
 }

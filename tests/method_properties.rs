@@ -20,7 +20,10 @@ fn tomography_beats_probing_on_cost_and_pairwise_on_capability() {
     let campaign = run_campaign(&routes, &hosts, &cfg, 4, RootPolicy::Fixed(0), 1);
     let bt_partition = louvain(&metric_graph(&campaign.metric), 2).best().clone();
     let bt_time = campaign.total_measurement_time();
-    assert!((onmi_partitions(&bt_partition, &truth) - 1.0).abs() < 1e-9, "tomography recovers truth");
+    assert!(
+        (onmi_partitions(&bt_partition, &truth) - 1.0).abs() < 1e-9,
+        "tomography recovers truth"
+    );
 
     // Pairwise O(N²): longer measurement, still blind.
     let pw = pairwise_probing(&routes, &hosts, 5.0);
@@ -51,7 +54,8 @@ fn metric_noise_vs_netpipe_stability() {
     let campaign = run_campaign(&routes, &hosts, &cfg, 10, RootPolicy::Fixed(0), 33);
     let samples: Vec<u64> = campaign.runs.iter().map(|r| r.fragments.edge(3, 7)).collect();
     let mean = samples.iter().sum::<u64>() as f64 / samples.len() as f64;
-    let var = samples.iter().map(|&s| (s as f64 - mean).powi(2)).sum::<f64>() / samples.len() as f64;
+    let var =
+        samples.iter().map(|&s| (s as f64 - mean).powi(2)).sum::<f64>() / samples.len() as f64;
     let cv_metric = var.sqrt() / mean.max(1e-9);
 
     let np = netpipe(&routes, hosts[3], hosts[7], 10, 0.5);
@@ -66,9 +70,8 @@ fn metric_noise_vs_netpipe_stability() {
 /// identical reports, different seeds differ.
 #[test]
 fn full_pipeline_is_deterministic_in_the_seed() {
-    let mk = |seed| {
-        TomographySession::new(Dataset::Small2x2).pieces(500).iterations(3).seed(seed).run()
-    };
+    let mk =
+        |seed| TomographySession::new(Dataset::Small2x2).pieces(500).iterations(3).seed(seed).run();
     let a = mk(11);
     let b = mk(11);
     assert_eq!(a.convergence, b.convergence);
@@ -130,8 +133,5 @@ fn layout_separates_what_louvain_finds() {
             }
         }
     }
-    assert!(
-        inter / nx as f64 > 1.5 * (intra / ni as f64),
-        "layout should separate the clusters"
-    );
+    assert!(inter / nx as f64 > 1.5 * (intra / ni as f64), "layout should separate the clusters");
 }

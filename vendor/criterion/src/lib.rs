@@ -23,10 +23,7 @@ pub struct Criterion {
 
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion {
-            sample_size: 10,
-            measurement_time: Duration::from_secs(1),
-        }
+        Criterion { sample_size: 10, measurement_time: Duration::from_secs(1) }
     }
 }
 
@@ -83,7 +80,12 @@ impl BenchmarkGroup<'_> {
     }
 
     /// Benchmarks `f` under `id`, passing `input` through.
-    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
     where
         F: FnMut(&mut Bencher, &I),
     {
@@ -104,16 +106,12 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// An id with a function name and a parameter.
     pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
-        BenchmarkId {
-            text: format!("{}/{}", function_name.into(), parameter),
-        }
+        BenchmarkId { text: format!("{}/{}", function_name.into(), parameter) }
     }
 
     /// An id that is just a parameter value.
     pub fn from_parameter(parameter: impl Display) -> Self {
-        BenchmarkId {
-            text: format!("{parameter}"),
-        }
+        BenchmarkId { text: format!("{parameter}") }
     }
 }
 
@@ -142,10 +140,7 @@ impl Bencher {
 
 fn run_one(label: &str, sample_size: usize, budget: Duration, mut body: impl FnMut(&mut Bencher)) {
     // Warm-up / calibration: one iteration, timed.
-    let mut b = Bencher {
-        iters: 1,
-        elapsed: Duration::ZERO,
-    };
+    let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
     body(&mut b);
     let per_iter = b.elapsed.max(Duration::from_nanos(1));
     // Fit the sample budget: each of `sample_size` samples runs a batch
@@ -158,10 +153,7 @@ fn run_one(label: &str, sample_size: usize, budget: Duration, mut body: impl FnM
     let mut total = Duration::ZERO;
     let mut iters = 0u64;
     for _ in 0..sample_size {
-        let mut b = Bencher {
-            iters: batch,
-            elapsed: Duration::ZERO,
-        };
+        let mut b = Bencher { iters: batch, elapsed: Duration::ZERO };
         body(&mut b);
         total += b.elapsed;
         iters += batch;

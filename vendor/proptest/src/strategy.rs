@@ -40,11 +40,7 @@ pub trait Strategy {
         Self: Sized,
         F: Fn(&Self::Value) -> bool,
     {
-        Filter {
-            base: self,
-            whence,
-            f,
-        }
+        Filter { base: self, whence, f }
     }
 }
 

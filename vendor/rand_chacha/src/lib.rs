@@ -103,12 +103,7 @@ impl SeedableRng for ChaCha12Rng {
         for (i, chunk) in seed.chunks_exact(4).enumerate() {
             key[i] = u32::from_le_bytes(chunk.try_into().unwrap());
         }
-        ChaCha12Rng {
-            key,
-            counter: 0,
-            block: [0; 16],
-            word_pos: 16,
-        }
+        ChaCha12Rng { key, counter: 0, block: [0; 16], word_pos: 16 }
     }
 }
 

@@ -34,9 +34,7 @@ where
     type Iter = ParIter<I::Item>;
 
     fn into_par_iter(self) -> ParIter<I::Item> {
-        ParIter {
-            items: self.into_iter().collect(),
-        }
+        ParIter { items: self.into_iter().collect() }
     }
 }
 
@@ -76,10 +74,7 @@ impl<T: Send> ParallelIterator for ParIter<T> {
         R: Send,
         F: Fn(T) -> R + Sync,
     {
-        ParMap {
-            items: self.items,
-            f,
-        }
+        ParMap { items: self.items, f }
     }
 
     fn collect<C>(self) -> C
@@ -103,10 +98,7 @@ where
         R2: Send,
         F2: Fn(R) -> R2 + Sync,
     {
-        ParMap {
-            items: par_map(self.items, &self.f),
-            f: _f,
-        }
+        ParMap { items: par_map(self.items, &self.f), f: _f }
     }
 
     fn collect<C>(self) -> C
@@ -134,10 +126,7 @@ impl<T: Send> FromParallelIterator<T> for Vec<T> {
 /// index.
 fn par_map<T: Send, R: Send>(items: Vec<T>, f: &(impl Fn(T) -> R + Sync)) -> Vec<R> {
     let n = items.len();
-    let workers = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
-        .min(n.max(1));
+    let workers = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(n.max(1));
     if workers <= 1 || n <= 1 {
         return items.into_iter().map(f).collect();
     }
