@@ -2,6 +2,8 @@
 //!
 //! ```text
 //! btt sweep [OPTIONS]        run a (scenario × algorithm × seed) campaign
+//! btt serve [OPTIONS]        run the tomography daemon (btt-serve-v1 socket)
+//! btt stress [OPTIONS]       hammer a daemon with concurrent campaigns
 //! btt list                   show scenario syntax and algorithm names
 //! btt check <DIR>            validate campaign artifacts (JSON/CSV parse)
 //! ```
@@ -18,6 +20,8 @@ use btt_bench::campaign::{
     check_outputs, run_sweep, summary_table, write_engine_bench, write_inference_bench,
     write_outputs, SweepSpec,
 };
+use btt_bench::serve::{serve as start_daemon, ServeConfig};
+use btt_bench::stress::{run_stress, StressSpec};
 use btt_core::pipeline::ClusteringAlgorithm;
 use btt_core::scenarios::ScenarioSpec;
 use std::path::PathBuf;
@@ -28,6 +32,8 @@ usage: btt <COMMAND> [OPTIONS]
 
 commands:
   sweep    run a (scenario x algorithm x seed) campaign and write artifacts
+  serve    run the tomography daemon (newline-delimited JSON over TCP)
+  stress   load-test a running daemon with concurrent campaign jobs
   list     show scenario spec syntax, scale presets, and algorithm names
   check    validate campaign artifacts in a directory
 
@@ -58,6 +64,46 @@ options:
   --bench-points <S,S,..>  restrict --bench to the named suite scenarios
                            (e.g. fat-tree-1k; default: all points)
   --out <DIR>              artifact directory (default: out/campaign)
+  -h, --help               show this help";
+
+const SERVE_USAGE: &str = "\
+usage: btt serve [OPTIONS]
+
+Runs the tomography daemon: accepts campaign jobs over a newline-delimited
+JSON TCP socket (schema btt-serve-v1) and streams each one — broadcasts
+feed the live session as they complete, so `snapshot` requests return the
+freshest scored partition mid-campaign. Request kinds: ping, submit,
+status, snapshot, report, list, shutdown. A `shutdown` request drains the
+in-flight jobs, writes summary.csv, and exits; completed jobs write the
+standard campaign artifacts, so `btt check <DIR>` validates the output.
+
+options:
+  --addr <HOST:PORT>       bind address (default: 127.0.0.1:7411; port 0
+                           picks a free port and prints it)
+  --out <DIR>              artifact directory (default: out/serve)
+  --no-artifacts           serve from memory only, write nothing
+  -h, --help               show this help";
+
+const STRESS_USAGE: &str = "\
+usage: btt stress [OPTIONS]
+
+Hammers a running `btt serve` daemon with N concurrent campaign jobs over
+C connections, polling status and partition snapshots until every job
+lands, then prints request-latency and job-latency percentiles,
+throughput, and how many snapshots were served mid-measurement.
+
+options:
+  --addr <HOST:PORT>       daemon address (default: 127.0.0.1:7411)
+  --jobs <N>               total jobs to submit (default: 8)
+  --concurrency <N>        concurrent client connections (default: 4)
+  --scenario <SPEC>        scenario per job (default: star:2x4:0.2:4)
+  --algorithm <A>          clustering algorithm (default: louvain)
+  --seed <N>               base seed; job i uses seed+i (default: 2012)
+  --iterations <N>         broadcast iterations per job (default: 3)
+  --pieces <N>             file size in 16 KiB fragments (default: 64)
+  --recluster-every <N>    streaming re-cluster cadence (default: 1)
+  --poll-ms <N>            delay between poll rounds (default: 10)
+  --shutdown               send a shutdown request once all jobs land
   -h, --help               show this help";
 
 const LIST_USAGE: &str = "\
@@ -94,6 +140,8 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("sweep") => sweep(&args[1..]),
+        Some("serve") => serve_cmd(&args[1..]),
+        Some("stress") => stress_cmd(&args[1..]),
         Some("list") => list(&args[1..]),
         Some("check") => check(&args[1..]),
         Some("--help") | Some("-h") => {
@@ -155,8 +203,17 @@ fn check(args: &[String]) -> ExitCode {
         return ExitCode::from(2);
     };
     match check_outputs(&PathBuf::from(dir)) {
-        Ok((jsons, csvs)) => {
-            println!("ok: {jsons} JSON record(s) and {csvs} CSV file(s) parse cleanly");
+        Ok(summary) => {
+            for path in &summary.degenerate {
+                eprintln!(
+                    "warning: {}: degenerate final partition (inference found no structure)",
+                    path.display()
+                );
+            }
+            println!(
+                "ok: {} JSON record(s) and {} CSV file(s) parse cleanly",
+                summary.jsons, summary.csvs
+            );
             ExitCode::SUCCESS
         }
         Err(e) => {
@@ -170,6 +227,196 @@ fn check(args: &[String]) -> ExitCode {
 fn sweep_err(message: String) -> ExitCode {
     eprintln!("btt sweep: {message} (try `btt sweep --help`)");
     ExitCode::from(2)
+}
+
+/// Prints a serve-flag error plus a pointer at the help text, exiting 2.
+fn serve_err(message: String) -> ExitCode {
+    eprintln!("btt serve: {message} (try `btt serve --help`)");
+    ExitCode::from(2)
+}
+
+fn serve_cmd(args: &[String]) -> ExitCode {
+    if wants_help(args) {
+        println!("{SERVE_USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    let mut config = ServeConfig { addr: "127.0.0.1:7411".to_string(), out: None };
+    let mut out = Some(PathBuf::from("out/serve"));
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let mut value = || {
+            i += 1;
+            args.get(i).cloned()
+        };
+        match flag {
+            "--addr" => {
+                let Some(v) = value() else {
+                    return serve_err("--addr needs a value".into());
+                };
+                config.addr = v;
+            }
+            "--out" => {
+                let Some(v) = value() else {
+                    return serve_err("--out needs a value".into());
+                };
+                out = Some(PathBuf::from(v));
+            }
+            "--no-artifacts" => out = None,
+            other => return serve_err(format!("unknown flag {other:?}")),
+        }
+        i += 1;
+    }
+    config.out = out;
+    let out_text = config
+        .out
+        .as_ref()
+        .map_or("none (--no-artifacts)".to_string(), |d| d.display().to_string());
+    let handle = match start_daemon(config) {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("btt serve: binding the socket failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "btt serve: listening on {} (schema {})",
+        handle.addr(),
+        btt_bench::serve::SERVE_SCHEMA
+    );
+    println!("btt serve: artifacts: {out_text}");
+    println!("btt serve: send {{\"schema\":\"btt-serve-v1\",\"kind\":\"shutdown\"}} to stop");
+    match handle.wait() {
+        Ok(stats) => {
+            println!(
+                "btt serve: drained: {} job(s) submitted, {} completed, {} failed",
+                stats.submitted, stats.completed, stats.failed
+            );
+            if stats.failed > 0 {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        Err(e) => {
+            eprintln!("btt serve: writing summary failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Prints a stress-flag error plus a pointer at the help text, exiting 2.
+fn stress_err(message: String) -> ExitCode {
+    eprintln!("btt stress: {message} (try `btt stress --help`)");
+    ExitCode::from(2)
+}
+
+fn stress_cmd(args: &[String]) -> ExitCode {
+    if wants_help(args) {
+        println!("{STRESS_USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    let mut spec = StressSpec::default();
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let mut value = || {
+            i += 1;
+            args.get(i).cloned()
+        };
+        match flag {
+            "--addr" => {
+                let Some(addr) = value().and_then(|v| v.parse().ok()) else {
+                    return stress_err("--addr wants HOST:PORT".into());
+                };
+                spec.addr = addr;
+            }
+            "--jobs" => {
+                let Some(n) = value().and_then(|v| v.parse::<u32>().ok()).filter(|&n| n > 0) else {
+                    return stress_err("--jobs wants a positive integer".into());
+                };
+                spec.jobs = n;
+            }
+            "--concurrency" => {
+                let Some(n) = value().and_then(|v| v.parse::<u32>().ok()).filter(|&n| n > 0) else {
+                    return stress_err("--concurrency wants a positive integer".into());
+                };
+                spec.concurrency = n;
+            }
+            "--scenario" => {
+                let Some(v) = value() else {
+                    return stress_err("--scenario needs a value".into());
+                };
+                if let Err(e) = ScenarioSpec::parse(&v) {
+                    return stress_err(e);
+                }
+                spec.scenario = v;
+            }
+            "--algorithm" => {
+                let Some(v) = value() else {
+                    return stress_err("--algorithm needs a value".into());
+                };
+                if ClusteringAlgorithm::from_name(&v).is_none() {
+                    return stress_err(format!(
+                        "unknown algorithm {v:?}; valid algorithms: {}",
+                        ClusteringAlgorithm::name_list()
+                    ));
+                }
+                spec.algorithm = v;
+            }
+            "--seed" => {
+                let Some(n) = value().and_then(|v| v.parse::<u64>().ok()) else {
+                    return stress_err("--seed wants an unsigned integer".into());
+                };
+                spec.seed = n;
+            }
+            "--iterations" => {
+                let Some(n) = value().and_then(|v| v.parse::<u32>().ok()).filter(|&n| n > 0) else {
+                    return stress_err("--iterations wants a positive integer".into());
+                };
+                spec.iterations = Some(n);
+            }
+            "--pieces" => {
+                let Some(n) = value().and_then(|v| v.parse::<u32>().ok()).filter(|&n| n > 0) else {
+                    return stress_err("--pieces wants a positive integer".into());
+                };
+                spec.pieces = n;
+            }
+            "--recluster-every" => {
+                let Some(n) = value().and_then(|v| v.parse::<u32>().ok()).filter(|&n| n > 0) else {
+                    return stress_err("--recluster-every wants a positive integer".into());
+                };
+                spec.recluster_every = n;
+            }
+            "--poll-ms" => {
+                let Some(n) = value().and_then(|v| v.parse::<u64>().ok()) else {
+                    return stress_err("--poll-ms wants an integer".into());
+                };
+                spec.poll = std::time::Duration::from_millis(n);
+            }
+            "--shutdown" => spec.shutdown = true,
+            other => return stress_err(format!("unknown flag {other:?}")),
+        }
+        i += 1;
+    }
+    println!(
+        "btt stress: {} job(s) x {} over {} connection(s) against {}",
+        spec.jobs, spec.scenario, spec.concurrency, spec.addr
+    );
+    match run_stress(&spec) {
+        Ok(report) => {
+            print!("{}", report.render());
+            if report.failed > 0 || report.completed < report.submitted {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        Err(e) => {
+            eprintln!("btt stress: {e} (is the daemon running at {}?)", spec.addr);
+            ExitCode::FAILURE
+        }
+    }
 }
 
 fn sweep(args: &[String]) -> ExitCode {

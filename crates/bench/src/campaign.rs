@@ -594,8 +594,10 @@ pub fn check_engine_bench(text: &str) -> Result<usize, String> {
 /// Header of `summary.csv`, in column order. The four reliability columns
 /// (`hosts_lost` onward) carry the failure-tolerance trajectory: zero
 /// losses / full coverage on static campaigns, and the accuracy-vs-failure
-/// data a churn sweep plots.
-pub const SUMMARY_COLUMNS: [&str; 17] = [
+/// data a churn sweep plots. `degenerate_partition` separates "inference
+/// collapsed (one cluster / all singletons)" from "scored low against real
+/// structure" — the two are indistinguishable in `final_onmi` alone.
+pub const SUMMARY_COLUMNS: [&str; 18] = [
     "scenario",
     "algorithm",
     "seed",
@@ -613,6 +615,7 @@ pub const SUMMARY_COLUMNS: [&str; 17] = [
     "pairs_unobserved",
     "pair_coverage",
     "confidence_weighted_onmi",
+    "degenerate_partition",
 ];
 
 /// Renders the campaign-level summary CSV, one row per record, in input
@@ -640,6 +643,7 @@ pub fn summary_csv(records: &[ReportRecord]) -> String {
             r.reliability.pairs_unobserved.to_string(),
             json::fmt_f64(r.reliability.pair_coverage),
             json::fmt_f64(r.reliability.confidence_weighted_onmi),
+            r.degenerate_partition.to_string(),
         ]);
     }
     t.finish()
@@ -749,14 +753,28 @@ impl CheckError {
     }
 }
 
+/// What `btt check` found in a valid artifact directory: artifact counts
+/// plus diagnostics that are worth a warning but not a failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckSummary {
+    /// Valid report/bench JSON documents.
+    pub jsons: usize,
+    /// Valid CSV artifacts.
+    pub csvs: usize,
+    /// Report files whose final partition is structurally degenerate
+    /// (all-one-cluster / all-singletons) — valid artifacts, but the run
+    /// found no structure at all; `btt check` surfaces each as a warning.
+    pub degenerate: Vec<PathBuf>,
+}
+
 /// Validates every campaign artifact in `dir`: `.json` files must parse as
 /// [`btt_core::serialize::REPORT_SCHEMA`] records, `.csv` files must parse
 /// with consistent column counts. Only files matching the campaign naming
 /// patterns are examined — unrelated files sharing the extensions are
-/// ignored, consistent with [`write_outputs`] preserving them. Returns
-/// `(json_count, csv_count)` or the first failure, which always names the
-/// offending file.
-pub fn check_outputs(dir: &Path) -> Result<(usize, usize), CheckError> {
+/// ignored, consistent with [`write_outputs`] preserving them. Returns the
+/// [`CheckSummary`] (counts + degenerate-report diagnostics) or the first
+/// failure, which always names the offending file.
+pub fn check_outputs(dir: &Path) -> Result<CheckSummary, CheckError> {
     let read = |path: &Path| {
         fs::read_to_string(path)
             .map_err(|source| CheckError::Io { path: path.to_path_buf(), source })
@@ -770,12 +788,17 @@ pub fn check_outputs(dir: &Path) -> Result<(usize, usize), CheckError> {
         .collect();
     entries.sort();
     let (mut jsons, mut csvs) = (0usize, 0usize);
+    let mut degenerate = Vec::new();
     for path in entries {
         match path.extension().and_then(|e| e.to_str()) {
             Some("json") => {
                 let text = read(&path)?;
                 let value = json::parse(&text).map_err(|e| invalid(&path, e.to_string()))?;
-                ReportRecord::from_json(&value).map_err(|e| invalid(&path, e.to_string()))?;
+                let record =
+                    ReportRecord::from_json(&value).map_err(|e| invalid(&path, e.to_string()))?;
+                if record.degenerate_partition {
+                    degenerate.push(path.clone());
+                }
                 jsons += 1;
             }
             Some("csv") => {
@@ -811,7 +834,7 @@ pub fn check_outputs(dir: &Path) -> Result<(usize, usize), CheckError> {
     if jsons == 0 && csvs == 0 {
         return Err(CheckError::NoArtifacts { dir: dir.to_path_buf() });
     }
-    Ok((jsons, csvs))
+    Ok(CheckSummary { jsons, csvs, degenerate })
 }
 
 /// Renders the paper-style fixed-width summary table for stdout.
@@ -1041,11 +1064,19 @@ mod tests {
         let records = run_sweep(&spec);
         let paths = write_outputs(&dir, &runs, &records).unwrap();
         assert_eq!(paths.len(), 3, "json + convergence csv + summary");
-        let (jsons, csvs) = check_outputs(&dir).unwrap();
-        assert_eq!((jsons, csvs), (1, 2));
+        let summary = check_outputs(&dir).unwrap();
+        assert_eq!((summary.jsons, summary.csvs), (1, 2));
+        // The degenerate warnings agree exactly with the records' own flag
+        // (this tiny 2-iteration run may or may not find structure — what
+        // matters is that check reports whatever the artifact says).
+        let flagged: Vec<_> = records.iter().filter(|r| r.degenerate_partition).collect();
+        assert_eq!(summary.degenerate.len(), flagged.len());
+        for path in &summary.degenerate {
+            assert!(path.extension().is_some_and(|e| e == "json"), "{}", path.display());
+        }
         // Foreign files write_outputs preserves must not fail the check.
         fs::write(dir.join("notes.json"), "not even json").unwrap();
-        assert_eq!(check_outputs(&dir).unwrap(), (1, 2), "foreign files are ignored");
+        assert_eq!(check_outputs(&dir).unwrap(), summary, "foreign files are ignored");
         // Corrupt a campaign artifact: check must now fail.
         fs::write(&paths[0], "{not json").unwrap();
         assert!(check_outputs(&dir).is_err());

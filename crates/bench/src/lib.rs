@@ -9,5 +9,7 @@
 pub mod campaign;
 pub mod ctx;
 pub mod experiments;
+pub mod serve;
+pub mod stress;
 
 pub use ctx::ReproCtx;

@@ -46,7 +46,8 @@ fn same_seed_campaigns_are_byte_identical() {
 
     // Both directories validate, and the JSON artifacts parse back to the
     // exact in-memory records.
-    assert_eq!(check_outputs(&dir_a).unwrap(), (runs.len(), runs.len() + 1));
+    let summary = check_outputs(&dir_a).unwrap();
+    assert_eq!((summary.jsons, summary.csvs), (runs.len(), runs.len() + 1));
     for (path, record) in paths_a.iter().step_by(2).zip(&records_a) {
         let text = fs::read_to_string(path).unwrap();
         let back = ReportRecord::from_json(&json::parse(&text).unwrap()).unwrap();
@@ -99,7 +100,8 @@ fn churn_rate_sweep_on_wan_512_emits_reliability_fields() {
     // The written artifacts carry the fields and validate via `btt check`'s
     // own entry point.
     let paths = write_outputs(&dir, &runs, &records).unwrap();
-    assert_eq!(check_outputs(&dir).unwrap(), (4, 5));
+    let summary = check_outputs(&dir).unwrap();
+    assert_eq!((summary.jsons, summary.csvs), (4, 5));
     for (path, record) in paths.iter().step_by(2).zip(&records) {
         let text = fs::read_to_string(path).unwrap();
         assert!(text.contains("\"reliability\""), "{}", path.display());

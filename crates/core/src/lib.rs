@@ -48,14 +48,17 @@ pub mod prelude {
     pub use crate::dataset::{ip_labels, logical_clusters, Dataset, Scenario};
     pub use crate::diagnosis::{bottleneck_candidates, diagnosed_bottlenecks, BottleneckCandidate};
     pub use crate::pipeline::{
-        analyze, convergence_series, convergence_series_serial, convergence_series_timed,
-        metric_graph, sparse_metric_graph, ClusteringAlgorithm, ConvergencePoint, InferenceTiming,
-        PipelineError, TomographyReport, DEFAULT_PRUNE, SPARSE_NODE_THRESHOLD,
+        analyze, auto_metric_graph, convergence_series, convergence_series_serial,
+        convergence_series_timed, degenerate_partition, metric_graph, sparse_metric_graph,
+        ClusteringAlgorithm, ConvergencePoint, InferenceTiming, PipelineError, ReliabilityReport,
+        TomographyReport, DEFAULT_PRUNE, SPARSE_NODE_THRESHOLD,
     };
     pub use crate::report::{cluster_listing, convergence_table, summary_line};
     pub use crate::scenarios::ScenarioSpec;
     pub use crate::serialize::{convergence_csv, ReportRecord};
-    pub use crate::session::TomographySession;
+    pub use crate::session::{
+        LiveSession, PartitionSnapshot, SessionError, SessionPhase, TomographySession,
+    };
     pub use btt_cluster::prelude::*;
     pub use btt_swarm::prelude::*;
 }

@@ -27,7 +27,7 @@ use btt_cluster::graph_ops::{prune_edges, PruneConfig};
 use btt_cluster::hierarchy::{recursive_louvain, HierarchyConfig};
 use btt_cluster::infomap::infomap;
 use btt_cluster::labelprop::label_propagation;
-use btt_cluster::louvain::louvain;
+use btt_cluster::louvain::{louvain_into, LouvainConfig, LouvainScratch};
 use btt_cluster::modularity::modularity;
 use btt_cluster::nmi::nmi;
 use btt_cluster::onmi::onmi_partitions;
@@ -93,8 +93,25 @@ impl ClusteringAlgorithm {
 
     /// Clusters `g` with this algorithm.
     pub fn cluster(self, g: &WeightedGraph, seed: u64) -> Partition {
+        self.cluster_into(g, seed, &mut LouvainScratch::default())
+    }
+
+    /// [`ClusteringAlgorithm::cluster`] reusing caller-provided Louvain
+    /// working memory across calls — what a long-lived session uses to
+    /// re-cluster snapshot after snapshot without re-allocating. Output is
+    /// identical to [`ClusteringAlgorithm::cluster`] for any scratch state
+    /// (`louvain` *is* `louvain_into` over a fresh scratch); algorithms
+    /// other than Louvain ignore the scratch.
+    pub fn cluster_into(
+        self,
+        g: &WeightedGraph,
+        seed: u64,
+        scratch: &mut LouvainScratch,
+    ) -> Partition {
         match self {
-            ClusteringAlgorithm::Louvain => louvain(g, seed).best().clone(),
+            ClusteringAlgorithm::Louvain => {
+                louvain_into(g, seed, LouvainConfig::default(), scratch).best().clone()
+            }
             ClusteringAlgorithm::Infomap => infomap(g, seed).best().clone(),
             ClusteringAlgorithm::LabelPropagation => label_propagation(g, seed, 200),
             ClusteringAlgorithm::HierarchicalLouvain => {
@@ -102,6 +119,16 @@ impl ClusteringAlgorithm {
             }
         }
     }
+}
+
+/// True when a partition carries no usable cluster structure: every host in
+/// one cluster, or every host its own singleton (on a non-trivial host set).
+/// Such partitions score `onmi == 0.0` against any real ground truth, which
+/// is indistinguishable in the score alone from "inference ran fine and
+/// found genuinely different structure" — this flag is the diagnostic that
+/// separates the two (surfaced in `summary.csv` and `btt check`).
+pub fn degenerate_partition(p: &Partition) -> bool {
+    p.len() > 1 && (p.num_clusters() <= 1 || p.num_clusters() == p.len())
 }
 
 /// Host count at which the pipeline switches from dense to pruned
@@ -133,8 +160,10 @@ pub fn sparse_metric_graph(acc: &MetricAccumulator, prune: PruneConfig) -> Weigh
 
 /// The pipeline's policy graph: dense below [`SPARSE_NODE_THRESHOLD`]
 /// hosts (bit-identical to the historical path), pruned with
-/// [`DEFAULT_PRUNE`] at and above it.
-fn auto_metric_graph(acc: &MetricAccumulator) -> WeightedGraph {
+/// [`DEFAULT_PRUNE`] at and above it. Public because the streaming session
+/// layer must build its snapshot graphs through the *same* policy to keep
+/// its reports byte-identical to the batch pipeline's.
+pub fn auto_metric_graph(acc: &MetricAccumulator) -> WeightedGraph {
     if acc.len() >= SPARSE_NODE_THRESHOLD {
         sparse_metric_graph(acc, DEFAULT_PRUNE)
     } else {
@@ -192,7 +221,30 @@ impl ReliabilityReport {
         final_partition: &Partition,
         ground_truth: &Partition,
     ) -> ReliabilityReport {
-        let observed = campaign.observed_hosts();
+        ReliabilityReport::compute(
+            final_partition,
+            ground_truth,
+            &campaign.observed_hosts(),
+            &campaign.metric,
+            campaign.hosts_lost(),
+            campaign.runs.iter().filter(|r| r.disrupted.iter().any(|&d| d)).count() as u32,
+        )
+    }
+
+    /// Computes the block from incrementally-maintained session state — the
+    /// observed-host mask, the live metric accumulator, and running loss
+    /// counters — without needing a materialized [`Campaign`]. This is what
+    /// lets a streaming session attach confidence fields to every partition
+    /// snapshot mid-campaign; [`ReliabilityReport::from_campaign`] is this
+    /// function over a finished campaign's totals.
+    pub fn compute(
+        final_partition: &Partition,
+        ground_truth: &Partition,
+        observed: &[bool],
+        metric: &MetricAccumulator,
+        hosts_lost: u64,
+        runs_disrupted: u32,
+    ) -> ReliabilityReport {
         let onmi_observed = if observed.iter().all(|&o| o) {
             onmi_partitions(final_partition, ground_truth)
         } else {
@@ -202,7 +254,7 @@ impl ReliabilityReport {
                 let raw: Vec<u32> = p
                     .assignments()
                     .iter()
-                    .zip(&observed)
+                    .zip(observed)
                     .filter(|&(_, &o)| o)
                     .map(|(&c, _)| c)
                     .collect();
@@ -215,12 +267,11 @@ impl ReliabilityReport {
                 onmi_partitions(&f, &g)
             }
         };
-        let pair_coverage = campaign.metric.pair_coverage();
+        let pair_coverage = metric.pair_coverage();
         ReliabilityReport {
-            hosts_lost: campaign.hosts_lost(),
-            runs_disrupted: campaign.runs.iter().filter(|r| r.disrupted.iter().any(|&d| d)).count()
-                as u32,
-            pairs_unobserved: campaign.metric.pairs_unobserved() as u64,
+            hosts_lost,
+            runs_disrupted,
+            pairs_unobserved: metric.pairs_unobserved() as u64,
             pair_coverage,
             onmi_observed,
             confidence_weighted_onmi: pair_coverage * onmi_observed,
@@ -246,6 +297,11 @@ pub struct TomographyReport {
     pub final_partition: Partition,
     /// Ground truth used for scoring.
     pub ground_truth: Partition,
+    /// True when [`TomographyReport::final_partition`] is structurally
+    /// degenerate (all-one-cluster or all-singletons) — inference found
+    /// *nothing*, as opposed to finding structure that merely disagrees
+    /// with ground truth. See [`degenerate_partition`].
+    pub degenerate_partition: bool,
     /// How the campaign fared under failures (identity values when static).
     pub reliability: ReliabilityReport,
 }
@@ -447,6 +503,7 @@ pub fn analyze(
     let final_partition = algorithm.cluster(&g, splitmix64(seed ^ 0xFFFF_FFFF));
     let reliability =
         ReliabilityReport::from_campaign(&campaign, &final_partition, &scenario.ground_truth);
+    let degenerate = degenerate_partition(&final_partition);
     Ok(TomographyReport {
         scenario_id: scenario.id.clone(),
         algorithm,
@@ -455,6 +512,7 @@ pub fn analyze(
         convergence,
         final_partition,
         ground_truth: scenario.ground_truth.clone(),
+        degenerate_partition: degenerate,
         reliability,
     })
 }
@@ -529,6 +587,7 @@ mod tests {
                 .collect(),
             final_partition: Partition::trivial(4),
             ground_truth: Partition::trivial(4),
+            degenerate_partition: true,
             reliability: ReliabilityReport {
                 hosts_lost: 0,
                 runs_disrupted: 0,
@@ -661,6 +720,45 @@ mod tests {
         let acc0 = c.metric_after(0);
         assert_eq!(acc0.iterations(), 0);
         assert!(acc0.edges().is_empty());
+    }
+
+    #[test]
+    fn degenerate_partitions_are_flagged() {
+        // All-one-cluster and all-singletons are degenerate; real structure
+        // and the single-host edge case are not.
+        assert!(degenerate_partition(&Partition::trivial(4)));
+        assert!(degenerate_partition(&Partition::singletons(4)));
+        assert!(!degenerate_partition(&Partition::from_assignments(&[0, 0, 1, 1])));
+        assert!(!degenerate_partition(&Partition::trivial(1)));
+        assert!(!degenerate_partition(&Partition::trivial(0)));
+        // A real run on a scenario with clear structure is not degenerate,
+        // and analyze() records the flag from the final partition.
+        let scenario = crate::scenarios::ScenarioSpec::parse("2x2").unwrap().build();
+        let report = crate::session::TomographySession::over(scenario)
+            .iterations(2)
+            .pieces(48)
+            .seed(3)
+            .run();
+        assert_eq!(report.degenerate_partition, degenerate_partition(&report.final_partition));
+    }
+
+    #[test]
+    fn cluster_into_matches_cluster_for_any_scratch_state() {
+        let c = fake_campaign(8, 4, &[(0, 1), (1, 2), (2, 3), (4, 5), (5, 6), (6, 7)]);
+        let g = metric_graph(&c.metric);
+        let mut scratch = LouvainScratch::default();
+        for alg in ClusteringAlgorithm::ALL {
+            // A dirty scratch (reused across algorithms and seeds) must not
+            // change a single assignment.
+            for seed in [1u64, 99, 0xFFFF_FFFF] {
+                assert_eq!(
+                    alg.cluster_into(&g, seed, &mut scratch),
+                    alg.cluster(&g, seed),
+                    "{} seed {seed}",
+                    alg.name()
+                );
+            }
+        }
     }
 
     #[test]

@@ -684,8 +684,9 @@ pub mod csv {
 use json::{fmt_f64, Json, JsonError};
 
 /// Version tag stamped into every report JSON document. v2 added the
-/// required `reliability` block and `run_hosts_lost` series.
-pub const REPORT_SCHEMA: &str = "btt-report-v2";
+/// required `reliability` block and `run_hosts_lost` series; v3 added the
+/// required `degenerate_partition` diagnostic flag.
+pub const REPORT_SCHEMA: &str = "btt-report-v3";
 
 /// The JSON-facing projection of a tomography run: everything campaign
 /// tooling needs to diff runs across PRs, without the raw per-run fragment
@@ -723,6 +724,10 @@ pub struct ReportRecord {
     pub reliability: ReliabilityReport,
     /// Hosts lost (still down at run end) per iteration.
     pub run_hosts_lost: Vec<u32>,
+    /// True when the final partition is structurally degenerate
+    /// (all-one-cluster / all-singletons): inference found *nothing*, as
+    /// opposed to a low score against a real structure.
+    pub degenerate_partition: bool,
 }
 
 impl ReportRecord {
@@ -742,6 +747,7 @@ impl ReportRecord {
             converged_at: report.converged_at(0.999),
             reliability: report.reliability,
             run_hosts_lost: report.campaign.runs.iter().map(|r| r.hosts_lost() as u32).collect(),
+            degenerate_partition: report.degenerate_partition,
         }
     }
 
@@ -783,6 +789,7 @@ impl ReportRecord {
                         .collect(),
                 ),
             ),
+            ("degenerate_partition", Json::Bool(self.degenerate_partition)),
             ("final_partition", partition_to_json(&self.final_partition)),
             ("ground_truth", partition_to_json(&self.ground_truth)),
             (
@@ -906,6 +913,10 @@ impl ReportRecord {
             converged_at,
             reliability,
             run_hosts_lost,
+            degenerate_partition: match field("degenerate_partition")? {
+                Json::Bool(b) => *b,
+                _ => return Err(bad("degenerate_partition")),
+            },
         })
     }
 }

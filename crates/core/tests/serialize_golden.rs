@@ -49,6 +49,7 @@ fn golden_record() -> ReportRecord {
             confidence_weighted_onmi: 0.375,
         },
         run_hosts_lost: vec![0, 1],
+        degenerate_partition: false,
     }
 }
 

@@ -146,6 +146,7 @@ proptest! {
                 confidence_weighted_onmi: onmi(1) * onmi(2),
             },
             run_hosts_lost: (0..points).map(|i| (seed >> (i % 32)) as u32 % 4).collect(),
+            degenerate_partition: seed & 2 == 0,
         };
         let text = record.to_json().render_pretty();
         let back = ReportRecord::from_json(&json::parse(&text).expect("record json parses"))

@@ -163,12 +163,92 @@ pub fn run_campaign(
     )
 }
 
+/// One completed broadcast iteration, emitted by the streaming campaign
+/// driver the moment the run finishes. Carries the metadata a consumer
+/// needs to fold the run incrementally (iteration index, chosen root,
+/// derived seed) alongside the full per-run outcome — including the
+/// partial-run reliability fields (`disrupted`, `departed`).
+#[derive(Debug, Clone)]
+pub struct RunObservation {
+    /// Iteration index `k` within the campaign (0-based).
+    pub iteration: u32,
+    /// The host index that seeded this broadcast.
+    pub root: usize,
+    /// The per-iteration protocol seed, `seed_for_iteration(base_seed, k)`.
+    pub seed: u64,
+    /// The full instrumented outcome of the run.
+    pub outcome: BroadcastResult,
+}
+
+/// Completion-driven campaign driver: runs `iterations` broadcasts and hands
+/// each one to `sink` as a [`RunObservation`] instead of returning a finished
+/// [`Campaign`]. This is the streaming entry point the session layer consumes.
+///
+/// Iterations are executed in parallel `chunk` at a time (`chunk == 0` means
+/// all at once — the classic batch schedule), but observations are **always
+/// emitted in iteration order**: each run is a pure function of its derived
+/// seed, so the chunk size changes latency, never content, and an in-order
+/// fold of the observations reproduces the batch metric bit for bit.
+#[allow(clippy::too_many_arguments)]
+pub fn stream_campaign_with_reliability(
+    routes: &Arc<RouteTable>,
+    hosts: &[NodeId],
+    cfg: &SwarmConfig,
+    iterations: u32,
+    root_policy: RootPolicy,
+    base_seed: u64,
+    reliability: &ReliabilityCfg,
+    chunk: usize,
+    sink: &mut dyn FnMut(RunObservation),
+) {
+    reliability.validate();
+    let horizon = if reliability.is_off() {
+        0.0
+    } else {
+        horizon_estimate(routes.topology(), hosts, cfg.file_bytes())
+    };
+    let chunk = if chunk == 0 { (iterations as usize).max(1) } else { chunk };
+    let mut start = 0u32;
+    while start < iterations {
+        let end = iterations.min(start + chunk as u32);
+        let batch: Vec<RunObservation> = (start..end)
+            .into_par_iter()
+            .map(|k| {
+                let seed = seed_for_iteration(base_seed, k as u64);
+                let root = root_policy.root_for(k, hosts.len(), base_seed);
+                let outcome = if reliability.is_off() {
+                    run_broadcast(routes, hosts, root, cfg, seed)
+                } else {
+                    let schedule = generate_schedule(
+                        routes.topology(),
+                        hosts,
+                        root,
+                        reliability,
+                        horizon,
+                        seed,
+                    );
+                    run_broadcast_perturbed(routes, hosts, root, cfg, seed, schedule)
+                };
+                RunObservation { iteration: k, root, seed, outcome }
+            })
+            .collect();
+        for obs in batch {
+            sink(obs);
+        }
+        start = end;
+    }
+}
+
 /// [`run_campaign`] under reliability perturbations: each iteration gets an
 /// independent deterministic schedule (host churn, link degradation,
 /// cross-traffic) derived from its iteration seed, sized to the scenario's
 /// makespan floor ([`horizon_estimate`]), with the iteration's root excluded
 /// from churn. Partial runs fold into the metric with per-pair observation
 /// counts, so truncated measurements never dilute clean ones.
+///
+/// The batch path is the streaming path plus a collector: this function is a
+/// thin fold over [`stream_campaign_with_reliability`], which is what makes
+/// the session layer's replay byte-identical by construction.
 #[allow(clippy::too_many_arguments)]
 pub fn run_campaign_with_reliability(
     routes: &Arc<RouteTable>,
@@ -179,30 +259,22 @@ pub fn run_campaign_with_reliability(
     base_seed: u64,
     reliability: &ReliabilityCfg,
 ) -> Campaign {
-    reliability.validate();
-    let horizon = if reliability.is_off() {
-        0.0
-    } else {
-        horizon_estimate(routes.topology(), hosts, cfg.file_bytes())
-    };
-    let runs: Vec<BroadcastResult> = (0..iterations)
-        .into_par_iter()
-        .map(|k| {
-            let seed = seed_for_iteration(base_seed, k as u64);
-            let root = root_policy.root_for(k, hosts.len(), base_seed);
-            if reliability.is_off() {
-                run_broadcast(routes, hosts, root, cfg, seed)
-            } else {
-                let schedule =
-                    generate_schedule(routes.topology(), hosts, root, reliability, horizon, seed);
-                run_broadcast_perturbed(routes, hosts, root, cfg, seed, schedule)
-            }
-        })
-        .collect();
+    let mut runs: Vec<BroadcastResult> = Vec::with_capacity(iterations as usize);
     let mut metric = MetricAccumulator::new(hosts.len());
-    for r in &runs {
-        metric.push_run_partial(&r.fragments, &r.participated());
-    }
+    stream_campaign_with_reliability(
+        routes,
+        hosts,
+        cfg,
+        iterations,
+        root_policy,
+        base_seed,
+        reliability,
+        0,
+        &mut |obs| {
+            metric.push_run_partial(&obs.outcome.fragments, &obs.outcome.participated());
+            runs.push(obs.outcome);
+        },
+    );
     Campaign { runs, metric }
 }
 
@@ -330,6 +402,52 @@ mod tests {
         for (x, y) in plain.runs.iter().zip(&off.runs) {
             assert_eq!(x.fragments, y.fragments);
             assert_eq!(x.makespan.to_bits(), y.makespan.to_bits());
+        }
+    }
+
+    #[test]
+    fn stream_is_chunk_invariant_and_matches_batch() {
+        let (routes, hosts) = star(8);
+        let rel = ReliabilityCfg { churn: 0.3, ..ReliabilityCfg::default() };
+        let batch = run_campaign_with_reliability(
+            &routes,
+            &hosts,
+            &cfg(),
+            5,
+            RootPolicy::RoundRobin,
+            7,
+            &rel,
+        );
+        for chunk in [1usize, 2, 0] {
+            let mut obs = Vec::new();
+            stream_campaign_with_reliability(
+                &routes,
+                &hosts,
+                &cfg(),
+                5,
+                RootPolicy::RoundRobin,
+                7,
+                &rel,
+                chunk,
+                &mut |o| obs.push(o),
+            );
+            assert_eq!(obs.len(), 5, "chunk {chunk}");
+            // Emitted strictly in iteration order, with batch-identical
+            // metadata and per-run content.
+            for (k, o) in obs.iter().enumerate() {
+                assert_eq!(o.iteration, k as u32);
+                assert_eq!(o.root, RootPolicy::RoundRobin.root_for(k as u32, hosts.len(), 7));
+                assert_eq!(o.seed, seed_for_iteration(7, k as u64));
+                assert_eq!(o.outcome.fragments, batch.runs[k].fragments);
+                assert_eq!(o.outcome.disrupted, batch.runs[k].disrupted);
+            }
+            // An in-order fold of the stream rebuilds the batch metric
+            // bit for bit.
+            let mut acc = MetricAccumulator::new(hosts.len());
+            for o in &obs {
+                acc.push_run_partial(&o.outcome.fragments, &o.outcome.participated());
+            }
+            assert_eq!(acc, batch.metric, "chunk {chunk}");
         }
     }
 
