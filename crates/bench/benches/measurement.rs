@@ -1,0 +1,76 @@
+//! Criterion: wall-clock of a full phase-1 measurement campaign as the
+//! worker-pool width grows — the knob `btt sweep --threads` exposes. The
+//! fold is byte-identical at every width (see
+//! `tests/parallel_equivalence.rs`), so this benchmark isolates the pure
+//! wall-clock effect of sharding the iteration grid.
+
+use btt_netsim::grid5000::Grid5000;
+use btt_netsim::perturb::ReliabilityCfg;
+use btt_netsim::routing::RouteTable;
+use btt_swarm::broadcast::{run_campaign_with_reliability, RootPolicy};
+use btt_swarm::config::SwarmConfig;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn bench_threads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("measurement/threads");
+    group.sample_size(10).measurement_time(Duration::from_secs(8));
+    let grid = Grid5000::builder().flat_site("site", 64).build();
+    let routes = Arc::new(RouteTable::new(grid.topology.clone()));
+    let hosts = grid.all_hosts();
+    let cfg = SwarmConfig::small(64);
+    for threads in [1usize, 2, 4, 0] {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &threads| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                run_campaign_with_reliability(
+                    &routes,
+                    &hosts,
+                    &cfg,
+                    4,
+                    RootPolicy::RoundRobin,
+                    seed,
+                    &ReliabilityCfg::default(),
+                    threads,
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_threads_under_churn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("measurement/threads-churn");
+    group.sample_size(10).measurement_time(Duration::from_secs(8));
+    let grid = Grid5000::builder().flat_site("site", 64).build();
+    let routes = Arc::new(RouteTable::new(grid.topology.clone()));
+    let hosts = grid.all_hosts();
+    let cfg = SwarmConfig::small(64);
+    // Churned iterations finish at uneven times — the regime where the
+    // reorder buffer actually holds runs back and pool slack shows up.
+    let rel = ReliabilityCfg { churn: 0.1, xtraffic: 0.2, degrade: 0.0 };
+    for threads in [1usize, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &threads| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                run_campaign_with_reliability(
+                    &routes,
+                    &hosts,
+                    &cfg,
+                    4,
+                    RootPolicy::RoundRobin,
+                    seed,
+                    &rel,
+                    threads,
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_threads, bench_threads_under_churn);
+criterion_main!(benches);

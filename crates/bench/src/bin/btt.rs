@@ -57,6 +57,9 @@ options:
   --iterations <N>         broadcast iterations per run (default: 10)
   --paper-iterations       use each scenario's default iteration count
   --pieces <N>             file size in 16 KiB fragments (default: 512)
+  --threads <N>            measurement worker threads per campaign
+                           (default: 0 = auto, 1 = serial; reports are
+                           byte-identical for every value)
   --quick                  shrink to 3 iterations x 128 fragments
   --bench                  also run the standardized engine + inference
                            benchmarks, writing BENCH_engine.json and
@@ -102,6 +105,8 @@ options:
   --iterations <N>         broadcast iterations per job (default: 3)
   --pieces <N>             file size in 16 KiB fragments (default: 64)
   --recluster-every <N>    streaming re-cluster cadence (default: 1)
+  --threads <N>            measurement worker threads per job (default: 0 =
+                           auto, 1 = serial; reports stay byte-identical)
   --poll-ms <N>            delay between poll rounds (default: 10)
   --shutdown               send a shutdown request once all jobs land
   -h, --help               show this help";
@@ -208,6 +213,13 @@ fn check(args: &[String]) -> ExitCode {
                 eprintln!(
                     "warning: {}: degenerate final partition (inference found no structure)",
                     path.display()
+                );
+            }
+            for scenario in &summary.zero_onmi {
+                eprintln!(
+                    "warning: {dir}/{file}: run '{scenario}' finished with final_onmi == 0.0 \
+                     (campaign completed but inference recovered no structure)",
+                    file = btt_bench::campaign::INFERENCE_BENCH_FILE,
                 );
             }
             println!(
@@ -388,6 +400,12 @@ fn stress_cmd(args: &[String]) -> ExitCode {
                 };
                 spec.recluster_every = n;
             }
+            "--threads" => {
+                let Some(n) = value().and_then(|v| v.parse::<usize>().ok()) else {
+                    return stress_err("--threads wants an unsigned integer".into());
+                };
+                spec.threads = n;
+            }
             "--poll-ms" => {
                 let Some(n) = value().and_then(|v| v.parse::<u64>().ok()) else {
                     return stress_err("--poll-ms wants an integer".into());
@@ -493,6 +511,12 @@ fn sweep(args: &[String]) -> ExitCode {
                     return sweep_err("--pieces wants a positive integer".into());
                 };
                 spec.pieces = n;
+            }
+            "--threads" => {
+                let Some(n) = value().and_then(|v| v.parse::<usize>().ok()) else {
+                    return sweep_err("--threads wants an unsigned integer".into());
+                };
+                spec.threads = n;
             }
             "--quick" => {
                 spec.iterations = Some(3);

@@ -38,6 +38,9 @@ pub struct SweepSpec {
     pub iterations: Option<u32>,
     /// File size in 16 KiB fragments.
     pub pieces: u32,
+    /// Measurement worker threads per campaign (`0` = auto, `1` = serial).
+    /// Purely a wall-clock knob: reports are byte-identical for every value.
+    pub threads: usize,
 }
 
 impl SweepSpec {
@@ -52,6 +55,7 @@ impl SweepSpec {
             seeds: vec![2012],
             iterations: Some(10),
             pieces: 512,
+            threads: 0,
         }
     }
 
@@ -77,6 +81,7 @@ impl SweepSpec {
                         seed,
                         iterations: self.iterations,
                         pieces: self.pieces,
+                        threads: self.threads,
                     };
                     if !runs.iter().any(|r| r.file_stem() == candidate.file_stem()) {
                         runs.push(candidate);
@@ -101,14 +106,18 @@ pub struct RunSpec {
     pub iterations: Option<u32>,
     /// File size in fragments.
     pub pieces: u32,
+    /// Measurement worker threads (`0` = auto, `1` = serial).
+    pub threads: usize,
 }
 
 impl RunSpec {
     /// The session this run configures (phase-2 algorithm excluded — it is
     /// passed explicitly at analysis time so campaigns can be shared).
     fn session(&self) -> TomographySession {
-        let mut session =
-            TomographySession::over(self.scenario.build()).pieces(self.pieces).seed(self.seed);
+        let mut session = TomographySession::over(self.scenario.build())
+            .pieces(self.pieces)
+            .seed(self.seed)
+            .threads(self.threads);
         if let Some(n) = self.iterations {
             session = session.iterations(n);
         }
@@ -407,31 +416,58 @@ pub struct InferenceBenchPoint {
     /// are machine-dependent; the recorded speedups are the comparable
     /// quantity.
     pub baseline_serial_ms: Option<f64>,
+    /// Worker threads for the phase-1 measurement campaign
+    /// (`TomographySession::threads`). The campaign pool's in-order reorder
+    /// buffer makes the fold byte-identical to the serial schedule, so this
+    /// changes wall-clock only, never results.
+    pub measure_threads: usize,
+    /// Wall-clock of the same measurement campaign on the pre-parallel
+    /// serial engine, in milliseconds, measured once at the parallel-
+    /// measurement PR on its reference machine. Same caveat as
+    /// `baseline_serial_ms`: absolute values are machine-dependent, the
+    /// recorded speedups are the comparable quantity.
+    pub measure_serial_ms: Option<f64>,
 }
 
 /// The standardized inference benchmark: the paper's Fig.-13 convergence
 /// study at 1000+ hosts. `fat-tree-1k` at 100 iterations is the headline
 /// point (the acceptance gate for the streaming refactor); `wan-1k` and
-/// `edge-2k` pin the other scale presets at shallower series so the suite
-/// stays inside the CI smoke budget.
+/// `edge-2k` pin the other scale presets at shallower series, and
+/// `fat-tree-4k` is a deliberately shallow 4096-host point proving the
+/// parallel measurement path completes at 4x the headline scale -- all
+/// sized so the suite stays inside the CI smoke budget.
 pub const INFERENCE_BENCH_SUITE: &[InferenceBenchPoint] = &[
     InferenceBenchPoint {
         scenario: "fat-tree-1k",
         pieces: 128,
         iterations: 100,
         baseline_serial_ms: Some(28156.0),
+        measure_threads: 4,
+        measure_serial_ms: Some(34006.0),
     },
     InferenceBenchPoint {
         scenario: "wan-1k",
         pieces: 128,
         iterations: 50,
         baseline_serial_ms: Some(7699.0),
+        measure_threads: 4,
+        measure_serial_ms: None,
     },
     InferenceBenchPoint {
         scenario: "edge-2k",
         pieces: 64,
         iterations: 10,
         baseline_serial_ms: Some(1783.0),
+        measure_threads: 4,
+        measure_serial_ms: None,
+    },
+    InferenceBenchPoint {
+        scenario: "fat-tree-4k",
+        pieces: 32,
+        iterations: 5,
+        baseline_serial_ms: None,
+        measure_threads: 4,
+        measure_serial_ms: None,
     },
 ];
 
@@ -452,7 +488,8 @@ pub fn run_inference_bench_point(point: &InferenceBenchPoint) -> json::Json {
     let session = TomographySession::over(spec.build())
         .pieces(point.pieces)
         .iterations(point.iterations)
-        .seed(INFERENCE_BENCH_SEED);
+        .seed(INFERENCE_BENCH_SEED)
+        .threads(point.measure_threads);
     let hosts = session.scenario().num_hosts();
 
     let wall = Instant::now();
@@ -471,6 +508,10 @@ pub fn run_inference_bench_point(point: &InferenceBenchPoint) -> json::Json {
         Some(b) => (json::Json::Float(b), json::Json::Float(b / timing.total_ms())),
         None => (json::Json::Null, json::Json::Null),
     };
+    let measure_speedup = match point.measure_serial_ms {
+        Some(b) => json::Json::Float(b / measure_ms),
+        None => json::Json::Null,
+    };
     json::Json::obj(vec![
         ("scenario", json::Json::Str(point.scenario.to_string())),
         ("scenario_id", json::Json::Str(spec.id())),
@@ -479,6 +520,8 @@ pub fn run_inference_bench_point(point: &InferenceBenchPoint) -> json::Json {
         ("iterations", json::Json::UInt(point.iterations as u64)),
         ("seed", json::Json::UInt(INFERENCE_BENCH_SEED)),
         ("measure_wall_ms", json::Json::Float(measure_ms)),
+        ("measure_threads", json::Json::UInt(point.measure_threads as u64)),
+        ("measure_speedup", measure_speedup),
         ("aggregate_ms", json::Json::Float(timing.aggregate_ms)),
         ("cluster_ms", json::Json::Float(timing.cluster_ms)),
         ("inference_wall_ms", json::Json::Float(timing.total_ms())),
@@ -486,6 +529,10 @@ pub fn run_inference_bench_point(point: &InferenceBenchPoint) -> json::Json {
         ("pruned", json::Json::Bool(hosts >= SPARSE_NODE_THRESHOLD)),
         ("final_onmi", json::Json::Float(last.onmi)),
         ("final_clusters", json::Json::UInt(last.clusters as u64)),
+        // `measure()` returning means every iteration ran to completion;
+        // `btt check` uses this to tell "campaign finished but inference
+        // found nothing" (a warning) from a merely truncated artifact.
+        ("finished", json::Json::Bool(true)),
         ("baseline_serial_ms", baseline),
         ("speedup_vs_serial", speedup),
     ])
@@ -500,9 +547,12 @@ pub fn inference_bench_json(filter: Option<&[String]>) -> json::Json {
         (
             "note",
             json::Json::Str(
-                "full measurement campaign + convergence series per point; phase-2 \
-                 timings split into streaming aggregation and parallel clustering; \
-                 baselines measured once on the pre-refactor serial inference path"
+                "full measurement campaign (measure_threads workers, fold \
+                 byte-identical to serial) + convergence series per point; \
+                 phase-2 timings split into streaming aggregation and parallel \
+                 clustering; baseline_serial_ms / measure_serial_ms measured \
+                 once on the pre-refactor serial inference / pre-parallel \
+                 measurement paths"
                     .to_string(),
             ),
         ),
@@ -538,9 +588,26 @@ pub fn write_inference_bench(out: &Path, filter: Option<&[String]>) -> io::Resul
     Ok(Some(path))
 }
 
+/// What [`check_inference_bench`] found in a structurally valid document:
+/// the run count, plus the scenarios of runs whose campaign `finished` yet
+/// scored `final_onmi == 0.0`. Such a record parses fine — but a completed
+/// campaign whose inference recovered *no* structure at all almost always
+/// means the measurement itself was broken (e.g. every pair unobserved), so
+/// `btt check` surfaces each as a warning rather than silently passing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InferenceBenchCheck {
+    /// Number of runs in the document.
+    pub runs: usize,
+    /// Scenarios of finished runs with `final_onmi == 0.0`. Runs without a
+    /// `finished` flag (pre-flag artifacts) or with `finished: false` are
+    /// never flagged: an unfinished campaign scoring zero is expected.
+    pub zero_onmi: Vec<String>,
+}
+
 /// Validates a `BENCH_inference.json` document: schema marker plus a
-/// non-empty `runs` array whose entries carry the trajectory keys.
-pub fn check_inference_bench(text: &str) -> Result<usize, String> {
+/// non-empty `runs` array whose entries carry the trajectory keys. Returns
+/// the [`InferenceBenchCheck`] diagnostics on success.
+pub fn check_inference_bench(text: &str) -> Result<InferenceBenchCheck, String> {
     let doc = json::parse(text).map_err(|e| e.to_string())?;
     let schema = doc.get("schema").and_then(json::Json::as_str);
     if schema != Some("btt-inference-bench-v1") {
@@ -550,12 +617,14 @@ pub fn check_inference_bench(text: &str) -> Result<usize, String> {
     if runs.is_empty() {
         return Err("empty runs array".into());
     }
+    let mut zero_onmi = Vec::new();
     for (i, run) in runs.iter().enumerate() {
         for key in [
             "scenario",
             "hosts",
             "iterations",
             "seed",
+            "measure_threads",
             "aggregate_ms",
             "cluster_ms",
             "inference_wall_ms",
@@ -565,8 +634,14 @@ pub fn check_inference_bench(text: &str) -> Result<usize, String> {
                 return Err(format!("run {i} missing key {key:?}"));
             }
         }
+        let finished = run.get("finished").and_then(json::Json::as_bool) == Some(true);
+        let onmi = run.get("final_onmi").and_then(json::Json::as_f64);
+        if finished && onmi == Some(0.0) {
+            let scenario = run.get("scenario").and_then(json::Json::as_str).unwrap_or("?");
+            zero_onmi.push(scenario.to_string());
+        }
     }
-    Ok(runs.len())
+    Ok(InferenceBenchCheck { runs: runs.len(), zero_onmi })
 }
 
 /// Validates a `BENCH_engine.json` document: schema marker plus a non-empty
@@ -765,6 +840,10 @@ pub struct CheckSummary {
     /// (all-one-cluster / all-singletons) — valid artifacts, but the run
     /// found no structure at all; `btt check` surfaces each as a warning.
     pub degenerate: Vec<PathBuf>,
+    /// Scenarios of inference-bench runs that finished with
+    /// `final_onmi == 0.0` (see [`InferenceBenchCheck::zero_onmi`]);
+    /// surfaced as warnings like `degenerate`.
+    pub zero_onmi: Vec<String>,
 }
 
 /// Validates every campaign artifact in `dir`: `.json` files must parse as
@@ -826,15 +905,17 @@ pub fn check_outputs(dir: &Path) -> Result<CheckSummary, CheckError> {
         jsons += 1;
     }
     let inference_path = dir.join(INFERENCE_BENCH_FILE);
+    let mut zero_onmi = Vec::new();
     if inference_path.exists() {
         let text = read(&inference_path)?;
-        check_inference_bench(&text).map_err(|e| invalid(&inference_path, e))?;
+        let chk = check_inference_bench(&text).map_err(|e| invalid(&inference_path, e))?;
+        zero_onmi = chk.zero_onmi;
         jsons += 1;
     }
     if jsons == 0 && csvs == 0 {
         return Err(CheckError::NoArtifacts { dir: dir.to_path_buf() });
     }
-    Ok(CheckSummary { jsons, csvs, degenerate })
+    Ok(CheckSummary { jsons, csvs, degenerate, zero_onmi })
 }
 
 /// Renders the paper-style fixed-width summary table for stdout.
@@ -875,6 +956,7 @@ mod tests {
             seeds: vec![7],
             iterations: Some(2),
             pieces: 48,
+            threads: 0,
         }
     }
 
@@ -967,6 +1049,7 @@ mod tests {
             seeds: vec![2012],
             iterations: Some(3),
             pieces: 64,
+            threads: 0,
         };
         let records = run_sweep(&spec);
         assert_eq!(records.len(), 1);
@@ -997,6 +1080,7 @@ mod tests {
             seeds: vec![1],
             iterations: Some(1),
             pieces: 48,
+            threads: 0,
         };
         write_outputs(&dir, &spec.expand(), &run_sweep(&spec)).unwrap();
         assert!(!dir.join("wan-9x9-0.5__infomap__s42.json").exists(), "stale record removed");
@@ -1019,6 +1103,8 @@ mod tests {
             pieces: 48,
             iterations: 3,
             baseline_serial_ms: Some(100.0),
+            measure_threads: 2,
+            measure_serial_ms: Some(100.0),
         };
         let record = run_inference_bench_point(&point);
         assert_eq!(record.get("hosts").and_then(json::Json::as_u64), Some(24));
@@ -1026,12 +1112,19 @@ mod tests {
         assert_eq!(record.get("pruned"), Some(&json::Json::Bool(false)));
         assert!(record.get("aggregate_ms").is_some());
         assert!(record.get("speedup_vs_serial").is_some());
+        assert_eq!(record.get("measure_threads").and_then(json::Json::as_u64), Some(2));
+        assert!(record.get("measure_speedup").and_then(json::Json::as_f64).is_some());
+        assert_eq!(record.get("finished"), Some(&json::Json::Bool(true)));
+        let zero = record.get("final_onmi").and_then(json::Json::as_f64) == Some(0.0);
         let doc = json::Json::obj(vec![
             ("schema", json::Json::Str("btt-inference-bench-v1".into())),
             ("seed", json::Json::UInt(INFERENCE_BENCH_SEED)),
             ("runs", json::Json::Array(vec![record])),
         ]);
-        assert_eq!(check_inference_bench(&doc.render_pretty()), Ok(1));
+        let chk = check_inference_bench(&doc.render_pretty()).unwrap();
+        assert_eq!(chk.runs, 1);
+        // The warning list agrees with whatever the record actually scored.
+        assert_eq!(!chk.zero_onmi.is_empty(), zero);
         // Schema and key failures are reported.
         assert!(check_inference_bench("{}").is_err());
         let wrong = json::Json::obj(vec![
@@ -1039,6 +1132,55 @@ mod tests {
             ("runs", json::Json::Array(vec![json::Json::obj(vec![])])),
         ]);
         assert!(check_inference_bench(&wrong.render_pretty()).unwrap_err().contains("missing key"));
+    }
+
+    #[test]
+    fn check_flags_finished_runs_with_zero_onmi() {
+        // Synthetic artifact: three structurally valid runs. Only the one
+        // that *finished* with final_onmi == 0.0 may be flagged — a zero
+        // score on an unfinished campaign is expected, and pre-flag records
+        // (no `finished` key) must stay warning-free for compatibility.
+        let run = |scenario: &str, onmi: f64, finished: Option<bool>| {
+            let mut fields = vec![
+                ("scenario", json::Json::Str(scenario.into())),
+                ("hosts", json::Json::UInt(16)),
+                ("iterations", json::Json::UInt(2)),
+                ("seed", json::Json::UInt(INFERENCE_BENCH_SEED)),
+                ("measure_threads", json::Json::UInt(4)),
+                ("aggregate_ms", json::Json::Float(1.0)),
+                ("cluster_ms", json::Json::Float(1.0)),
+                ("inference_wall_ms", json::Json::Float(2.0)),
+                ("final_onmi", json::Json::Float(onmi)),
+            ];
+            if let Some(f) = finished {
+                fields.push(("finished", json::Json::Bool(f)));
+            }
+            json::Json::obj(fields)
+        };
+        let doc = json::Json::obj(vec![
+            ("schema", json::Json::Str("btt-inference-bench-v1".into())),
+            ("seed", json::Json::UInt(INFERENCE_BENCH_SEED)),
+            (
+                "runs",
+                json::Json::Array(vec![
+                    run("broken", 0.0, Some(true)),
+                    run("aborted", 0.0, Some(false)),
+                    run("legacy", 0.0, None),
+                    run("healthy", 0.83, Some(true)),
+                ]),
+            ),
+        ]);
+        let chk = check_inference_bench(&doc.render_pretty()).unwrap();
+        assert_eq!(chk.runs, 4);
+        assert_eq!(chk.zero_onmi, vec!["broken".to_string()]);
+        // End to end: dropped in a directory, check_outputs carries the
+        // warning through to its summary.
+        let dir = std::env::temp_dir().join(format!("btt-zero-onmi-test-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join(INFERENCE_BENCH_FILE), doc.render_pretty()).unwrap();
+        let summary = check_outputs(&dir).unwrap();
+        assert_eq!(summary.zero_onmi, vec!["broken".to_string()]);
+        fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
@@ -1059,6 +1201,7 @@ mod tests {
             seeds: vec![3],
             iterations: Some(2),
             pieces: 48,
+            threads: 0,
         };
         let runs = spec.expand();
         let records = run_sweep(&spec);

@@ -172,6 +172,9 @@ pub struct JobSpec {
     pub pieces: u32,
     /// Streaming re-cluster cadence (optional, default 1 — every run).
     pub recluster_every: u32,
+    /// Measurement worker threads (optional, default 0 = auto, 1 = serial).
+    /// A wall-clock knob only: the report is byte-identical for every value.
+    pub threads: usize,
 }
 
 impl JobSpec {
@@ -189,7 +192,13 @@ impl JobSpec {
         for (key, _) in fields {
             if !matches!(
                 key.as_str(),
-                "scenario" | "algorithm" | "seed" | "iterations" | "pieces" | "recluster_every"
+                "scenario"
+                    | "algorithm"
+                    | "seed"
+                    | "iterations"
+                    | "pieces"
+                    | "recluster_every"
+                    | "threads"
             ) {
                 return Err(bad(key, "not a job spec field".to_string()));
             }
@@ -233,6 +242,13 @@ impl JobSpec {
                 j.as_u64().ok_or_else(|| bad("seed", "expected an unsigned integer".to_string()))?
             }
         };
+        let threads = match v.get("threads") {
+            None => 0,
+            Some(j) => j
+                .as_u64()
+                .and_then(|u| usize::try_from(u).ok())
+                .ok_or_else(|| bad("threads", "expected an unsigned integer".to_string()))?,
+        };
         Ok(JobSpec {
             scenario,
             algorithm,
@@ -240,6 +256,7 @@ impl JobSpec {
             iterations: u32_field("iterations", 1)?,
             pieces: u32_field("pieces", 1)?.unwrap_or(256),
             recluster_every: u32_field("recluster_every", 1)?.unwrap_or(1),
+            threads,
         })
     }
 
@@ -249,7 +266,8 @@ impl JobSpec {
             .pieces(self.pieces)
             .seed(self.seed)
             .algorithm(self.algorithm)
-            .recluster_every(self.recluster_every);
+            .recluster_every(self.recluster_every)
+            .threads(self.threads);
         if let Some(n) = self.iterations {
             session = session.iterations(n);
         }
@@ -816,6 +834,7 @@ mod tests {
             seed: 2012,
             iterations: Some(2),
             pieces: 48,
+            threads: 0,
         }
         .run();
         assert_eq!(record, batch, "served report is byte-identical to the batch path");
@@ -915,5 +934,113 @@ mod tests {
         server.shutdown();
         let stats = server.wait().unwrap();
         assert_eq!(stats.submitted, 0);
+    }
+
+    #[test]
+    fn truncated_request_gets_a_typed_error_and_the_connection_survives() {
+        let server = start();
+        // A request cut off mid-document (client died mid-write, proxy
+        // flushed a partial line): typed parse error, not a dropped
+        // connection — the same socket must still serve the next request.
+        let mut raw = TcpStream::connect(server.addr()).unwrap();
+        let full = ServeClient::envelope("ping", vec![]).render();
+        let truncated = &full[..full.len() / 2];
+        raw.write_all(truncated.as_bytes()).unwrap();
+        raw.write_all(b"\n").unwrap();
+        let mut reader = BufReader::new(raw.try_clone().unwrap());
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let resp = btt_core::serialize::json::parse(&line).unwrap();
+        assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(false));
+        let err = resp.get("error").unwrap();
+        assert_eq!(err.get("kind").and_then(Json::as_str), Some("malformed_request"));
+        assert_eq!(err.get("field").and_then(Json::as_str), Some("request"));
+
+        // Same connection, next line: the daemon kept serving.
+        let mut ping = ServeClient::envelope("ping", vec![]).render();
+        ping.push('\n');
+        raw.write_all(ping.as_bytes()).unwrap();
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        let pong = btt_core::serialize::json::parse(&line).unwrap();
+        assert_eq!(pong.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(pong.get("kind").and_then(Json::as_str), Some("pong"));
+
+        server.shutdown();
+        assert_eq!(server.wait().unwrap().submitted, 0);
+    }
+
+    #[test]
+    fn unknown_job_spec_field_is_rejected_even_when_the_rest_is_valid() {
+        let server = start();
+        let mut client = ServeClient::connect(&server.addr()).unwrap();
+        // An otherwise-complete spec with one unknown knob: rejected, the
+        // error names the knob, and nothing was enqueued.
+        let mut job = small_job();
+        if let Json::Object(fields) = &mut job {
+            fields.push(("turbo_mode".to_string(), Json::Bool(true)));
+        }
+        let resp = client.request(&ServeClient::envelope("submit", vec![("job", job)])).unwrap();
+        let err = resp.get("error").expect("submit must fail");
+        assert_eq!(err.get("kind").and_then(Json::as_str), Some("malformed_job_spec"));
+        assert_eq!(err.get("field").and_then(Json::as_str), Some("turbo_mode"));
+        let list = client.request(&ServeClient::envelope("list", vec![])).unwrap();
+        assert_eq!(list.get("jobs").and_then(Json::as_array).map(<[Json]>::len), Some(0));
+
+        server.shutdown();
+        assert_eq!(server.wait().unwrap().submitted, 0);
+    }
+
+    #[test]
+    fn snapshot_of_an_unknown_job_is_a_typed_error() {
+        let server = start();
+        let mut client = ServeClient::connect(&server.addr()).unwrap();
+        let resp = client
+            .request(&ServeClient::envelope("snapshot", vec![("job_id", Json::UInt(9000))]))
+            .unwrap();
+        assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(false));
+        let err = resp.get("error").unwrap();
+        assert_eq!(err.get("kind").and_then(Json::as_str), Some("unknown_job"));
+        assert_eq!(err.get("job_id").and_then(Json::as_u64), Some(9000));
+        // Typed on the Rust side too, not just the wire.
+        assert_eq!(ServeError::UnknownJob { job_id: 9000 }.kind(), "unknown_job");
+        // A missing job_id is an envelope error, not an unknown job.
+        let resp = client.request(&ServeClient::envelope("snapshot", vec![])).unwrap();
+        let err = resp.get("error").unwrap();
+        assert_eq!(err.get("kind").and_then(Json::as_str), Some("malformed_request"));
+        assert_eq!(err.get("field").and_then(Json::as_str), Some("job_id"));
+
+        server.shutdown();
+        assert_eq!(server.wait().unwrap().submitted, 0);
+    }
+
+    #[test]
+    fn shutdown_racing_an_in_flight_job_drains_it_and_rejects_new_submits() {
+        let server = start();
+        let mut client = ServeClient::connect(&server.addr()).unwrap();
+        // A job slow enough (many pieces, several iterations) that the
+        // shutdown request lands while it is still measuring.
+        let slow = Json::obj(vec![
+            ("scenario", Json::Str("star:2x4:0.2:4".to_string())),
+            ("iterations", Json::UInt(4)),
+            ("pieces", Json::UInt(256)),
+        ]);
+        let sub = client.request(&ServeClient::envelope("submit", vec![("job", slow)])).unwrap();
+        assert_eq!(sub.get("ok").and_then(Json::as_bool), Some(true), "{sub:?}");
+
+        let down = client.request(&ServeClient::envelope("shutdown", vec![])).unwrap();
+        assert_eq!(down.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(down.get("jobs_submitted").and_then(Json::as_u64), Some(1));
+
+        // Post-shutdown submits are refused with the typed kind...
+        let resp =
+            client.request(&ServeClient::envelope("submit", vec![("job", small_job())])).unwrap();
+        assert_eq!(
+            resp.get("error").and_then(|e| e.get("kind")).and_then(Json::as_str),
+            Some("shutting_down")
+        );
+        // ...but the in-flight job is drained to completion, not dropped.
+        let stats = server.wait().unwrap();
+        assert_eq!(stats, ServeStats { submitted: 1, completed: 1, failed: 0 });
     }
 }

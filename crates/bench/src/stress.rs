@@ -34,6 +34,8 @@ pub struct StressSpec {
     pub pieces: u32,
     /// Streaming re-cluster cadence.
     pub recluster_every: u32,
+    /// Measurement worker threads per job (0 = auto, 1 = serial).
+    pub threads: usize,
     /// Delay between status/snapshot polls per in-flight job.
     pub poll: Duration,
     /// Send a `shutdown` request after all jobs complete.
@@ -52,6 +54,7 @@ impl Default for StressSpec {
             iterations: Some(3),
             pieces: 64,
             recluster_every: 1,
+            threads: 0,
             poll: Duration::from_millis(10),
             shutdown: false,
         }
@@ -236,6 +239,7 @@ fn stress_thread(
             ("seed", Json::UInt(spec.seed + u64::from(i))),
             ("pieces", Json::UInt(u64::from(spec.pieces))),
             ("recluster_every", Json::UInt(u64::from(spec.recluster_every))),
+            ("threads", Json::UInt(spec.threads as u64)),
         ];
         if let Some(n) = spec.iterations {
             job.push(("iterations", Json::UInt(u64::from(n))));

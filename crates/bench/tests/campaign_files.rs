@@ -17,6 +17,7 @@ fn spec() -> SweepSpec {
         seeds: vec![2012],
         iterations: Some(3),
         pieces: 96,
+        threads: 0,
     }
 }
 
@@ -74,6 +75,7 @@ fn churn_rate_sweep_on_wan_512_emits_reliability_fields() {
         seeds: vec![2012],
         iterations: Some(2),
         pieces: 48,
+        threads: 0,
     };
     let runs = spec.expand();
     let records = run_sweep(&spec);

@@ -40,6 +40,7 @@ fn stress_drives_the_daemon_without_deadlock_or_corruption() {
         seed: 2012,
         iterations: Some(4),
         pieces: 256,
+        threads: 2,
         recluster_every: 1,
         poll: Duration::from_millis(1),
         shutdown: true,
@@ -83,6 +84,7 @@ fn stress_drives_the_daemon_without_deadlock_or_corruption() {
             seed,
             iterations: Some(4),
             pieces: 256,
+            threads: 0,
         }
         .run();
         let served = fs::read_to_string(path).unwrap();

@@ -58,6 +58,7 @@ pub struct TomographySession {
     algorithm: ClusteringAlgorithm,
     seed: u64,
     recluster_every: u32,
+    threads: usize,
 }
 
 impl TomographySession {
@@ -78,6 +79,7 @@ impl TomographySession {
             algorithm: ClusteringAlgorithm::Louvain,
             seed: 0x5EED,
             recluster_every: 1,
+            threads: 0,
         }
     }
 
@@ -132,6 +134,16 @@ impl TomographySession {
         self
     }
 
+    /// Sets the phase-1 worker-thread count: `0` (the default) uses one
+    /// worker per available CPU, `1` runs broadcasts strictly serially.
+    /// Purely a wall-clock knob — completed runs are folded in iteration
+    /// order through a reorder buffer, so the report is byte-identical for
+    /// every thread count (pinned by `tests/parallel_equivalence.rs`).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
     /// The underlying scenario.
     pub fn scenario(&self) -> &Scenario {
         &self.scenario
@@ -156,6 +168,7 @@ impl TomographySession {
             self.root_policy,
             self.seed,
             &self.scenario.reliability,
+            self.threads,
         )
     }
 
@@ -212,6 +225,7 @@ impl TomographySession {
             self.seed,
             &self.scenario.reliability,
             chunk,
+            self.threads,
             sink,
         );
     }

@@ -36,7 +36,7 @@
 
 use crate::fairness::IncrementalMaxMin;
 use crate::routing::RouteTable;
-use crate::topology::{NodeId, Topology};
+use crate::topology::{ChannelId, NodeId, Topology};
 use crate::units::{Bytes, SimTime};
 use crate::util::FxHashMap;
 use std::cell::RefCell;
@@ -356,6 +356,13 @@ pub struct SimNet {
     time: SimTime,
     nflows: usize,
     nbounded: usize,
+    /// Reusable route buffer for flow starts (one per transfer on the swarm
+    /// hot path; the table walk is short but the per-call `Vec` was not free).
+    route_scratch: Vec<ChannelId>,
+    /// Per-channel one-way latency, flat by [`ChannelId::idx`]: the route
+    /// delay sum reads a cache-resident array instead of dereferencing each
+    /// hop's `Link`.
+    chan_latency: Vec<f64>,
 }
 
 impl SimNet {
@@ -369,6 +376,13 @@ impl SimNet {
     /// broadcast iterations over the same topology).
     pub fn with_routes(topo: Arc<Topology>, routes: Arc<RouteTable>) -> Self {
         let channels = topo.num_channels();
+        let mut chan_latency = vec![0.0; channels];
+        for l in 0..topo.num_links() {
+            let link_id = crate::topology::LinkId(l as u32);
+            let lat = topo.link(link_id).latency;
+            chan_latency[link_id.forward().idx()] = lat;
+            chan_latency[link_id.reverse().idx()] = lat;
+        }
         SimNet {
             core: RefCell::new(Core {
                 flows: FxHashMap::default(),
@@ -387,6 +401,8 @@ impl SimNet {
             time: 0.0,
             nflows: 0,
             nbounded: 0,
+            route_scratch: Vec::new(),
+            chan_latency,
         }
     }
 
@@ -440,13 +456,14 @@ impl SimNet {
         extra_cap: Option<f64>,
         tag: u64,
     ) -> FlowId {
-        let route = self.routes.route(src, dst);
+        let mut route = std::mem::take(&mut self.route_scratch);
+        self.routes.route_into(src, dst, &mut route);
         let link_cap = self.routes.route_flow_cap(&route);
         let cap = match (link_cap, extra_cap) {
             (Some(a), Some(b)) => Some(a.min(b)),
             (a, b) => a.or(b),
         };
-        let delay: SimTime = route.iter().map(|ch| self.topo.link(ch.link()).latency).sum();
+        let delay: SimTime = route.iter().map(|ch| self.chan_latency[ch.idx()]).sum();
         let id = self.next_id;
         self.next_id += 1;
         let core = self.core.get_mut();
@@ -512,6 +529,7 @@ impl SimNet {
         if bytes.is_some() {
             self.nbounded += 1;
         }
+        self.route_scratch = route;
         FlowId(id)
     }
 
@@ -668,8 +686,16 @@ impl SimNet {
     /// boundary instants (e.g. protocol timers) use this so the boundary's
     /// clock value does not depend on how the approach was sliced.
     pub fn advance_until(&mut self, deadline: SimTime) -> Vec<Completion> {
-        assert!(deadline.is_finite(), "advance_until requires a finite deadline");
         let mut out = Vec::new();
+        self.advance_until_into(deadline, &mut out);
+        out
+    }
+
+    /// [`advance_until`](Self::advance_until) appending into a caller-owned
+    /// buffer (not cleared), so completion-driven drivers reuse one
+    /// allocation across the millions of advances in a measurement campaign.
+    pub fn advance_until_into(&mut self, deadline: SimTime, out: &mut Vec<Completion>) {
+        assert!(deadline.is_finite(), "advance_until requires a finite deadline");
         loop {
             let core = self.core.get_mut();
             core.maybe_resolve(self.time);
@@ -768,7 +794,6 @@ impl SimNet {
         if deadline > self.time {
             self.time = deadline;
         }
-        out
     }
 
     /// Advances to the next event (bounded completion or delivery mark) or
@@ -784,6 +809,19 @@ impl SimNet {
     /// **absolute** deadline (see [`advance_until`](Self::advance_until) for
     /// why absolute boundaries matter to deterministic drivers).
     pub fn advance_to_next_event_until(&mut self, deadline: SimTime) -> Vec<Completion> {
+        let mut out = Vec::new();
+        self.advance_to_next_event_until_into(deadline, &mut out);
+        out
+    }
+
+    /// [`advance_to_next_event_until`](Self::advance_to_next_event_until)
+    /// appending into a caller-owned buffer (not cleared); see
+    /// [`advance_until_into`](Self::advance_until_into).
+    pub fn advance_to_next_event_until_into(
+        &mut self,
+        deadline: SimTime,
+        out: &mut Vec<Completion>,
+    ) {
         let eta = {
             let core = self.core.get_mut();
             core.maybe_resolve(self.time);
@@ -812,9 +850,9 @@ impl SimNet {
         };
         if !target.is_finite() {
             // No scheduled events and an unbounded horizon: nothing to do.
-            return Vec::new();
+            return;
         }
-        self.advance_until(target)
+        self.advance_until_into(target, out);
     }
 
     /// Runs until all bounded flows complete or `max_time` of simulated time

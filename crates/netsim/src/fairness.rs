@@ -141,7 +141,13 @@ use crate::topology::ChannelId;
 struct SolvedFlow {
     /// Caller's flow id (u64::MAX marks a free slab slot).
     id: u64,
-    route: Box<[ChannelId]>,
+    route: Vec<ChannelId>,
+    /// `pos[i]` = this slot's index within `members[route[i]]`, maintained
+    /// under swap-removal so unregistering a flow is O(route²) instead of
+    /// an O(channel load) scan per hop — core fat-tree channels carry
+    /// hundreds of concurrent flows, and every fragment completion removes
+    /// one.
+    pos: Vec<u32>,
     cap: Option<f64>,
     rate: f64,
     /// Component-BFS visitation stamp (compared against the solver epoch).
@@ -297,22 +303,39 @@ impl IncrementalMaxMin {
     pub fn insert(&mut self, id: u64, route: &[ChannelId], cap: Option<f64>) {
         assert_ne!(id, FREE_SLOT, "reserved flow id");
         let rate = if route.is_empty() { cap.unwrap_or(f64::INFINITY) } else { 0.0 };
-        let flow = SolvedFlow { id, route: route.into(), cap, rate, stamp: 0, local: 0 };
+        // Reuse a freed slab slot's route/pos buffers when available so
+        // steady-state flow churn allocates nothing.
         let slot = match self.free.pop() {
             Some(s) => {
-                self.slots[s as usize] = flow;
+                let f = &mut self.slots[s as usize];
+                f.id = id;
+                f.route.clear();
+                f.route.extend_from_slice(route);
+                f.pos.clear();
+                f.cap = cap;
+                f.rate = rate;
                 s
             }
             None => {
-                self.slots.push(flow);
+                self.slots.push(SolvedFlow {
+                    id,
+                    route: route.to_vec(),
+                    pos: Vec::new(),
+                    cap,
+                    rate,
+                    stamp: 0,
+                    local: 0,
+                });
                 (self.slots.len() - 1) as u32
             }
         };
         let prev = self.index.insert(id, slot);
         assert!(prev.is_none(), "flow {id} registered twice");
         for ch in route {
-            self.members[ch.idx()].push(slot);
-            self.mark_dirty(ch.idx());
+            let c = ch.idx();
+            self.slots[slot as usize].pos.push(self.members[c].len() as u32);
+            self.members[c].push(slot);
+            self.mark_dirty(c);
         }
     }
 
@@ -320,12 +343,31 @@ impl IncrementalMaxMin {
     pub fn remove(&mut self, id: u64) {
         let Some(slot) = self.index.remove(&id) else { return };
         let route = std::mem::take(&mut self.slots[slot as usize].route);
-        for ch in route.iter() {
+        let pos = std::mem::take(&mut self.slots[slot as usize].pos);
+        for (ch, &p) in route.iter().zip(&pos) {
             let c = ch.idx();
-            self.members[c].retain(|&m| m != slot);
+            let p = p as usize;
+            debug_assert_eq!(self.members[c][p], slot, "stale member position");
+            self.members[c].swap_remove(p);
+            // The member swapped into `p` (if any) records its new index.
+            if let Some(&moved) = self.members[c].get(p) {
+                let m = &mut self.slots[moved as usize];
+                let j = m
+                    .route
+                    .iter()
+                    .position(|mc| mc.idx() == c)
+                    .expect("member lists mirror flow routes");
+                m.pos[j] = p as u32;
+            }
             self.mark_dirty(c);
         }
-        self.slots[slot as usize].id = FREE_SLOT;
+        // Hand the buffers back to the slot so the next insert reuses them.
+        let f = &mut self.slots[slot as usize];
+        f.route = route;
+        f.route.clear();
+        f.pos = pos;
+        f.pos.clear();
+        f.id = FREE_SLOT;
         self.free.push(slot);
     }
 

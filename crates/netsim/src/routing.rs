@@ -18,8 +18,10 @@ use std::sync::Arc;
 #[derive(Debug, Clone)]
 pub struct RouteTable {
     topo: Arc<Topology>,
-    /// parent_link[src][node] = link towards the BFS parent on the path to src.
-    parents: Vec<Vec<Option<(NodeId, crate::topology::LinkId)>>>,
+    /// parents[src][node] = BFS parent on the path to src, with the directed
+    /// channel parent→node already resolved (so route extraction is one
+    /// table load per hop, no link lookup).
+    parents: Vec<Vec<Option<(NodeId, ChannelId)>>>,
     /// hops[src][node] = hop distance from src.
     hops: Vec<Vec<u32>>,
 }
@@ -60,24 +62,29 @@ impl RouteTable {
     /// link used by `a→b` and `b→a` flows contributes different channels —
     /// full-duplex links do not couple the two directions.
     pub fn route(&self, src: NodeId, dst: NodeId) -> Vec<ChannelId> {
+        let mut out = Vec::new();
+        self.route_into(src, dst, &mut out);
+        out
+    }
+
+    /// [`route`](Self::route) into a caller-provided buffer (cleared first),
+    /// so per-flow-start lookups on the hot path reuse one allocation.
+    pub fn route_into(&self, src: NodeId, dst: NodeId, out: &mut Vec<ChannelId>) {
+        out.clear();
         if src == dst {
-            return Vec::new();
+            return;
         }
         // Walk dst -> src using the BFS tree rooted at src, then reverse.
         let parents = &self.parents[src.idx()];
-        let mut rev = Vec::new();
         let mut cur = dst;
         while cur != src {
-            let (parent, link) = parents[cur.idx()]
+            // The flow travels parent -> cur over the stored channel.
+            let (parent, ch) = parents[cur.idx()]
                 .unwrap_or_else(|| panic!("no route from {src} to {dst} (disconnected topology?)"));
-            // The flow travels parent -> cur over `link`.
-            let ch =
-                self.topo.channel_from(link, parent).expect("BFS parent must be a link endpoint");
-            rev.push(ch);
+            out.push(ch);
             cur = parent;
         }
-        rev.reverse();
-        rev
+        out.reverse();
     }
 
     /// Tightest per-flow cap along the route, if any link imposes one.
@@ -90,7 +97,7 @@ impl RouteTable {
     }
 }
 
-fn bfs(topo: &Topology, src: NodeId) -> (Vec<Option<(NodeId, crate::topology::LinkId)>>, Vec<u32>) {
+fn bfs(topo: &Topology, src: NodeId) -> (Vec<Option<(NodeId, ChannelId)>>, Vec<u32>) {
     let n = topo.num_nodes();
     let mut parent = vec![None; n];
     let mut dist = vec![u32::MAX; n];
@@ -101,7 +108,8 @@ fn bfs(topo: &Topology, src: NodeId) -> (Vec<Option<(NodeId, crate::topology::Li
         for &(v, link) in topo.neighbors(u) {
             if dist[v.idx()] == u32::MAX {
                 dist[v.idx()] = dist[u.idx()] + 1;
-                parent[v.idx()] = Some((u, link));
+                let ch = topo.channel_from(link, u).expect("neighbors share their link");
+                parent[v.idx()] = Some((u, ch));
                 q.push_back(v);
             }
         }

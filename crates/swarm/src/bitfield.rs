@@ -2,37 +2,79 @@
 //!
 //! Backed by `u64` words so interest checks and piece selection work
 //! word-at-a-time (the per-piece loops are the hottest paths in the swarm).
+//! Files up to [`INLINE_WORDS`]` * 64` pieces — every bench preset and all
+//! but the paper's full-scale 15259-fragment file — keep their words inline
+//! in the struct, so a swarm of a thousand peers holds its bitfields in two
+//! flat `Vec<Peer>` cache runs instead of two thousand 16-byte heap islands
+//! chased once per HAVE announcement.
+
+/// Word capacity kept inline before spilling to the heap (256 pieces).
+const INLINE_WORDS: usize = 4;
+
+#[derive(Debug, Clone)]
+enum Store {
+    /// Words live in the struct; entries at `nwords..` stay zero so sliced
+    /// views never see ghost pieces.
+    Inline([u64; INLINE_WORDS]),
+    Heap(Vec<u64>),
+}
 
 /// A fixed-length bitfield over piece indices `0..len`.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct Bitfield {
-    words: Vec<u64>,
+    store: Store,
     len: u32,
     ones: u32,
 }
 
+impl PartialEq for Bitfield {
+    fn eq(&self, other: &Self) -> bool {
+        self.len == other.len && self.ones == other.ones && self.words() == other.words()
+    }
+}
+
+impl Eq for Bitfield {}
+
 impl Bitfield {
+    #[inline]
+    fn nwords(len: u32) -> usize {
+        (len as usize).div_ceil(64)
+    }
+
+    fn with_words(len: u32, fill: impl Fn(usize) -> u64) -> Self {
+        let n = Self::nwords(len);
+        let (store, ones) = if n <= INLINE_WORDS {
+            let mut a = [0u64; INLINE_WORDS];
+            for (i, slot) in a[..n].iter_mut().enumerate() {
+                *slot = fill(i);
+            }
+            let ones = a.iter().map(|w| w.count_ones()).sum();
+            (Store::Inline(a), ones)
+        } else {
+            let v: Vec<u64> = (0..n).map(fill).collect();
+            let ones = v.iter().map(|w| w.count_ones()).sum();
+            (Store::Heap(v), ones)
+        };
+        Bitfield { store, len, ones }
+    }
+
     /// An all-zero bitfield for `len` pieces.
     pub fn empty(len: u32) -> Self {
-        let nwords = (len as usize).div_ceil(64);
-        Bitfield { words: vec![0; nwords], len, ones: 0 }
+        Self::with_words(len, |_| 0)
     }
 
     /// An all-one bitfield for `len` pieces (a seed's bitfield).
     pub fn full(len: u32) -> Self {
-        let nwords = (len as usize).div_ceil(64);
-        let mut words = vec![u64::MAX; nwords];
-        // Clear the padding bits past `len`.
+        let n = Self::nwords(len);
         let tail = len as usize % 64;
-        if tail != 0 {
-            if let Some(last) = words.last_mut() {
-                *last = (1u64 << tail) - 1;
+        Self::with_words(len, |i| {
+            if i + 1 == n && tail != 0 {
+                // Keep the padding bits past `len` clear.
+                (1u64 << tail) - 1
+            } else {
+                u64::MAX
             }
-        }
-        if len == 0 {
-            words.clear();
-        }
-        Bitfield { words, len, ones: len }
+        })
     }
 
     /// Number of pieces this bitfield covers.
@@ -63,14 +105,27 @@ impl Bitfield {
     #[inline]
     pub fn get(&self, i: u32) -> bool {
         debug_assert!(i < self.len);
-        (self.words[(i / 64) as usize] >> (i % 64)) & 1 == 1
+        let w = match &self.store {
+            Store::Inline(a) => a[(i / 64) as usize],
+            Store::Heap(v) => v[(i / 64) as usize],
+        };
+        (w >> (i % 64)) & 1 == 1
+    }
+
+    #[inline]
+    fn word_mut(&mut self, wi: usize) -> &mut u64 {
+        debug_assert!(wi < Self::nwords(self.len));
+        match &mut self.store {
+            Store::Inline(a) => &mut a[wi],
+            Store::Heap(v) => &mut v[wi],
+        }
     }
 
     /// Sets piece `i`; returns `true` if it was newly set.
     #[inline]
     pub fn set(&mut self, i: u32) -> bool {
         debug_assert!(i < self.len);
-        let w = &mut self.words[(i / 64) as usize];
+        let w = self.word_mut((i / 64) as usize);
         let mask = 1u64 << (i % 64);
         if *w & mask == 0 {
             *w |= mask;
@@ -85,7 +140,7 @@ impl Bitfield {
     #[inline]
     pub fn clear(&mut self, i: u32) -> bool {
         debug_assert!(i < self.len);
-        let w = &mut self.words[(i / 64) as usize];
+        let w = self.word_mut((i / 64) as usize);
         let mask = 1u64 << (i % 64);
         if *w & mask != 0 {
             *w &= !mask;
@@ -99,25 +154,28 @@ impl Bitfield {
     /// The raw words (little-endian bit order within each word).
     #[inline]
     pub fn words(&self) -> &[u64] {
-        &self.words
+        match &self.store {
+            Store::Inline(a) => &a[..Self::nwords(self.len)],
+            Store::Heap(v) => v,
+        }
     }
 
     /// Number of backing words.
     #[inline]
     pub fn num_words(&self) -> usize {
-        self.words.len()
+        Self::nwords(self.len)
     }
 
     /// True if `other` holds at least one piece this bitfield lacks —
     /// i.e. whether a peer with bitfield `self` is *interested* in `other`.
     pub fn is_interested_in(&self, other: &Bitfield) -> bool {
         debug_assert_eq!(self.len, other.len);
-        self.words.iter().zip(&other.words).any(|(mine, theirs)| theirs & !mine != 0)
+        self.words().iter().zip(other.words()).any(|(mine, theirs)| theirs & !mine != 0)
     }
 
     /// Iterates over indices of set bits.
     pub fn iter_ones(&self) -> impl Iterator<Item = u32> + '_ {
-        self.words.iter().enumerate().flat_map(move |(wi, &w)| {
+        self.words().iter().enumerate().flat_map(move |(wi, &w)| {
             let mut w = w;
             let base = (wi * 64) as u32;
             std::iter::from_fn(move || {

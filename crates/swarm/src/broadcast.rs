@@ -4,8 +4,10 @@
 //! A *campaign* runs `n` independent instrumented broadcasts over the same
 //! set of hosts, each with a fresh tracker peer graph and RNG stream, and
 //! aggregates the fragment counts into the Eq. (2) metric. Iterations are
-//! independent, so they run in parallel under rayon with per-iteration seeds
-//! derived via splitmix64 — results are identical no matter the thread count.
+//! independent, so they shard across a bounded worker pool with per-iteration
+//! seeds derived via splitmix64; a reorder buffer ahead of the fold emits
+//! completed runs in strict iteration order — results are identical no
+//! matter the thread count.
 
 use crate::config::SwarmConfig;
 use crate::metrics::MetricAccumulator;
@@ -16,8 +18,9 @@ use btt_netsim::perturb::{
 use btt_netsim::routing::RouteTable;
 use btt_netsim::topology::NodeId;
 use btt_netsim::util::seed_for_iteration;
-use rayon::prelude::*;
-use std::sync::Arc;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 
 /// Result of one synchronized broadcast (paper terminology: one *iteration*
 /// of the measurement procedure).
@@ -160,6 +163,7 @@ pub fn run_campaign(
         root_policy,
         base_seed,
         &ReliabilityCfg::default(),
+        0,
     )
 }
 
@@ -180,15 +184,98 @@ pub struct RunObservation {
     pub outcome: BroadcastResult,
 }
 
+/// Resolves a campaign `threads` knob to a concrete worker count: `0`
+/// (auto) means one worker per available CPU, `1` is the strictly serial
+/// path (no pool, no extra threads), anything else is used as given.
+///
+/// The knob never changes results — only wall-clock: every iteration is a
+/// pure function of its derived seed and the fold consumes observations in
+/// iteration order regardless of which worker finished first.
+pub fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        threads
+    }
+}
+
+/// Shared state between pool workers and the emitting thread: completed
+/// results parked until their iteration index is next in line.
+struct Reorder<T> {
+    /// The iteration index the emitter needs next.
+    next: u32,
+    /// Completed, not-yet-emitted results keyed by iteration index.
+    slots: BTreeMap<u32, T>,
+}
+
+/// Runs `produce(k)` for every `k` in `start..end` on a bounded
+/// work-stealing pool of `workers` threads and hands each result to `emit`
+/// **in strict `k` order** on the calling thread.
+///
+/// Workers steal the next unclaimed index from a shared atomic cursor and
+/// park finished results in a reorder buffer; the calling thread drains the
+/// buffer in order as soon as the next index lands. Backpressure bounds the
+/// buffer at `2 × workers` parked results — a worker that races far ahead
+/// blocks until the emitter catches up, except for the one holding the
+/// next-needed index, which always inserts (no deadlock).
+fn pool_run_ordered<T: Send>(
+    start: u32,
+    end: u32,
+    workers: usize,
+    produce: &(dyn Fn(u32) -> T + Sync),
+    emit: &mut dyn FnMut(T),
+) {
+    let bound = 2 * workers;
+    let cursor = AtomicU32::new(start);
+    let shared = Mutex::new(Reorder { next: start, slots: BTreeMap::new() });
+    let ready = Condvar::new();
+    std::thread::scope(|scope| {
+        for _ in 0..workers.min((end - start) as usize) {
+            scope.spawn(|| loop {
+                let k = cursor.fetch_add(1, Ordering::SeqCst);
+                if k >= end {
+                    break;
+                }
+                let value = produce(k);
+                let mut state = shared.lock().expect("campaign pool poisoned");
+                // Backpressure — unless this is the next-needed result,
+                // which must always land for the emitter to progress.
+                while state.slots.len() >= bound && k != state.next {
+                    state = ready.wait(state).expect("campaign pool poisoned");
+                }
+                state.slots.insert(k, value);
+                drop(state);
+                ready.notify_all();
+            });
+        }
+        // The calling thread is the emitter: drain in iteration order.
+        let mut state = shared.lock().expect("campaign pool poisoned");
+        while state.next < end {
+            let k = state.next;
+            if let Some(value) = state.slots.remove(&k) {
+                state.next = k + 1;
+                drop(state);
+                ready.notify_all();
+                emit(value);
+                state = shared.lock().expect("campaign pool poisoned");
+            } else {
+                state = ready.wait(state).expect("campaign pool poisoned");
+            }
+        }
+    });
+}
+
 /// Completion-driven campaign driver: runs `iterations` broadcasts and hands
 /// each one to `sink` as a [`RunObservation`] instead of returning a finished
 /// [`Campaign`]. This is the streaming entry point the session layer consumes.
 ///
 /// Iterations are executed in parallel `chunk` at a time (`chunk == 0` means
-/// all at once — the classic batch schedule), but observations are **always
-/// emitted in iteration order**: each run is a pure function of its derived
-/// seed, so the chunk size changes latency, never content, and an in-order
-/// fold of the observations reproduces the batch metric bit for bit.
+/// all at once — the classic batch schedule) on `threads` pool workers
+/// (`0` = one per CPU, `1` = today's serial path; see [`resolve_threads`]),
+/// but observations are **always emitted in iteration order** through a
+/// reorder buffer: each run is a pure function of its derived seed, so chunk
+/// size and thread count change latency, never content, and an in-order fold
+/// of the observations reproduces the batch metric bit for bit.
 #[allow(clippy::too_many_arguments)]
 pub fn stream_campaign_with_reliability(
     routes: &Arc<RouteTable>,
@@ -199,6 +286,7 @@ pub fn stream_campaign_with_reliability(
     base_seed: u64,
     reliability: &ReliabilityCfg,
     chunk: usize,
+    threads: usize,
     sink: &mut dyn FnMut(RunObservation),
 ) {
     reliability.validate();
@@ -207,33 +295,29 @@ pub fn stream_campaign_with_reliability(
     } else {
         horizon_estimate(routes.topology(), hosts, cfg.file_bytes())
     };
+    let run_one = |k: u32| {
+        let seed = seed_for_iteration(base_seed, k as u64);
+        let root = root_policy.root_for(k, hosts.len(), base_seed);
+        let outcome = if reliability.is_off() {
+            run_broadcast(routes, hosts, root, cfg, seed)
+        } else {
+            let schedule =
+                generate_schedule(routes.topology(), hosts, root, reliability, horizon, seed);
+            run_broadcast_perturbed(routes, hosts, root, cfg, seed, schedule)
+        };
+        RunObservation { iteration: k, root, seed, outcome }
+    };
+    let workers = resolve_threads(threads);
     let chunk = if chunk == 0 { (iterations as usize).max(1) } else { chunk };
     let mut start = 0u32;
     while start < iterations {
         let end = iterations.min(start + chunk as u32);
-        let batch: Vec<RunObservation> = (start..end)
-            .into_par_iter()
-            .map(|k| {
-                let seed = seed_for_iteration(base_seed, k as u64);
-                let root = root_policy.root_for(k, hosts.len(), base_seed);
-                let outcome = if reliability.is_off() {
-                    run_broadcast(routes, hosts, root, cfg, seed)
-                } else {
-                    let schedule = generate_schedule(
-                        routes.topology(),
-                        hosts,
-                        root,
-                        reliability,
-                        horizon,
-                        seed,
-                    );
-                    run_broadcast_perturbed(routes, hosts, root, cfg, seed, schedule)
-                };
-                RunObservation { iteration: k, root, seed, outcome }
-            })
-            .collect();
-        for obs in batch {
-            sink(obs);
+        if workers <= 1 || end - start <= 1 {
+            for k in start..end {
+                sink(run_one(k));
+            }
+        } else {
+            pool_run_ordered(start, end, workers, &run_one, &mut |obs| sink(obs));
         }
         start = end;
     }
@@ -258,6 +342,7 @@ pub fn run_campaign_with_reliability(
     root_policy: RootPolicy,
     base_seed: u64,
     reliability: &ReliabilityCfg,
+    threads: usize,
 ) -> Campaign {
     let mut runs: Vec<BroadcastResult> = Vec::with_capacity(iterations as usize);
     let mut metric = MetricAccumulator::new(hosts.len());
@@ -270,6 +355,7 @@ pub fn run_campaign_with_reliability(
         base_seed,
         reliability,
         0,
+        threads,
         &mut |obs| {
             metric.push_run_partial(&obs.outcome.fragments, &obs.outcome.participated());
             runs.push(obs.outcome);
@@ -353,6 +439,7 @@ mod tests {
             RootPolicy::Fixed(0),
             2012,
             &rel,
+            0,
         );
         assert_eq!(c.runs.len(), 4);
         // Losses happen (churn 0.4 of 9 leechers, half never recover) and
@@ -373,6 +460,7 @@ mod tests {
             RootPolicy::Fixed(0),
             2012,
             &rel,
+            2,
         );
         assert_eq!(c.metric, d.metric);
         for (x, y) in c.runs.iter().zip(&d.runs) {
@@ -397,6 +485,7 @@ mod tests {
             RootPolicy::Fixed(0),
             9,
             &ReliabilityCfg::default(),
+            0,
         );
         assert_eq!(plain.metric, off.metric);
         for (x, y) in plain.runs.iter().zip(&off.runs) {
@@ -417,6 +506,7 @@ mod tests {
             RootPolicy::RoundRobin,
             7,
             &rel,
+            0,
         );
         for chunk in [1usize, 2, 0] {
             let mut obs = Vec::new();
@@ -429,6 +519,7 @@ mod tests {
                 7,
                 &rel,
                 chunk,
+                0,
                 &mut |o| obs.push(o),
             );
             assert_eq!(obs.len(), 5, "chunk {chunk}");
@@ -449,6 +540,69 @@ mod tests {
             }
             assert_eq!(acc, batch.metric, "chunk {chunk}");
         }
+    }
+
+    #[test]
+    fn stream_is_thread_count_invariant() {
+        let (routes, hosts) = star(8);
+        let rel = ReliabilityCfg { churn: 0.25, xtraffic: 0.2, ..ReliabilityCfg::default() };
+        let collect = |threads: usize, chunk: usize| {
+            let mut obs = Vec::new();
+            stream_campaign_with_reliability(
+                &routes,
+                &hosts,
+                &cfg(),
+                6,
+                RootPolicy::RoundRobin,
+                2012,
+                &rel,
+                chunk,
+                threads,
+                &mut |o| obs.push(o),
+            );
+            obs
+        };
+        let serial = collect(1, 0);
+        assert_eq!(serial.len(), 6);
+        for threads in [2usize, 4, 0] {
+            for chunk in [0usize, 3] {
+                let pooled = collect(threads, chunk);
+                assert_eq!(pooled.len(), serial.len(), "threads {threads} chunk {chunk}");
+                for (a, b) in serial.iter().zip(&pooled) {
+                    assert_eq!(a.iteration, b.iteration, "in-order emission");
+                    assert_eq!(a.seed, b.seed);
+                    assert_eq!(a.root, b.root);
+                    assert_eq!(a.outcome.fragments, b.outcome.fragments);
+                    assert_eq!(a.outcome.completion, b.outcome.completion);
+                    assert_eq!(a.outcome.disrupted, b.outcome.disrupted);
+                    assert_eq!(
+                        a.outcome.makespan.to_bits(),
+                        b.outcome.makespan.to_bits(),
+                        "bit-identical makespan at threads {threads}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pool_reorder_buffer_emits_in_order_under_backpressure() {
+        // Many cheap jobs on many workers: the reorder buffer (bounded at
+        // 2 x workers) must still emit 0..n in exact order, once each.
+        let produce = |k: u32| k * 3;
+        let mut seen = Vec::new();
+        pool_run_ordered(0, 500, 8, &produce, &mut |v| seen.push(v));
+        assert_eq!(seen.len(), 500);
+        for (i, v) in seen.iter().enumerate() {
+            assert_eq!(*v, i as u32 * 3);
+        }
+    }
+
+    #[test]
+    fn resolve_threads_maps_zero_to_auto() {
+        assert!(resolve_threads(0) >= 1, "auto resolves to at least one worker");
+        assert_eq!(resolve_threads(1), 1);
+        assert_eq!(resolve_threads(7), 7);
     }
 
     #[test]

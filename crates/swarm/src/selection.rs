@@ -21,7 +21,7 @@ pub struct PickContext<'a> {
     /// Pieces the downloader is currently fetching from someone.
     pub inflight: &'a Bitfield,
     /// Availability of each piece among the downloader's neighbors.
-    pub avail: &'a [u16],
+    pub avail: &'a [u8],
     /// Endgame: ignore `inflight` and allow duplicate requests.
     pub endgame: bool,
     /// Bootstrap: pick uniformly at random instead of rarest.
@@ -43,6 +43,12 @@ impl PickContext<'_> {
     fn num_words(&self) -> usize {
         self.uploader_have.num_words()
     }
+
+    /// Total number of candidate pieces.
+    #[inline]
+    fn count_candidates(&self) -> u32 {
+        (0..self.num_words()).map(|wi| self.candidate_word(wi).count_ones()).sum()
+    }
 }
 
 /// Picks the next piece for this (uploader, downloader) pair, or `None` when
@@ -57,99 +63,215 @@ pub fn pick_piece(
     }
     match policy {
         SelectionPolicy::Random => random_candidate(ctx, rng),
-        SelectionPolicy::SampledRarest { sample } => {
-            let mut best: Option<(u16, u32)> = None;
-            for _ in 0..sample {
-                let Some(p) = random_candidate(ctx, rng) else { break };
-                let a = ctx.avail[p as usize];
-                if best.is_none_or(|(ba, _)| a < ba) {
-                    best = Some((a, p));
-                }
-            }
-            best.map(|(_, p)| p)
-        }
+        SelectionPolicy::SampledRarest { sample } => sampled_rarest(ctx, sample, rng),
         SelectionPolicy::ExactRarest => exact_rarest(ctx, rng),
     }
 }
 
-/// A uniformly-ish random candidate piece.
-///
-/// Strategy: probe a few random words for a nonzero candidate mask, then fall
-/// back to a circular scan from a random offset. The word-level probe gives
-/// exact uniformity when candidates are dense; the fallback introduces a mild
-/// bias towards candidates after gaps, which is irrelevant to the tomography
-/// metric (confirmed by the selection ablation).
-fn random_candidate(ctx: &PickContext<'_>, rng: &mut impl Rng) -> Option<u32> {
-    let n = ctx.num_words();
-    if n == 0 {
-        return None;
-    }
-    const PROBES: usize = 8;
-    for _ in 0..PROBES {
-        let wi = rng.gen_range(0..n);
-        let w = ctx.candidate_word(wi);
-        if w != 0 {
-            return Some(random_bit(w, wi, rng));
-        }
-    }
-    let start = rng.gen_range(0..n);
-    for off in 0..n {
-        let wi = (start + off) % n;
-        let w = ctx.candidate_word(wi);
-        if w != 0 {
-            return Some(random_bit(w, wi, rng));
-        }
-    }
-    None
+/// A ranged draw via the multiply-shift trick: one `next_u32`, no rejection
+/// loop. The modulo bias is under 2⁻¹⁷ for any file size the simulator
+/// accepts (`bound` ≤ pieces ≪ 2³²) — far below anything the selection
+/// statistics can resolve, and picks are the hottest RNG consumer in the
+/// whole simulation.
+#[inline]
+fn fast_range(rng: &mut impl Rng, bound: u32) -> u32 {
+    debug_assert!(bound > 0);
+    ((u64::from(rng.next_u32()) * u64::from(bound)) >> 32) as u32
 }
 
-/// Exact global rarest-first with reservoir-sampled tie-breaking (ablation
-/// baseline; O(pieces)).
+/// A uniformly random candidate piece: one counting pass over the candidate
+/// words, one RNG draw, one select. Picks run once per fragment completion,
+/// so the draw count is the hot-path cost here.
+fn random_candidate(ctx: &PickContext<'_>, rng: &mut impl Rng) -> Option<u32> {
+    let total = ctx.count_candidates();
+    if total == 0 {
+        return None;
+    }
+    Some(nth_candidate(ctx, fast_range(rng, total)))
+}
+
+/// The `k`-th candidate piece in index order (`k < count_candidates()`).
+#[inline]
+fn nth_candidate(ctx: &PickContext<'_>, mut k: u32) -> u32 {
+    for wi in 0..ctx.num_words() {
+        let w = ctx.candidate_word(wi);
+        let c = w.count_ones();
+        if k < c {
+            return (wi * 64) as u32 + select_nth_set_bit(w, k);
+        }
+        k -= c;
+    }
+    unreachable!("k out of candidate range");
+}
+
+/// Rarest-of-a-random-sample over the candidate set.
+///
+/// When the sample covers every candidate the comparison is exact (a single
+/// rarest-first walk). Otherwise `sample` uniform indices are drawn into the
+/// candidate set and resolved in one merged walk over the candidate words —
+/// exactly `sample` range draws per pick, where the old per-probe scheme
+/// burned up to 9 draws per sampled candidate.
+fn sampled_rarest(ctx: &PickContext<'_>, sample: u16, rng: &mut impl Rng) -> Option<u32> {
+    if sample == 0 {
+        return None;
+    }
+    // Small files (≤ 512 pieces — every preset short of the paper's 15259)
+    // resolve each draw against a word table cached by the same pass that
+    // counts the candidates: no sort, no batch machinery, a ≤ 8-step scan
+    // per draw. Each `next_u32` feeds two 16-bit ranged draws (bias ≤
+    // `total`/2¹⁶ < 1%, far below what replication statistics resolve —
+    // picks dominate the simulation's RNG budget), and the running best is
+    // tracked branchlessly: the comparison outcome is data-random, so a
+    // branch here mispredicts its way through every sample loop.
+    const SMALL: usize = 8;
+    if ctx.num_words() <= SMALL {
+        let mut words = [0u64; SMALL];
+        let mut cum = [0u32; SMALL];
+        let mut total = 0u32;
+        for wi in 0..ctx.num_words() {
+            let w = ctx.candidate_word(wi);
+            words[wi] = w;
+            cum[wi] = total;
+            total += w.count_ones();
+        }
+        if total == 0 {
+            return None;
+        }
+        if u32::from(sample) >= total {
+            return exact_rarest(ctx, rng);
+        }
+        // Sentinel above any u8 availability: the first draw always takes.
+        let mut ba = u16::MAX;
+        let mut bp = 0u32;
+        let mut left = sample;
+        while left > 0 {
+            let r = rng.next_u32();
+            let draws = left.min(2);
+            for half in 0..draws {
+                let k = (((r >> (16 * half)) & 0xFFFF) * total) >> 16;
+                // Last word whose cumulative start is ≤ k.
+                let wi = (0..ctx.num_words()).rfind(|&wi| cum[wi] <= k).expect("k >= cum[0] == 0");
+                let p = (wi * 64) as u32 + select_nth_set_bit(words[wi], k - cum[wi]);
+                let a = u16::from(ctx.avail[p as usize]);
+                let take = a < ba;
+                ba = if take { a } else { ba };
+                bp = if take { p } else { bp };
+            }
+            left -= draws;
+        }
+        return Some(bp);
+    }
+    let total = ctx.count_candidates();
+    if total == 0 {
+        return None;
+    }
+    if u32::from(sample) >= total {
+        return exact_rarest(ctx, rng);
+    }
+    let mut best: Option<(u8, u32)> = None;
+    const CHUNK: usize = 32;
+    let mut remaining = sample as usize;
+    while remaining > 0 {
+        let m = remaining.min(CHUNK);
+        remaining -= m;
+        let mut ks = [0u32; CHUNK];
+        for slot in ks[..m].iter_mut() {
+            *slot = fast_range(rng, total);
+        }
+        let ks = &mut ks[..m];
+        ks.sort_unstable();
+        // One walk resolves the whole sorted batch (duplicates included).
+        let mut base = 0u32;
+        let mut i = 0;
+        for wi in 0..ctx.num_words() {
+            let w = ctx.candidate_word(wi);
+            let c = w.count_ones();
+            while i < m && ks[i] < base + c {
+                let p = (wi * 64) as u32 + select_nth_set_bit(w, ks[i] - base);
+                let a = ctx.avail[p as usize];
+                if best.is_none_or(|(ba, _)| a < ba) {
+                    best = Some((a, p));
+                }
+                i += 1;
+            }
+            if i == m {
+                break;
+            }
+            base += c;
+        }
+    }
+    best.map(|(_, p)| p)
+}
+
+/// Exact global rarest-first with uniform tie-breaking (the default
+/// policy's exhaustive path and the ablation baseline; O(pieces)).
+///
+/// Two passes: count the pieces tied at minimum availability, draw ONE
+/// index among them, select it. The reservoir scheme this replaces drew
+/// once per tie — and ties are the common case, since availability counts
+/// cluster in a narrow band — so it paid O(ties) ChaCha rounds per pick.
 fn exact_rarest(ctx: &PickContext<'_>, rng: &mut impl Rng) -> Option<u32> {
-    let mut best_avail = u16::MAX;
+    let mut best_avail = u8::MAX;
     let mut ties = 0u32;
-    let mut chosen = None;
+    for wi in 0..ctx.num_words() {
+        let mut w = ctx.candidate_word(wi);
+        while w != 0 {
+            let b = w.trailing_zeros();
+            w &= w - 1;
+            let a = ctx.avail[wi * 64 + b as usize];
+            if a < best_avail {
+                best_avail = a;
+                ties = 1;
+            } else if a == best_avail {
+                ties += 1;
+            }
+        }
+    }
+    if ties == 0 {
+        return None;
+    }
+    let mut k = fast_range(rng, ties);
     for wi in 0..ctx.num_words() {
         let mut w = ctx.candidate_word(wi);
         while w != 0 {
             let b = w.trailing_zeros();
             w &= w - 1;
             let p = (wi * 64) as u32 + b;
-            let a = ctx.avail[p as usize];
-            if a < best_avail {
-                best_avail = a;
-                ties = 1;
-                chosen = Some(p);
-            } else if a == best_avail {
-                ties += 1;
-                // Reservoir: replace with probability 1/ties for a uniform
-                // choice among equally-rare pieces.
-                if rng.gen_range(0..ties) == 0 {
-                    chosen = Some(p);
+            if ctx.avail[p as usize] == best_avail {
+                if k == 0 {
+                    return Some(p);
                 }
+                k -= 1;
             }
         }
     }
-    chosen
-}
-
-/// Picks a uniformly random set bit of `w` in word `wi`, returning the piece
-/// index.
-#[inline]
-fn random_bit(w: u64, wi: usize, rng: &mut impl Rng) -> u32 {
-    debug_assert!(w != 0);
-    let k = rng.gen_range(0..w.count_ones());
-    (wi * 64) as u32 + select_nth_set_bit(w, k)
+    unreachable!("tie index within counted range");
 }
 
 /// Index of the `k`-th (0-based) set bit of `w`.
+///
+/// Binary search over half-width popcounts: six fixed steps regardless of
+/// `k`, where the obvious clear-lowest-bit loop is a `k`-long dependent
+/// chain — and `k` averages half the candidate count on the sampled path.
 #[inline]
-fn select_nth_set_bit(mut w: u64, k: u32) -> u32 {
+fn select_nth_set_bit(w: u64, k: u32) -> u32 {
     debug_assert!(k < w.count_ones());
-    for _ in 0..k {
-        w &= w - 1;
+    let mut k = k;
+    let mut pos = 0u32;
+    let mut cur = w;
+    let mut width = 32u32;
+    while width > 0 {
+        let low = cur & ((1u64 << width) - 1);
+        let c = low.count_ones();
+        if k >= c {
+            k -= c;
+            pos += width;
+            cur >>= width;
+        }
+        width >>= 1;
     }
-    w.trailing_zeros()
+    debug_assert!(cur & 1 == 1);
+    pos
 }
 
 #[cfg(test)]
@@ -166,7 +288,7 @@ mod tests {
         up: &'a Bitfield,
         down: &'a Bitfield,
         inflight: &'a Bitfield,
-        avail: &'a [u16],
+        avail: &'a [u8],
     ) -> PickContext<'a> {
         PickContext {
             uploader_have: up,
@@ -192,7 +314,7 @@ mod tests {
         let up = Bitfield::empty(128);
         let down = Bitfield::empty(128);
         let inf = Bitfield::empty(128);
-        let avail = vec![0u16; 128];
+        let avail = vec![0u8; 128];
         for policy in [
             SelectionPolicy::Random,
             SelectionPolicy::ExactRarest,
@@ -212,7 +334,7 @@ mod tests {
         down.set(3);
         let mut inf = Bitfield::empty(256);
         inf.set(70);
-        let avail = vec![1u16; 256];
+        let avail = vec![1u8; 256];
         let mut r = rng();
         for _ in 0..200 {
             let p = pick_piece(SelectionPolicy::Random, &ctx(&up, &down, &inf, &avail), &mut r)
@@ -228,7 +350,7 @@ mod tests {
         let down = Bitfield::empty(64);
         let mut inf = Bitfield::empty(64);
         inf.set(7);
-        let avail = vec![1u16; 64];
+        let avail = vec![1u8; 64];
         let mut c = ctx(&up, &down, &inf, &avail);
         assert_eq!(pick_piece(SelectionPolicy::Random, &c, &mut rng()), None);
         c.endgame = true;
@@ -240,7 +362,7 @@ mod tests {
         let up = Bitfield::full(512);
         let down = Bitfield::empty(512);
         let inf = Bitfield::empty(512);
-        let mut avail = vec![10u16; 512];
+        let mut avail = vec![10u8; 512];
         avail[300] = 1;
         let p =
             pick_piece(SelectionPolicy::ExactRarest, &ctx(&up, &down, &inf, &avail), &mut rng());
@@ -252,7 +374,7 @@ mod tests {
         let up = Bitfield::full(64);
         let down = Bitfield::empty(64);
         let inf = Bitfield::empty(64);
-        let avail = vec![1u16; 64];
+        let avail = vec![1u8; 64];
         let mut counts = [0u32; 64];
         let mut r = rng();
         for _ in 0..6400 {
@@ -273,7 +395,7 @@ mod tests {
         let up = Bitfield::full(1024);
         let down = Bitfield::empty(1024);
         let inf = Bitfield::empty(1024);
-        let mut avail = vec![20u16; 1024];
+        let mut avail = vec![20u8; 1024];
         // 64 rare pieces scattered through the file.
         for i in 0..64 {
             avail[i * 16] = 1;
@@ -298,7 +420,7 @@ mod tests {
         let up = Bitfield::full(64);
         let down = Bitfield::empty(64);
         let inf = Bitfield::empty(64);
-        let mut avail = vec![5u16; 64];
+        let mut avail = vec![5u8; 64];
         avail[0] = 1;
         let mut c = ctx(&up, &down, &inf, &avail);
         c.random_first = true;
@@ -311,13 +433,13 @@ mod tests {
 
     #[test]
     fn sparse_candidates_found_by_fallback_scan() {
-        // One candidate in a 15259-piece file: the probe will usually miss,
-        // the circular scan must find it.
+        // One candidate in a 15259-piece file: the candidate count is 1, so
+        // the single draw must land on it every time.
         let mut up = Bitfield::empty(15_259);
         up.set(11_111);
         let down = Bitfield::empty(15_259);
         let inf = Bitfield::empty(15_259);
-        let avail = vec![0u16; 15_259];
+        let avail = vec![0u8; 15_259];
         let c = ctx(&up, &down, &inf, &avail);
         let mut r = rng();
         for _ in 0..50 {

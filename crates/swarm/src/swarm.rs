@@ -96,6 +96,11 @@ struct Nbr {
     link_rate_to: (f64, f64),
     /// Our active download from this neighbor, if any.
     transfer: Option<Transfer>,
+    /// Fragments received from this neighbor — the paper's §II-A counter,
+    /// tallied here (on state the transfer loop already touches) instead of
+    /// scattering into an n × n matrix per fragment; materialized into the
+    /// run's [`FragmentMatrix`] at the end.
+    frags: u64,
 }
 
 /// One simulated BitTorrent client.
@@ -105,8 +110,6 @@ struct Peer {
     have: Bitfield,
     /// Pieces currently being fetched from someone (duplicate suppression).
     inflight: Bitfield,
-    /// Per-piece availability among this peer's neighbors.
-    avail: Vec<u16>,
     nbrs: Vec<Nbr>,
     /// Time the download finished; the root starts complete at 0.0.
     completed_at: Option<f64>,
@@ -160,7 +163,20 @@ pub struct Swarm {
     net: SimNet,
     rng: ChaCha12Rng,
     peers: Vec<Peer>,
-    fragments: FragmentMatrix,
+    /// Per-piece availability among each peer's neighbors, flattened to one
+    /// `n × num_pieces` array (`avail[p * num_pieces + piece]`). HAVE
+    /// propagation touches ~`max_peers` random peers' counters per fragment;
+    /// keeping them in one compact array (128 KB at 1000 hosts × 128
+    /// pieces) instead of a per-peer heap `Vec` turns that scatter into
+    /// cache hits.
+    avail: Vec<u8>,
+    /// Compact per-peer status (`ST_DOWN` / `ST_COMPLETE` bits), mirroring
+    /// `Peer::alive` / `Peer::completed_at`. HAVE propagation consults one
+    /// cache-resident byte to skip neighbors that can't use the
+    /// announcement — crashed hosts miss it, completed hosts never pick
+    /// again (their availability view is dead state, recomputed from
+    /// scratch on revival) — without touching the neighbor's `Peer` at all.
+    status: Vec<u8>,
     /// (owner, piece) HAVE announcements queued within the current event.
     have_queue: Vec<(u32, u32)>,
     /// Peers whose dormant pairs should be retried (candidate sets grew).
@@ -188,10 +204,23 @@ pub struct Swarm {
     host_index: FxHashMap<NodeId, u32>,
     /// Live cross-traffic streams by schedule key.
     xflows: FxHashMap<u32, FlowId>,
+    /// Choker scratch: scored candidates `(score, tie, j)`, reused across
+    /// [`Swarm::rechoke_peer`] calls to keep the per-round allocations off
+    /// the hot path.
+    scratch_cands: Vec<(f64, u64, u32)>,
+    /// Choker scratch: `(j, unchoke)` state flips to apply, reused likewise.
+    scratch_decisions: Vec<(u32, bool)>,
+    /// Reusable buffer for engine completions fired within a slice.
+    fired_scratch: Vec<btt_netsim::engine::Completion>,
 }
 
 /// Flow tag marking scheduled cross-traffic streams (never a transfer tag).
 const XTRAFFIC_TAG: u64 = u64::MAX;
+
+/// `Swarm::status` bit: the host is crashed.
+const ST_DOWN: u8 = 1;
+/// `Swarm::status` bit: the peer completed its download.
+const ST_COMPLETE: u8 = 2;
 
 /// A peer whose live neighbor count falls below this floor after a crash
 /// re-announces to the tracker for replacement peers (the tracker has
@@ -227,20 +256,21 @@ impl Swarm {
             .collect();
 
         let pieces = cfg.num_pieces;
+        // Initial availability: the root's full bitfield announcement, seen
+        // by its neighbors.
+        let mut avail = vec![0u8; n * pieces as usize];
+        for (i, pos) in pos_of.iter().enumerate() {
+            if i != root && pos.contains_key(&(root as u32)) {
+                avail[i * pieces as usize..(i + 1) * pieces as usize].fill(1);
+            }
+        }
         let mut peers: Vec<Peer> = (0..n)
             .map(|i| {
                 let is_root = i == root;
-                let root_is_nbr = pos_of[i].contains_key(&(root as u32));
-                let avail = if !is_root && root_is_nbr {
-                    vec![1u16; pieces as usize]
-                } else {
-                    vec![0u16; pieces as usize]
-                };
                 Peer {
                     host: hosts[i],
                     have: if is_root { Bitfield::full(pieces) } else { Bitfield::empty(pieces) },
                     inflight: Bitfield::empty(pieces),
-                    avail,
                     nbrs: graph
                         .neighbors(i)
                         .iter()
@@ -255,6 +285,7 @@ impl Swarm {
                             link_rate_from: (0.0, f64::NEG_INFINITY),
                             link_rate_to: (0.0, f64::NEG_INFINITY),
                             transfer: None,
+                            frags: 0,
                         })
                         .collect(),
                     completed_at: is_root.then_some(0.0),
@@ -278,12 +309,15 @@ impl Swarm {
         net.set_rate_refresh(cfg.rate_refresh.unwrap_or(cfg.step));
         let host_index: FxHashMap<NodeId, u32> =
             hosts.iter().enumerate().map(|(i, &h)| (h, i as u32)).collect();
+        let mut status = vec![0u8; n];
+        status[root] = ST_COMPLETE;
         Swarm {
-            fragments: FragmentMatrix::new(n),
             cfg,
             net,
             rng,
             peers,
+            avail,
+            status,
             have_queue: Vec::new(),
             retry_queue: Vec::new(),
             next_hook: 0.0,
@@ -297,6 +331,9 @@ impl Swarm {
             sched_cursor: 0,
             host_index,
             xflows: FxHashMap::default(),
+            scratch_cands: Vec::new(),
+            scratch_decisions: Vec::new(),
+            fired_scratch: Vec::new(),
         }
     }
 
@@ -325,9 +362,19 @@ impl Swarm {
         self.net.time()
     }
 
-    /// The fragment counters accumulated so far.
-    pub fn fragments(&self) -> &FragmentMatrix {
-        &self.fragments
+    /// The fragment counters accumulated so far, materialized from the
+    /// per-neighbor `frags` tallies.
+    pub fn fragments(&self) -> FragmentMatrix {
+        let n = self.peers.len();
+        let mut entries: Vec<(u64, u64)> = Vec::new();
+        for (d, peer) in self.peers.iter().enumerate() {
+            for nb in &peer.nbrs {
+                if nb.frags > 0 {
+                    entries.push(((nb.peer as usize * n + d) as u64, nb.frags));
+                }
+            }
+        }
+        FragmentMatrix::from_entries(n, entries)
     }
 
     /// True when every leecher holds the whole file.
@@ -392,15 +439,18 @@ impl Swarm {
         if let Some(at) = self.schedule.next_at(self.sched_cursor) {
             deadline = deadline.min(at.max(self.net.time()));
         }
-        let fired = self.net.advance_to_next_event_until(deadline);
+        let mut fired = std::mem::take(&mut self.fired_scratch);
+        fired.clear();
+        self.net.advance_to_next_event_until_into(deadline, &mut fired);
         let any = !fired.is_empty();
-        for c in fired {
+        for c in &fired {
             if c.kind == CompletionKind::Mark {
                 let (d, j) = untag(c.tag);
                 self.service_pair(d, j, true);
                 self.events += 1;
             }
         }
+        self.fired_scratch = fired;
         if any {
             self.flush_haves();
             self.process_retries();
@@ -482,6 +532,7 @@ impl Swarm {
         self.net.fail_host(host);
         self.peers[d].alive = false;
         self.peers[d].ever_down = true;
+        self.status[d] |= ST_DOWN;
         // The host's own downloads abort; reservations release.
         for j in 0..self.peers[d].nbrs.len() {
             if let Some(t) = self.peers[d].nbrs[j].transfer.take() {
@@ -525,10 +576,11 @@ impl Swarm {
             self.peers[d].nbrs[j].am_unchoking = false;
             if self.peers[u].alive {
                 // The dead host's pieces leave the neighbor's rarity view.
+                let row = u * pieces as usize;
                 for p in 0..pieces {
                     if self.peers[d].have.get(p) {
-                        self.peers[u].avail[p as usize] =
-                            self.peers[u].avail[p as usize].saturating_sub(1);
+                        let slot = &mut self.avail[row + p as usize];
+                        *slot = slot.saturating_sub(1);
                     }
                 }
                 let live = self.peers[u]
@@ -573,10 +625,9 @@ impl Swarm {
             return;
         }
         self.peers[d].alive = true;
+        self.status[d] &= !ST_DOWN;
         let pieces = self.peers[d].have.len();
-        for p in 0..pieces as usize {
-            self.peers[d].avail[p] = 0;
-        }
+        self.avail[d * pieces as usize..(d + 1) * pieces as usize].fill(0);
         let d_complete = self.peers[d].completed_at.is_some();
         let mut rechoke: Vec<usize> = Vec::new();
         for j in 0..self.peers[d].nbrs.len() {
@@ -588,14 +639,15 @@ impl Swarm {
                 continue;
             }
             // Bitfield exchange, both directions.
+            let (drow, urow) = (d * pieces as usize, u * pieces as usize);
             for p in 0..pieces {
                 if self.peers[u].have.get(p) {
-                    self.peers[d].avail[p as usize] =
-                        self.peers[d].avail[p as usize].saturating_add(1);
+                    let slot = &mut self.avail[drow + p as usize];
+                    *slot = slot.saturating_add(1);
                 }
                 if self.peers[d].have.get(p) {
-                    self.peers[u].avail[p as usize] =
-                        self.peers[u].avail[p as usize].saturating_add(1);
+                    let slot = &mut self.avail[urow + p as usize];
+                    *slot = slot.saturating_add(1);
                 }
             }
             // Interest re-derivation (mirrored), as on a real reconnect.
@@ -672,16 +724,20 @@ impl Swarm {
             link_rate_from: (0.0, f64::NEG_INFINITY),
             link_rate_to: (0.0, f64::NEG_INFINITY),
             transfer: None,
+            frags: 0,
         };
         let window = self.cfg.rate_window;
         self.peers[u].nbrs.push(mk_nbr(v as u32, pos_v, u_wants, v_wants, window));
         self.peers[v].nbrs.push(mk_nbr(u as u32, pos_u, v_wants, u_wants, window));
+        let (urow, vrow) = (u * pieces as usize, v * pieces as usize);
         for p in 0..pieces {
             if self.peers[v].have.get(p) {
-                self.peers[u].avail[p as usize] = self.peers[u].avail[p as usize].saturating_add(1);
+                let slot = &mut self.avail[urow + p as usize];
+                *slot = slot.saturating_add(1);
             }
             if self.peers[u].have.get(p) {
-                self.peers[v].avail[p as usize] = self.peers[v].avail[p as usize].saturating_add(1);
+                let slot = &mut self.avail[vrow + p as usize];
+                *slot = slot.saturating_add(1);
             }
         }
         if u_wants && self.unchoked_count(v) < self.cfg.upload_slots {
@@ -821,13 +877,14 @@ impl Swarm {
 
                 // One fragment received from u by d: the paper's counter.
                 completed_any = true;
-                self.fragments.record(u, d);
+                self.peers[d].nbrs[j].frags += 1;
                 self.peers[d].inflight.clear(piece);
                 let remaining_before = self.peers[d].remaining();
                 if self.peers[d].have.set(piece) {
                     self.have_queue.push((d as u32, piece));
                     if self.peers[d].have.is_full() {
                         self.peers[d].completed_at = Some(now);
+                        self.status[d] |= ST_COMPLETE;
                         self.incomplete -= 1;
                         let t = self.peers[d].nbrs[j].transfer.take().expect("transfer present");
                         self.net.stop_flow(t.flow);
@@ -847,13 +904,14 @@ impl Swarm {
 
             // No current piece: try to (re)start one on this stream.
             let picked = {
-                let Self { cfg, peers, rng, .. } = self;
+                let Self { cfg, peers, rng, avail, .. } = self;
                 let (dp, up) = two_mut(peers, d, u);
+                let pp = cfg.num_pieces as usize;
                 let ctx = PickContext {
                     uploader_have: &up.have,
                     downloader_have: &dp.have,
                     inflight: &dp.inflight,
-                    avail: &dp.avail,
+                    avail: &avail[d * pp..(d + 1) * pp],
                     endgame: dp.remaining() <= cfg.endgame_pieces,
                     random_first: dp.have.count() < cfg.random_first_pieces,
                 };
@@ -936,13 +994,14 @@ impl Swarm {
             return;
         }
         let picked = {
-            let Self { cfg, peers, rng, .. } = self;
+            let Self { cfg, peers, rng, avail, .. } = self;
             let (dp, up) = two_mut(peers, d, u);
+            let pp = cfg.num_pieces as usize;
             let ctx = PickContext {
                 uploader_have: &up.have,
                 downloader_have: &dp.have,
                 inflight: &dp.inflight,
-                avail: &dp.avail,
+                avail: &avail[d * pp..(d + 1) * pp],
                 endgame: dp.remaining() <= cfg.endgame_pieces,
                 random_first: dp.have.count() < cfg.random_first_pieces,
             };
@@ -1006,6 +1065,7 @@ impl Swarm {
     /// Propagates queued HAVE announcements: availability counts, interest
     /// flags, waking dormant unchoked pairs, and eager slot filling.
     fn flush_haves(&mut self) {
+        let pp = self.cfg.num_pieces as usize;
         while !self.have_queue.is_empty() {
             let queue = std::mem::take(&mut self.have_queue);
             for (owner, piece) in queue {
@@ -1015,14 +1075,17 @@ impl Swarm {
                         let nb = &self.peers[owner].nbrs[j];
                         (nb.peer as usize, nb.pos_at_peer as usize)
                     };
-                    if !self.peers[u].alive {
-                        // Crashed neighbors miss announcements; their whole
-                        // availability view is recomputed on revival.
+                    // One status byte gates the whole neighbor visit:
+                    // crashed neighbors miss announcements (their whole
+                    // availability view is recomputed on revival), and
+                    // completed neighbors never pick again, so their
+                    // availability rows are dead state not worth updating.
+                    if self.status[u] != 0 {
                         continue;
                     }
-                    self.peers[u].avail[piece as usize] =
-                        self.peers[u].avail[piece as usize].saturating_add(1);
-                    if self.peers[u].completed_at.is_some() || self.peers[u].have.get(piece) {
+                    let slot = &mut self.avail[u * pp + piece as usize];
+                    *slot = slot.saturating_add(1);
+                    if self.peers[u].have.get(piece) {
                         continue;
                     }
                     // u is now (still) interested in owner.
@@ -1084,15 +1147,15 @@ impl Swarm {
             return;
         }
         let now = self.net.time();
-        let decisions: Vec<(usize, bool)> = {
-            let Self { cfg, peers, rng, .. } = self;
+        {
+            let Self { cfg, peers, rng, scratch_cands: cands, scratch_decisions, .. } = self;
             let completed = peers[p].completed_at.is_some();
             let pr = &mut peers[p];
 
             // Score interested neighbors: measured link capacity while a
             // recent transfer ran, else the byte-rate estimate.
             let window = cfg.rate_window;
-            let mut cands: Vec<(f64, u64, u32)> = Vec::with_capacity(pr.nbrs.len());
+            cands.clear();
             for (j, nb) in pr.nbrs.iter_mut().enumerate() {
                 if !nb.they_interested {
                     continue;
@@ -1107,41 +1170,46 @@ impl Swarm {
             }
             // Highest score first; random tie-break.
             cands.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
-            let regular: Vec<u32> =
-                cands.iter().take(cfg.regular_slots).map(|&(_, _, j)| j).collect();
+            // The regular slots are the sorted prefix; the optimistic pool
+            // is everything after it (both are views, no copies).
+            let k = cfg.regular_slots.min(cands.len());
+            let (regular, pool) = cands.split_at(k);
 
             // Optimistic slots among the remaining interested neighbors.
             let opt_slots = cfg.upload_slots - cfg.regular_slots.min(cfg.upload_slots);
-            let pool: Vec<u32> =
-                cands.iter().map(|&(_, _, j)| j).filter(|j| !regular.contains(j)).collect();
             if rotate_optimistic {
                 pr.optimistic.clear();
             } else {
                 // Keep holders that are still eligible.
-                let keep: Vec<u32> =
-                    pr.optimistic.iter().copied().filter(|j| pool.contains(j)).collect();
-                pr.optimistic = keep;
+                pr.optimistic.retain(|&x| pool.iter().any(|&(_, _, j)| j == x));
             }
             while pr.optimistic.len() < opt_slots {
-                let fresh: Vec<u32> =
-                    pool.iter().copied().filter(|j| !pr.optimistic.contains(j)).collect();
-                match fresh.choose(rng) {
-                    Some(&j) => pr.optimistic.push(j),
-                    None => break,
+                // Uniform pick among pool members not already holding a
+                // slot; same single `gen_range` draw the materialized
+                // `fresh.choose(rng)` made.
+                let fresh = || pool.iter().filter(|&&(_, _, j)| !pr.optimistic.contains(&j));
+                let m = fresh().count();
+                if m == 0 {
+                    break;
+                }
+                let pick = rng.gen_range(0..m);
+                let &(_, _, j) = fresh().nth(pick).expect("pick < fresh count");
+                pr.optimistic.push(j);
+            }
+
+            scratch_decisions.clear();
+            for j in 0..pr.nbrs.len() {
+                let un = regular.iter().any(|&(_, _, r)| r as usize == j)
+                    || pr.optimistic.contains(&(j as u32));
+                if pr.nbrs[j].am_unchoking != un {
+                    scratch_decisions.push((j as u32, un));
                 }
             }
+        }
 
-            let mut unchoke = vec![false; pr.nbrs.len()];
-            for &j in regular.iter().chain(pr.optimistic.iter()) {
-                unchoke[j as usize] = true;
-            }
-            (0..pr.nbrs.len())
-                .filter(|&j| pr.nbrs[j].am_unchoking != unchoke[j])
-                .map(|j| (j, unchoke[j]))
-                .collect()
-        };
-
-        for (j, unchoke) in decisions {
+        let decisions = std::mem::take(&mut self.scratch_decisions);
+        for &(j, unchoke) in &decisions {
+            let j = j as usize;
             self.peers[p].nbrs[j].am_unchoking = unchoke;
             let (d, pos, interested) = {
                 let nb = &self.peers[p].nbrs[j];
@@ -1155,6 +1223,7 @@ impl Swarm {
                 self.halt_transfer(d, pos);
             }
         }
+        self.scratch_decisions = decisions;
     }
 
     /// Drives the simulation until every **surviving** leecher completes
@@ -1188,6 +1257,7 @@ impl Swarm {
     }
 
     fn into_outcome(self) -> RunOutcome {
+        let fragments = self.fragments();
         let completion: Vec<Option<f64>> = self.peers.iter().map(|p| p.completed_at).collect();
         let disrupted: Vec<bool> = self.peers.iter().map(|p| p.ever_down).collect();
         let departed: Vec<bool> = self.peers.iter().map(|p| !p.alive).collect();
@@ -1205,7 +1275,7 @@ impl Swarm {
             })
             .fold(0.0f64, f64::max);
         RunOutcome {
-            fragments: self.fragments,
+            fragments,
             completion,
             makespan,
             finished: self.incomplete == 0 && self.down_incomplete == 0,

@@ -36,18 +36,26 @@ impl PeerGraph {
 
         let mut order: Vec<u32> = (0..n as u32).collect();
         order.shuffle(rng);
+        let mut targets: Vec<u32> = Vec::with_capacity(n.saturating_sub(1));
         for &i in &order {
             let iu = i as usize;
             if neighbors[iu].len() >= cap {
                 continue;
             }
-            // Candidate targets in random order.
-            let mut targets: Vec<u32> = (0..n as u32).filter(|&j| j != i).collect();
-            targets.shuffle(rng);
-            for j in targets {
-                if neighbors[iu].len() >= cap {
-                    break;
-                }
+            // Candidate targets drawn without replacement via lazy partial
+            // Fisher–Yates: same distribution as shuffling the whole list
+            // and walking it in order, but only as many draws as attempts —
+            // the cap fills after ~`max_peers` accepts, so eagerly shuffling
+            // all `n - 1` candidates per node cost O(n²) RNG draws per
+            // tracker build.
+            targets.clear();
+            targets.extend((0..n as u32).filter(|&j| j != i));
+            let mut m = targets.len();
+            while m > 0 && neighbors[iu].len() < cap {
+                let t = rng.gen_range(0..m);
+                let j = targets[t];
+                m -= 1;
+                targets[t] = targets[m];
                 let ju = j as usize;
                 if neighbors[ju].len() >= cap || adj[iu * n + ju] {
                     continue;

@@ -174,3 +174,51 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    // Campaigns with churn simulate every iteration to a perturbed horizon,
+    // so keep the case count low; the thread/reliability space is still
+    // covered because every case draws all knobs independently.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The parallel campaign fold is bit-identical to the serial schedule
+    /// for ANY worker count and ANY reliability mix: the pool's reorder
+    /// buffer hands observations to the fold in iteration order, so the
+    /// accumulated metric — including the churn-era coverage diagnostics —
+    /// cannot depend on how iterations were sharded across threads.
+    #[test]
+    fn parallel_fold_matches_serial_under_reliability(
+        n in 6usize..12,
+        pieces in 24u32..64,
+        iterations in 2u32..5,
+        threads in 0usize..5,
+        seed in any::<u64>(),
+        churn in 0.0f64..0.4,
+        xtraffic in 0.0f64..0.3,
+        degrade in 0.0f64..0.3,
+    ) {
+        let (routes, hosts) = star(n, 500.0);
+        let cfg = SwarmConfig { num_pieces: pieces, ..SwarmConfig::default() };
+        let rel = ReliabilityCfg { churn, xtraffic, degrade };
+        let run = |threads: usize| {
+            run_campaign_with_reliability(
+                &routes, &hosts, &cfg, iterations, RootPolicy::RoundRobin, seed, &rel, threads,
+            )
+        };
+        let serial = run(1);
+        let pooled = run(threads);
+        prop_assert_eq!(&pooled.metric, &serial.metric, "metric fold moved (threads {})", threads);
+        prop_assert_eq!(
+            pooled.metric.pairs_unobserved(),
+            serial.metric.pairs_unobserved(),
+            "unobserved-pair count moved"
+        );
+        prop_assert_eq!(pooled.metric.pair_coverage(), serial.metric.pair_coverage());
+        prop_assert_eq!(pooled.runs.len(), serial.runs.len());
+        for (p, s) in pooled.runs.iter().zip(&serial.runs) {
+            prop_assert_eq!(&p.fragments, &s.fragments);
+            prop_assert_eq!(&p.completion, &s.completion);
+            prop_assert_eq!(p.finished, s.finished);
+        }
+    }
+}

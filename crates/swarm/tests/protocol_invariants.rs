@@ -35,8 +35,9 @@ proptest! {
         let mut guard = 0;
         while !swarm.is_complete() {
             swarm.step();
+            let frags = swarm.fragments();
             for (d, prev) in last.iter_mut().enumerate() {
-                let now = swarm.fragments().received_by(d);
+                let now = frags.received_by(d);
                 prop_assert!(now >= *prev, "peer {} regressed: {} -> {}", d, *prev, now);
                 prop_assert!(now <= pieces as u64, "peer {} overshot: {}", d, now);
                 *prev = now;
@@ -68,7 +69,7 @@ proptest! {
             guard += 1;
         }
         prop_assert!(manual.is_complete());
-        prop_assert_eq!(manual.fragments(), &run_out.fragments);
+        prop_assert_eq!(manual.fragments(), run_out.fragments);
     }
 
     /// Peer-graph randomization across iterations covers the full edge set:
