@@ -1,10 +1,10 @@
 //! `btt` — the campaign CLI: sweep scenarios, emit structured artifacts.
 //!
 //! ```text
-//! btt sweep [OPTIONS]        run a (scenario × algorithm × seed) campaign
+//! btt sweep [OPTIONS]        run a (scenario × backend × seed) campaign
 //! btt serve [OPTIONS]        run the tomography daemon (btt-serve-v1 socket)
 //! btt stress [OPTIONS]       hammer a daemon with concurrent campaigns
-//! btt list                   show scenario syntax and algorithm names
+//! btt list                   show scenario syntax and backend names
 //! btt check <DIR>            validate campaign artifacts (JSON/CSV parse)
 //! ```
 //!
@@ -17,12 +17,12 @@
 //! artifacts, so CI can smoke-run the binary directly.
 
 use btt_bench::campaign::{
-    check_outputs, run_sweep, summary_table, write_engine_bench, write_inference_bench,
-    write_outputs, SweepSpec,
+    check_outputs, parse_backend_list, run_sweep, summary_table, write_engine_bench,
+    write_inference_bench, write_outputs, SweepSpec,
 };
 use btt_bench::serve::{serve as start_daemon, ServeConfig};
 use btt_bench::stress::{run_stress, StressSpec};
-use btt_core::pipeline::ClusteringAlgorithm;
+use btt_core::backend::Backend;
 use btt_core::scenarios::ScenarioSpec;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -31,10 +31,10 @@ const TOP_USAGE: &str = "\
 usage: btt <COMMAND> [OPTIONS]
 
 commands:
-  sweep    run a (scenario x algorithm x seed) campaign and write artifacts
+  sweep    run a (scenario x backend x seed) campaign and write artifacts
   serve    run the tomography daemon (newline-delimited JSON over TCP)
   stress   load-test a running daemon with concurrent campaign jobs
-  list     show scenario spec syntax, scale presets, and algorithm names
+  list     show scenario spec syntax, scale presets, and backend names
   check    validate campaign artifacts in a directory
 
 run `btt <COMMAND> --help` for per-command options.
@@ -45,14 +45,17 @@ The sibling `repro` binary reproduces the paper's figure-level experiments
 const SWEEP_USAGE: &str = "\
 usage: btt sweep [OPTIONS]
 
-Runs every (scenario, algorithm, seed) combination and writes one JSON
+Runs every (scenario, backend, seed) combination and writes one JSON
 record plus one convergence CSV per run, and a campaign summary.csv.
 
 options:
   --scenarios <S,S,...>    scenario specs (default: 2x2,star:3x6:0.1:6,wan:3x4:0.2)
                            `btt list` shows the grammar, incl. reliability
                            suffixes like wan-512+churn=0.05
-  --algorithms <A,A,...>   clustering algorithms (default: louvain,label-propagation)
+  --backends <B,B,...>     phase-2 inference backends (default:
+                           louvain,label-propagation); `btt list` names them
+  --algorithms <A,A,...>   alias for --backends (kept for pre-backend
+                           scripts)
   --seeds <N,N,...>        master seeds (default: 2012)
   --iterations <N>         broadcast iterations per run (default: 10)
   --paper-iterations       use each scenario's default iteration count
@@ -100,7 +103,8 @@ options:
   --jobs <N>               total jobs to submit (default: 8)
   --concurrency <N>        concurrent client connections (default: 4)
   --scenario <SPEC>        scenario per job (default: star:2x4:0.2:4)
-  --algorithm <A>          clustering algorithm (default: louvain)
+  --backend <B>            inference backend (default: louvain)
+  --algorithm <A>          alias for --backend
   --seed <N>               base seed; job i uses seed+i (default: 2012)
   --iterations <N>         broadcast iterations per job (default: 3)
   --pieces <N>             file size in 16 KiB fragments (default: 64)
@@ -115,7 +119,7 @@ const LIST_USAGE: &str = "\
 usage: btt list
 
 Prints the scenario spec grammar (paper datasets, synthetic families,
-scale presets, reliability suffixes) and the clustering algorithm names.
+scale presets, reliability suffixes) and the inference backend names.
 
 options:
   -h, --help               show this help";
@@ -192,8 +196,8 @@ fn list(args: &[String]) -> ExitCode {
         println!("  {name:18} = {spec}");
     }
     println!();
-    println!("algorithms (comma-separate for --algorithms; shorthands in parens):");
-    println!("  {}", ClusteringAlgorithm::name_list().replace(", ", "\n  "));
+    println!("backends (comma-separate for --backends; shorthands in parens):");
+    println!("  {}", Backend::name_list().replace(", ", "\n  "));
     ExitCode::SUCCESS
 }
 
@@ -215,10 +219,9 @@ fn check(args: &[String]) -> ExitCode {
                     path.display()
                 );
             }
-            for scenario in &summary.zero_onmi {
+            for warning in &summary.zero_onmi {
                 eprintln!(
-                    "warning: {dir}/{file}: run '{scenario}' finished with final_onmi == 0.0 \
-                     (campaign completed but inference recovered no structure)",
+                    "warning: {dir}/{file}: finished with final_onmi == 0.0 -- {warning}",
                     file = btt_bench::campaign::INFERENCE_BENCH_FILE,
                 );
             }
@@ -364,17 +367,17 @@ fn stress_cmd(args: &[String]) -> ExitCode {
                 }
                 spec.scenario = v;
             }
-            "--algorithm" => {
+            "--backend" | "--algorithm" => {
                 let Some(v) = value() else {
-                    return stress_err("--algorithm needs a value".into());
+                    return stress_err(format!("{flag} needs a value"));
                 };
-                if ClusteringAlgorithm::from_name(&v).is_none() {
+                if Backend::from_name(&v).is_none() {
                     return stress_err(format!(
-                        "unknown algorithm {v:?}; valid algorithms: {}",
-                        ClusteringAlgorithm::name_list()
+                        "unknown backend {v:?}; valid backends: {}",
+                        Backend::name_list()
                     ));
                 }
-                spec.algorithm = v;
+                spec.backend = v;
             }
             "--seed" => {
                 let Some(n) = value().and_then(|v| v.parse::<u64>().ok()) else {
@@ -464,26 +467,14 @@ fn sweep(args: &[String]) -> ExitCode {
                     Err(e) => return sweep_err(e),
                 }
             }
-            "--algorithms" => {
+            "--backends" | "--algorithms" => {
                 let Some(v) = value() else {
-                    return sweep_err("--algorithms needs a value".into());
+                    return sweep_err(format!("{flag} needs a value"));
                 };
-                let mut algorithms = Vec::new();
-                for name in v.split(',').filter(|s| !s.trim().is_empty()) {
-                    match ClusteringAlgorithm::from_name(name.trim()) {
-                        Some(a) => algorithms.push(a),
-                        None => {
-                            return sweep_err(format!(
-                                "unknown algorithm {name:?}; valid algorithms: {}",
-                                ClusteringAlgorithm::name_list()
-                            ));
-                        }
-                    }
+                match parse_backend_list(&v) {
+                    Ok(backends) => spec.backends = backends,
+                    Err(e) => return sweep_err(e.to_string()),
                 }
-                if algorithms.is_empty() {
-                    return sweep_err("--algorithms list is empty".into());
-                }
-                spec.algorithms = algorithms;
             }
             "--seeds" => {
                 let Some(v) = value() else {
@@ -550,9 +541,9 @@ fn sweep(args: &[String]) -> ExitCode {
 
     let runs = spec.expand();
     println!(
-        "btt sweep: {} scenario(s) x {} algorithm(s) x {} seed(s) = {} run(s), pieces={}, iterations={}",
+        "btt sweep: {} scenario(s) x {} backend(s) x {} seed(s) = {} run(s), pieces={}, iterations={}",
         spec.scenarios.len(),
-        spec.algorithms.len(),
+        spec.backends.len(),
         spec.seeds.len(),
         runs.len(),
         spec.pieces,
@@ -560,7 +551,7 @@ fn sweep(args: &[String]) -> ExitCode {
     );
     let wall = std::time::Instant::now();
     let records = run_sweep(&spec);
-    println!("measured + clustered in {:.1?}\n", wall.elapsed());
+    println!("measured + inferred in {:.1?}\n", wall.elapsed());
 
     print!("{}", summary_table(&records));
     for record in &records {

@@ -1,13 +1,13 @@
 //! Scenario-sweep campaigns: the engine behind the `btt` CLI.
 //!
-//! A campaign is the cross product (scenario × algorithm × seed) of a
+//! A campaign is the cross product (scenario × backend × seed) of a
 //! [`SweepSpec`], run in parallel via rayon and written out as structured
 //! artifacts:
 //!
-//! * `<out>/<scenario>__<algorithm>__s<seed>.json` — one
+//! * `<out>/<scenario>__<backend>__s<seed>.json` — one
 //!   [`ReportRecord`] per run (schema `btt-report-v1`);
 //! * `<out>/summary.csv` — one row per run, in deterministic
-//!   (scenario, algorithm, seed) order.
+//!   (scenario, backend, seed) order.
 //!
 //! Determinism: every run derives all randomness from its own seed, the
 //! rayon shim preserves input order, and all floats are rendered with the
@@ -24,14 +24,62 @@ use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
-/// What to sweep: every combination of scenario, algorithm, and seed runs
+/// A `--backends` (or `--algorithms`) list that failed to parse. Typed so
+/// the CLI can exit with a message naming the exact offending entry rather
+/// than a generic "bad list".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BackendParseError {
+    /// An entry no backend answers to.
+    Unknown(String),
+    /// The same backend appears twice (after case folding and shorthand
+    /// resolution — `louvain,CLUSTERING` is a duplicate).
+    Duplicate(String),
+    /// The list has no entries at all.
+    Empty,
+}
+
+impl std::fmt::Display for BackendParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BackendParseError::Unknown(name) => {
+                write!(f, "unknown backend {name:?}; valid backends: {}", Backend::name_list())
+            }
+            BackendParseError::Duplicate(name) => {
+                write!(f, "duplicate backend {name:?} in list")
+            }
+            BackendParseError::Empty => write!(f, "backend list is empty"),
+        }
+    }
+}
+
+impl std::error::Error for BackendParseError {}
+
+/// Parses a comma-separated backend list (case-insensitive, shorthands
+/// allowed), rejecting empty lists and duplicates by name.
+pub fn parse_backend_list(list: &str) -> Result<Vec<Backend>, BackendParseError> {
+    let mut backends: Vec<Backend> = Vec::new();
+    for name in list.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+        let backend =
+            Backend::from_name(name).ok_or_else(|| BackendParseError::Unknown(name.to_string()))?;
+        if backends.contains(&backend) {
+            return Err(BackendParseError::Duplicate(name.to_string()));
+        }
+        backends.push(backend);
+    }
+    if backends.is_empty() {
+        return Err(BackendParseError::Empty);
+    }
+    Ok(backends)
+}
+
+/// What to sweep: every combination of scenario, backend, and seed runs
 /// once.
 #[derive(Debug, Clone)]
 pub struct SweepSpec {
     /// Scenarios to run.
     pub scenarios: Vec<ScenarioSpec>,
-    /// Phase-2 algorithms to run on each scenario's measurements.
-    pub algorithms: Vec<ClusteringAlgorithm>,
+    /// Phase-2 inference backends to run on each scenario's measurements.
+    pub backends: Vec<Backend>,
     /// Master seeds (one full campaign per seed).
     pub seeds: Vec<u64>,
     /// Measurement iterations per run; `None` = each scenario's default.
@@ -51,7 +99,10 @@ impl SweepSpec {
         SweepSpec {
             scenarios: ScenarioSpec::parse_list("2x2,star:3x6:0.1:6,wan:3x4:0.2")
                 .expect("default scenarios parse"),
-            algorithms: vec![ClusteringAlgorithm::Louvain, ClusteringAlgorithm::LabelPropagation],
+            backends: vec![
+                ClusteringAlgorithm::Louvain.into(),
+                ClusteringAlgorithm::LabelPropagation.into(),
+            ],
             seeds: vec![2012],
             iterations: Some(10),
             pieces: 512,
@@ -62,22 +113,22 @@ impl SweepSpec {
     /// Upper bound on the number of runs (the raw cross-product size;
     /// [`SweepSpec::expand`] may collapse duplicate coordinates).
     pub fn num_runs(&self) -> usize {
-        self.scenarios.len() * self.algorithms.len() * self.seeds.len()
+        self.scenarios.len() * self.backends.len() * self.seeds.len()
     }
 
-    /// The cross product, in deterministic (scenario, algorithm, seed)
-    /// order. Duplicate coordinates — repeated seeds/algorithms, or two
+    /// The cross product, in deterministic (scenario, backend, seed)
+    /// order. Duplicate coordinates — repeated seeds/backends, or two
     /// spellings of the same scenario (e.g. `star:3x8` and its canonical
     /// id `star:3x8:0.25:4`) — collapse to one run, since they would name
     /// the same output files.
     pub fn expand(&self) -> Vec<RunSpec> {
         let mut runs: Vec<RunSpec> = Vec::with_capacity(self.num_runs());
         for scenario in &self.scenarios {
-            for &algorithm in &self.algorithms {
+            for &backend in &self.backends {
                 for &seed in &self.seeds {
                     let candidate = RunSpec {
                         scenario: scenario.clone(),
-                        algorithm,
+                        backend,
                         seed,
                         iterations: self.iterations,
                         pieces: self.pieces,
@@ -98,8 +149,8 @@ impl SweepSpec {
 pub struct RunSpec {
     /// The scenario to measure.
     pub scenario: ScenarioSpec,
-    /// The clustering algorithm for phase 2.
-    pub algorithm: ClusteringAlgorithm,
+    /// The inference backend for phase 2.
+    pub backend: Backend,
     /// Master seed.
     pub seed: u64,
     /// Iteration override (`None` = scenario default).
@@ -111,7 +162,7 @@ pub struct RunSpec {
 }
 
 impl RunSpec {
-    /// The session this run configures (phase-2 algorithm excluded — it is
+    /// The session this run configures (phase-2 backend excluded — it is
     /// passed explicitly at analysis time so campaigns can be shared).
     fn session(&self) -> TomographySession {
         let mut session = TomographySession::over(self.scenario.build())
@@ -127,13 +178,13 @@ impl RunSpec {
     /// Executes measurement + analysis and projects the record.
     pub fn run(&self) -> ReportRecord {
         let session = self.session();
-        ReportRecord::new(&session.analyze_with(session.measure(), self.algorithm), self.pieces)
+        ReportRecord::new(&session.analyze_with(session.measure(), self.backend), self.pieces)
     }
 
     /// The per-run artifact stem, e.g. `star-3x4-0.1-4__louvain__s2012`
     /// (scenario ids are sanitized for the filesystem: `:` becomes `-`).
     pub fn file_stem(&self) -> String {
-        format!("{}__{}__s{}", sanitize(&self.scenario.id()), self.algorithm.name(), self.seed)
+        format!("{}__{}__s{}", sanitize(&self.scenario.id()), self.backend.name(), self.seed)
     }
 }
 
@@ -155,9 +206,9 @@ fn is_campaign_artifact(name: &str) -> bool {
 /// [`SweepSpec::expand`] order regardless of scheduling.
 ///
 /// The broadcast simulation (the dominant cost) depends only on
-/// (scenario, seed, iterations, pieces), not on the phase-2 algorithm, so
-/// each such group is measured **once** and then analyzed per algorithm —
-/// sweeping all four algorithms costs one simulation, not four.
+/// (scenario, seed, iterations, pieces), not on the phase-2 backend, so
+/// each such group is measured **once** and then analyzed per backend —
+/// sweeping all five backends costs one simulation, not five.
 pub fn run_sweep(spec: &SweepSpec) -> Vec<ReportRecord> {
     let runs = spec.expand();
     // Unique (scenario, seed) groups, in first-appearance order.
@@ -172,7 +223,7 @@ pub fn run_sweep(spec: &SweepSpec) -> Vec<ReportRecord> {
         }
     }
     // Phase 1 (simulation) in parallel, one campaign per group; phase 2
-    // (clustering, comparatively cheap) per member run. Records are written
+    // (inference, comparatively cheap) per member run. Records are written
     // back by expand-order index, so output order is deterministic.
     let mut records: Vec<Option<ReportRecord>> = vec![None; runs.len()];
     let analyzed: Vec<Vec<(usize, ReportRecord)>> = groups
@@ -180,7 +231,7 @@ pub fn run_sweep(spec: &SweepSpec) -> Vec<ReportRecord> {
         .map(|(leader, members)| {
             let session = leader.session();
             // `analyze_with` hands ownership of the campaign to the report,
-            // so k algorithms need k-1 clones of the measurement data; the
+            // so k backends need k-1 clones of the measurement data; the
             // last member takes the original by move.
             let mut campaign = Some(session.measure());
             let last = members.len() - 1;
@@ -193,7 +244,7 @@ pub fn run_sweep(spec: &SweepSpec) -> Vec<ReportRecord> {
                     } else {
                         campaign.as_ref().expect("campaign still owned").clone()
                     };
-                    let report = session.analyze_with(c, runs[i].algorithm);
+                    let report = session.analyze_with(c, runs[i].backend);
                     (i, ReportRecord::new(&report, runs[i].pieces))
                 })
                 .collect()
@@ -432,10 +483,12 @@ pub struct InferenceBenchPoint {
 /// The standardized inference benchmark: the paper's Fig.-13 convergence
 /// study at 1000+ hosts. `fat-tree-1k` at 100 iterations is the headline
 /// point (the acceptance gate for the streaming refactor); `wan-1k` and
-/// `edge-2k` pin the other scale presets at shallower series, and
-/// `fat-tree-4k` is a deliberately shallow 4096-host point proving the
-/// parallel measurement path completes at 4x the headline scale -- all
-/// sized so the suite stays inside the CI smoke budget.
+/// `edge-2k` pin the other scale presets at shallower series,
+/// `edge-2k-wide` pins the recovery control where both backend families
+/// return nonzero accuracy, and `fat-tree-4k` is a deliberately shallow
+/// 4096-host point proving the parallel measurement path completes at 4x
+/// the headline scale -- all sized so the suite stays inside the CI smoke
+/// budget.
 pub const INFERENCE_BENCH_SUITE: &[InferenceBenchPoint] = &[
     InferenceBenchPoint {
         scenario: "fat-tree-1k",
@@ -461,6 +514,17 @@ pub const INFERENCE_BENCH_SUITE: &[InferenceBenchPoint] = &[
         measure_threads: 4,
         measure_serial_ms: None,
     },
+    // edge-2k's recovery control (same 2048 hosts and 2 Mb/s access tier,
+    // 16 sites of 128): both backend families come back nonzero here,
+    // pinning the edge-2k zero on cluster-size identifiability.
+    InferenceBenchPoint {
+        scenario: "edge-2k-wide",
+        pieces: 128,
+        iterations: 8,
+        baseline_serial_ms: None,
+        measure_threads: 4,
+        measure_serial_ms: None,
+    },
     InferenceBenchPoint {
         scenario: "fat-tree-4k",
         pieces: 32,
@@ -477,11 +541,23 @@ pub const INFERENCE_BENCH_SEED: u64 = 2012;
 /// Name of the inference benchmark artifact.
 pub const INFERENCE_BENCH_FILE: &str = "BENCH_inference.json";
 
-/// Runs one inference-bench point: measure the campaign, then time the
-/// streaming aggregation and parallel clustering separately. Returns the
-/// record as a JSON object (timings in milliseconds).
+/// The backends compared head-to-head in every inference-bench record's
+/// `backends` block: the headline clustering backend and the additive-
+/// metrics backend. Their agreement (or disagreement) on a zero-oNMI
+/// scenario is the first diagnostic `btt check` reports.
+pub const INFERENCE_BENCH_BACKENDS: [Backend; 2] =
+    [Backend::Clustering(ClusteringAlgorithm::Louvain), Backend::Additive];
+
+/// Runs one inference-bench point: measure the campaign, time the
+/// streaming aggregation and parallel clustering separately, then run every
+/// [`INFERENCE_BENCH_BACKENDS`] entry over the final snapshot graph for the
+/// per-backend accuracy/cost block. Returns the record as a JSON object
+/// (timings in milliseconds).
 pub fn run_inference_bench_point(point: &InferenceBenchPoint) -> json::Json {
-    use btt_core::pipeline::{convergence_series_timed, SPARSE_NODE_THRESHOLD};
+    use btt_cluster::onmi::onmi_partitions;
+    use btt_core::diagnosis::metric_separation;
+    use btt_core::pipeline::{auto_metric_graph, convergence_series_timed, SPARSE_NODE_THRESHOLD};
+    use btt_netsim::util::splitmix64;
     use std::time::Instant;
 
     let spec = ScenarioSpec::parse(point.scenario).expect("suite scenarios parse");
@@ -504,13 +580,38 @@ pub fn run_inference_bench_point(point: &InferenceBenchPoint) -> json::Json {
     );
     let last = points.last().expect("at least one iteration");
 
+    // Per-backend accuracy/cost block: every backend infers from the same
+    // final snapshot graph with the pipeline's final-partition seed, so each
+    // entry is exactly the partition a full session with that backend would
+    // report. The separation ratio (mean intra-truth / inter-truth pair
+    // weight) is a property of the graph, shared by all backends.
+    let truth = &session.scenario().ground_truth;
+    let g = auto_metric_graph(&campaign.metric);
+    let (_, _, separation_ratio) = metric_separation(&g, truth);
+    let backends: Vec<json::Json> = INFERENCE_BENCH_BACKENDS
+        .iter()
+        .map(|b| {
+            let wall = Instant::now();
+            let p = b.infer(&g, splitmix64(INFERENCE_BENCH_SEED ^ 0xFFFF_FFFF));
+            let infer_ms = wall.elapsed().as_secs_f64() * 1e3;
+            json::Json::obj(vec![
+                ("backend", json::Json::Str(b.name().to_string())),
+                ("final_onmi", json::Json::Float(onmi_partitions(&p, truth))),
+                ("final_clusters", json::Json::UInt(p.num_clusters() as u64)),
+                ("infer_ms", json::Json::Float(infer_ms)),
+            ])
+        })
+        .collect();
+
     let (baseline, speedup) = match point.baseline_serial_ms {
         Some(b) => (json::Json::Float(b), json::Json::Float(b / timing.total_ms())),
         None => (json::Json::Null, json::Json::Null),
     };
+    // "n/a" (never null) where no serial baseline was recorded, so `btt
+    // check` can reject accidentally-null speedups as corrupt.
     let measure_speedup = match point.measure_serial_ms {
         Some(b) => json::Json::Float(b / measure_ms),
-        None => json::Json::Null,
+        None => json::Json::Str("n/a".to_string()),
     };
     json::Json::obj(vec![
         ("scenario", json::Json::Str(point.scenario.to_string())),
@@ -529,6 +630,11 @@ pub fn run_inference_bench_point(point: &InferenceBenchPoint) -> json::Json {
         ("pruned", json::Json::Bool(hosts >= SPARSE_NODE_THRESHOLD)),
         ("final_onmi", json::Json::Float(last.onmi)),
         ("final_clusters", json::Json::UInt(last.clusters as u64)),
+        (
+            "separation_ratio",
+            separation_ratio.map_or_else(|| json::Json::Str("n/a".into()), json::Json::Float),
+        ),
+        ("backends", json::Json::Array(backends)),
         // `measure()` returning means every iteration ran to completion;
         // `btt check` uses this to tell "campaign finished but inference
         // found nothing" (a warning) from a merely truncated artifact.
@@ -538,11 +644,16 @@ pub fn run_inference_bench_point(point: &InferenceBenchPoint) -> json::Json {
     ])
 }
 
+/// Schema marker of `BENCH_inference.json`. v2 (backend-refactor PR) added
+/// the per-backend accuracy/cost `backends` block and `separation_ratio`
+/// per run, and replaced `measure_speedup: null` with an explicit `"n/a"`.
+pub const INFERENCE_BENCH_SCHEMA: &str = "btt-inference-bench-v2";
+
 /// Renders the `BENCH_inference.json` document (schema
-/// `btt-inference-bench-v1`) for the suite points passing `filter`.
+/// [`INFERENCE_BENCH_SCHEMA`]) for the suite points passing `filter`.
 pub fn inference_bench_json(filter: Option<&[String]>) -> json::Json {
     json::Json::obj(vec![
-        ("schema", json::Json::Str("btt-inference-bench-v1".to_string())),
+        ("schema", json::Json::Str(INFERENCE_BENCH_SCHEMA.to_string())),
         ("seed", json::Json::UInt(INFERENCE_BENCH_SEED)),
         (
             "note",
@@ -550,7 +661,8 @@ pub fn inference_bench_json(filter: Option<&[String]>) -> json::Json {
                 "full measurement campaign (measure_threads workers, fold \
                  byte-identical to serial) + convergence series per point; \
                  phase-2 timings split into streaming aggregation and parallel \
-                 clustering; baseline_serial_ms / measure_serial_ms measured \
+                 clustering; per-backend block infers from the final snapshot \
+                 graph; baseline_serial_ms / measure_serial_ms measured \
                  once on the pre-refactor serial inference / pre-parallel \
                  measurement paths"
                     .to_string(),
@@ -588,29 +700,70 @@ pub fn write_inference_bench(out: &Path, filter: Option<&[String]>) -> io::Resul
     Ok(Some(path))
 }
 
+/// One promoted `zero_onmi` warning: a finished inference-bench run whose
+/// headline clustering path scored `final_onmi == 0.0`, annotated with the
+/// per-backend diagnostics the v2 records carry — which backends also found
+/// nothing, which recovered structure, and how much intra/inter metric
+/// contrast the snapshot graph held. The oNMI-0 story is readable from the
+/// artifact alone: nonzero backends ⇒ a clustering-side limit; all-zero
+/// with a separation ratio near 1 ⇒ the measurements carry no contrast.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ZeroOnmiWarning {
+    /// The run's scenario name.
+    pub scenario: String,
+    /// Backends that also scored oNMI 0.0 on the final snapshot graph.
+    pub zero_backends: Vec<String>,
+    /// Backends that recovered nonzero structure.
+    pub nonzero_backends: Vec<String>,
+    /// The run's `separation_ratio` (`None` when recorded as `"n/a"`).
+    pub separation_ratio: Option<f64>,
+}
+
+impl std::fmt::Display for ZeroOnmiWarning {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: ", self.scenario)?;
+        if self.nonzero_backends.is_empty() {
+            write!(f, "all backends agree (oNMI 0: {})", self.zero_backends.join(", "))?;
+        } else {
+            write!(
+                f,
+                "backends disagree (oNMI 0: {}; nonzero: {})",
+                self.zero_backends.join(", "),
+                self.nonzero_backends.join(", ")
+            )?;
+        }
+        match self.separation_ratio {
+            Some(r) => write!(f, "; separation ratio {}", json::fmt_f64(r)),
+            None => write!(f, "; separation ratio n/a"),
+        }
+    }
+}
+
 /// What [`check_inference_bench`] found in a structurally valid document:
-/// the run count, plus the scenarios of runs whose campaign `finished` yet
-/// scored `final_onmi == 0.0`. Such a record parses fine — but a completed
-/// campaign whose inference recovered *no* structure at all almost always
-/// means the measurement itself was broken (e.g. every pair unobserved), so
-/// `btt check` surfaces each as a warning rather than silently passing.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// the run count, plus one [`ZeroOnmiWarning`] per run whose campaign
+/// `finished` yet scored `final_onmi == 0.0`. Such a record parses fine —
+/// but a completed campaign whose inference recovered *no* structure needs
+/// explaining, so `btt check` surfaces each with its per-backend
+/// diagnostics rather than silently passing.
+#[derive(Debug, Clone, PartialEq)]
 pub struct InferenceBenchCheck {
     /// Number of runs in the document.
     pub runs: usize,
-    /// Scenarios of finished runs with `final_onmi == 0.0`. Runs without a
-    /// `finished` flag (pre-flag artifacts) or with `finished: false` are
-    /// never flagged: an unfinished campaign scoring zero is expected.
-    pub zero_onmi: Vec<String>,
+    /// Warnings for finished runs with `final_onmi == 0.0`. Runs without a
+    /// `finished` flag or with `finished: false` are never flagged: an
+    /// unfinished campaign scoring zero is expected.
+    pub zero_onmi: Vec<ZeroOnmiWarning>,
 }
 
-/// Validates a `BENCH_inference.json` document: schema marker plus a
-/// non-empty `runs` array whose entries carry the trajectory keys. Returns
-/// the [`InferenceBenchCheck`] diagnostics on success.
+/// Validates a `BENCH_inference.json` document: schema marker, a non-empty
+/// `runs` array carrying the trajectory keys, a `measure_speedup` that is a
+/// positive number or the explicit `"n/a"` (never `null`), and a non-empty
+/// per-backend block per run. Returns the [`InferenceBenchCheck`]
+/// diagnostics on success.
 pub fn check_inference_bench(text: &str) -> Result<InferenceBenchCheck, String> {
     let doc = json::parse(text).map_err(|e| e.to_string())?;
     let schema = doc.get("schema").and_then(json::Json::as_str);
-    if schema != Some("btt-inference-bench-v1") {
+    if schema != Some(INFERENCE_BENCH_SCHEMA) {
         return Err(format!("unexpected schema {schema:?}"));
     }
     let runs = doc.get("runs").and_then(json::Json::as_array).ok_or("missing runs array")?;
@@ -629,16 +782,57 @@ pub fn check_inference_bench(text: &str) -> Result<InferenceBenchCheck, String> 
             "cluster_ms",
             "inference_wall_ms",
             "final_onmi",
+            "measure_speedup",
+            "separation_ratio",
+            "backends",
         ] {
             if run.get(key).is_none() {
                 return Err(format!("run {i} missing key {key:?}"));
+            }
+        }
+        // A missing baseline must say so explicitly; a null (the pre-v2
+        // form) or a nonsense number is a corrupt artifact, not a pass.
+        match run.get("measure_speedup") {
+            Some(json::Json::Float(s)) if s.is_finite() && *s > 0.0 => {}
+            Some(json::Json::Str(s)) if s == "n/a" => {}
+            other => {
+                return Err(format!(
+                    "run {i} measure_speedup must be a positive number or \"n/a\", got {:?}",
+                    other.map(|v| v.render())
+                ));
+            }
+        }
+        let backends = run
+            .get("backends")
+            .and_then(json::Json::as_array)
+            .ok_or("backends must be an array")?;
+        if backends.is_empty() {
+            return Err(format!("run {i} has an empty backends array"));
+        }
+        let mut zero_backends = Vec::new();
+        let mut nonzero_backends = Vec::new();
+        for (j, entry) in backends.iter().enumerate() {
+            for key in ["backend", "final_onmi", "final_clusters", "infer_ms"] {
+                if entry.get(key).is_none() {
+                    return Err(format!("run {i} backend {j} missing key {key:?}"));
+                }
+            }
+            let name = entry.get("backend").and_then(json::Json::as_str).unwrap_or("?").to_string();
+            match entry.get("final_onmi").and_then(json::Json::as_f64) {
+                Some(0.0) => zero_backends.push(name),
+                _ => nonzero_backends.push(name),
             }
         }
         let finished = run.get("finished").and_then(json::Json::as_bool) == Some(true);
         let onmi = run.get("final_onmi").and_then(json::Json::as_f64);
         if finished && onmi == Some(0.0) {
             let scenario = run.get("scenario").and_then(json::Json::as_str).unwrap_or("?");
-            zero_onmi.push(scenario.to_string());
+            zero_onmi.push(ZeroOnmiWarning {
+                scenario: scenario.to_string(),
+                zero_backends,
+                nonzero_backends,
+                separation_ratio: run.get("separation_ratio").and_then(json::Json::as_f64),
+            });
         }
     }
     Ok(InferenceBenchCheck { runs: runs.len(), zero_onmi })
@@ -830,7 +1024,7 @@ impl CheckError {
 
 /// What `btt check` found in a valid artifact directory: artifact counts
 /// plus diagnostics that are worth a warning but not a failure.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CheckSummary {
     /// Valid report/bench JSON documents.
     pub jsons: usize,
@@ -840,10 +1034,11 @@ pub struct CheckSummary {
     /// (all-one-cluster / all-singletons) — valid artifacts, but the run
     /// found no structure at all; `btt check` surfaces each as a warning.
     pub degenerate: Vec<PathBuf>,
-    /// Scenarios of inference-bench runs that finished with
-    /// `final_onmi == 0.0` (see [`InferenceBenchCheck::zero_onmi`]);
-    /// surfaced as warnings like `degenerate`.
-    pub zero_onmi: Vec<String>,
+    /// Inference-bench runs that finished with `final_onmi == 0.0`,
+    /// annotated with per-backend agreement and the separation ratio (see
+    /// [`InferenceBenchCheck::zero_onmi`]); surfaced as warnings like
+    /// `degenerate`.
+    pub zero_onmi: Vec<ZeroOnmiWarning>,
 }
 
 /// Validates every campaign artifact in `dir`: `.json` files must parse as
@@ -952,7 +1147,10 @@ mod tests {
     fn tiny_spec() -> SweepSpec {
         SweepSpec {
             scenarios: ScenarioSpec::parse_list("2x2,wan:2x2:0.25").unwrap(),
-            algorithms: vec![ClusteringAlgorithm::Louvain, ClusteringAlgorithm::LabelPropagation],
+            backends: vec![
+                ClusteringAlgorithm::Louvain.into(),
+                ClusteringAlgorithm::LabelPropagation.into(),
+            ],
             seeds: vec![7],
             iterations: Some(2),
             pieces: 48,
@@ -967,8 +1165,8 @@ mod tests {
         let runs = spec.expand();
         assert_eq!(runs.len(), 4);
         assert_eq!(runs[0].scenario.id(), "2x2");
-        assert_eq!(runs[0].algorithm, ClusteringAlgorithm::Louvain);
-        assert_eq!(runs[1].algorithm, ClusteringAlgorithm::LabelPropagation);
+        assert_eq!(runs[0].backend, Backend::Clustering(ClusteringAlgorithm::Louvain));
+        assert_eq!(runs[1].backend, Backend::Clustering(ClusteringAlgorithm::LabelPropagation));
         assert_eq!(runs[2].scenario.id(), "wan:2x2:0.25");
     }
 
@@ -980,7 +1178,7 @@ mod tests {
         spec.scenarios = ScenarioSpec::parse_list("star:3x8,star:3x8:0.25:4").unwrap();
         spec.seeds = vec![7, 7];
         let runs = spec.expand();
-        assert_eq!(runs.len(), spec.algorithms.len(), "aliases and repeats collapse");
+        assert_eq!(runs.len(), spec.backends.len(), "aliases and repeats collapse");
         let stems: std::collections::HashSet<String> =
             runs.iter().map(RunSpec::file_stem).collect();
         assert_eq!(stems.len(), runs.len());
@@ -993,10 +1191,28 @@ mod tests {
         assert_eq!(records.len(), 4);
         for (run, rec) in spec.expand().iter().zip(&records) {
             assert_eq!(rec.scenario_id, run.scenario.id());
-            assert_eq!(rec.algorithm, run.algorithm.name());
+            assert_eq!(rec.algorithm, run.backend.name());
             assert_eq!(rec.seed, 7);
             assert_eq!(rec.convergence.len(), 2);
         }
+    }
+
+    #[test]
+    fn backend_lists_parse_and_reject_duplicates() {
+        let parsed = parse_backend_list("Clustering, ADD").unwrap();
+        assert_eq!(
+            parsed,
+            vec![Backend::Clustering(ClusteringAlgorithm::Louvain), Backend::Additive]
+        );
+        // Duplicates are rejected by resolved backend, not by spelling: the
+        // error names the entry as the user wrote it.
+        let err = parse_backend_list("louvain,additive,CLUSTERING").unwrap_err();
+        assert_eq!(err, BackendParseError::Duplicate("CLUSTERING".to_string()));
+        assert!(err.to_string().contains("duplicate backend \"CLUSTERING\""), "{err}");
+        let err = parse_backend_list("louvain,warp-drive").unwrap_err();
+        assert_eq!(err, BackendParseError::Unknown("warp-drive".to_string()));
+        assert!(err.to_string().contains("valid backends"), "{err}");
+        assert_eq!(parse_backend_list(" , ").unwrap_err(), BackendParseError::Empty);
     }
 
     #[test]
@@ -1045,7 +1261,7 @@ mod tests {
     fn summary_csv_carries_reliability_columns() {
         let spec = SweepSpec {
             scenarios: ScenarioSpec::parse_list("wan:2x4:0.25+churn=0.4").unwrap(),
-            algorithms: vec![ClusteringAlgorithm::Louvain],
+            backends: vec![ClusteringAlgorithm::Louvain.into()],
             seeds: vec![2012],
             iterations: Some(3),
             pieces: 64,
@@ -1076,7 +1292,7 @@ mod tests {
         fs::write(dir.join("data.csv"), "a,b\n").unwrap();
         let spec = SweepSpec {
             scenarios: ScenarioSpec::parse_list("2x2").unwrap(),
-            algorithms: vec![ClusteringAlgorithm::Louvain],
+            backends: vec![ClusteringAlgorithm::Louvain.into()],
             seeds: vec![1],
             iterations: Some(1),
             pieces: 48,
@@ -1115,9 +1331,18 @@ mod tests {
         assert_eq!(record.get("measure_threads").and_then(json::Json::as_u64), Some(2));
         assert!(record.get("measure_speedup").and_then(json::Json::as_f64).is_some());
         assert_eq!(record.get("finished"), Some(&json::Json::Bool(true)));
+        // The per-backend block carries one entry per suite backend, each
+        // with its accuracy/cost columns.
+        let backends = record.get("backends").and_then(json::Json::as_array).unwrap();
+        assert_eq!(backends.len(), INFERENCE_BENCH_BACKENDS.len());
+        for (entry, b) in backends.iter().zip(INFERENCE_BENCH_BACKENDS) {
+            assert_eq!(entry.get("backend").and_then(json::Json::as_str), Some(b.name()));
+            assert!(entry.get("final_onmi").and_then(json::Json::as_f64).is_some());
+            assert!(entry.get("infer_ms").and_then(json::Json::as_f64).is_some());
+        }
         let zero = record.get("final_onmi").and_then(json::Json::as_f64) == Some(0.0);
         let doc = json::Json::obj(vec![
-            ("schema", json::Json::Str("btt-inference-bench-v1".into())),
+            ("schema", json::Json::Str(INFERENCE_BENCH_SCHEMA.into())),
             ("seed", json::Json::UInt(INFERENCE_BENCH_SEED)),
             ("runs", json::Json::Array(vec![record])),
         ]);
@@ -1128,7 +1353,7 @@ mod tests {
         // Schema and key failures are reported.
         assert!(check_inference_bench("{}").is_err());
         let wrong = json::Json::obj(vec![
-            ("schema", json::Json::Str("btt-inference-bench-v1".into())),
+            ("schema", json::Json::Str(INFERENCE_BENCH_SCHEMA.into())),
             ("runs", json::Json::Array(vec![json::Json::obj(vec![])])),
         ]);
         assert!(check_inference_bench(&wrong.render_pretty()).unwrap_err().contains("missing key"));
@@ -1136,11 +1361,19 @@ mod tests {
 
     #[test]
     fn check_flags_finished_runs_with_zero_onmi() {
-        // Synthetic artifact: three structurally valid runs. Only the one
-        // that *finished* with final_onmi == 0.0 may be flagged — a zero
-        // score on an unfinished campaign is expected, and pre-flag records
-        // (no `finished` key) must stay warning-free for compatibility.
+        // Synthetic artifact: structurally valid runs. Only the one that
+        // *finished* with final_onmi == 0.0 may be flagged — a zero score
+        // on an unfinished campaign is expected — and the warning must
+        // carry the per-backend agreement plus the separation ratio.
         let run = |scenario: &str, onmi: f64, finished: Option<bool>| {
+            let backend_entry = |name: &str, b_onmi: f64| {
+                json::Json::obj(vec![
+                    ("backend", json::Json::Str(name.into())),
+                    ("final_onmi", json::Json::Float(b_onmi)),
+                    ("final_clusters", json::Json::UInt(4)),
+                    ("infer_ms", json::Json::Float(1.0)),
+                ])
+            };
             let mut fields = vec![
                 ("scenario", json::Json::Str(scenario.into())),
                 ("hosts", json::Json::UInt(16)),
@@ -1151,6 +1384,15 @@ mod tests {
                 ("cluster_ms", json::Json::Float(1.0)),
                 ("inference_wall_ms", json::Json::Float(2.0)),
                 ("final_onmi", json::Json::Float(onmi)),
+                ("measure_speedup", json::Json::Str("n/a".into())),
+                ("separation_ratio", json::Json::Float(1.25)),
+                (
+                    "backends",
+                    json::Json::Array(vec![
+                        backend_entry("louvain", onmi),
+                        backend_entry("additive", 0.61),
+                    ]),
+                ),
             ];
             if let Some(f) = finished {
                 fields.push(("finished", json::Json::Bool(f)));
@@ -1158,7 +1400,7 @@ mod tests {
             json::Json::obj(fields)
         };
         let doc = json::Json::obj(vec![
-            ("schema", json::Json::Str("btt-inference-bench-v1".into())),
+            ("schema", json::Json::Str(INFERENCE_BENCH_SCHEMA.into())),
             ("seed", json::Json::UInt(INFERENCE_BENCH_SEED)),
             (
                 "runs",
@@ -1172,15 +1414,71 @@ mod tests {
         ]);
         let chk = check_inference_bench(&doc.render_pretty()).unwrap();
         assert_eq!(chk.runs, 4);
-        assert_eq!(chk.zero_onmi, vec!["broken".to_string()]);
+        let expected = ZeroOnmiWarning {
+            scenario: "broken".to_string(),
+            zero_backends: vec!["louvain".to_string()],
+            nonzero_backends: vec!["additive".to_string()],
+            separation_ratio: Some(1.25),
+        };
+        assert_eq!(chk.zero_onmi, vec![expected.clone()]);
+        let line = expected.to_string();
+        assert!(line.contains("disagree") && line.contains("additive"), "{line}");
+        assert!(line.contains("separation ratio 1.25"), "{line}");
         // End to end: dropped in a directory, check_outputs carries the
         // warning through to its summary.
         let dir = std::env::temp_dir().join(format!("btt-zero-onmi-test-{}", std::process::id()));
         fs::create_dir_all(&dir).unwrap();
         fs::write(dir.join(INFERENCE_BENCH_FILE), doc.render_pretty()).unwrap();
         let summary = check_outputs(&dir).unwrap();
-        assert_eq!(summary.zero_onmi, vec!["broken".to_string()]);
+        assert_eq!(summary.zero_onmi, vec![expected]);
         fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn check_rejects_null_measure_speedup() {
+        // The pre-v2 `measure_speedup: null` form is a validation error,
+        // not a silently-accepted pass.
+        let mut text = inference_bench_doc_with_speedup(json::Json::Str("n/a".into()));
+        assert!(check_inference_bench(&text).is_ok());
+        text = inference_bench_doc_with_speedup(json::Json::Float(3.25));
+        assert!(check_inference_bench(&text).is_ok());
+        for bad in [json::Json::Null, json::Json::Float(-1.0), json::Json::Str("fast".into())] {
+            let err = check_inference_bench(&inference_bench_doc_with_speedup(bad)).unwrap_err();
+            assert!(err.contains("measure_speedup"), "{err}");
+        }
+    }
+
+    /// A minimal structurally-valid v2 document with one run whose
+    /// `measure_speedup` is `speedup`.
+    fn inference_bench_doc_with_speedup(speedup: json::Json) -> String {
+        let run = json::Json::obj(vec![
+            ("scenario", json::Json::Str("synthetic".into())),
+            ("hosts", json::Json::UInt(16)),
+            ("iterations", json::Json::UInt(2)),
+            ("seed", json::Json::UInt(INFERENCE_BENCH_SEED)),
+            ("measure_threads", json::Json::UInt(4)),
+            ("aggregate_ms", json::Json::Float(1.0)),
+            ("cluster_ms", json::Json::Float(1.0)),
+            ("inference_wall_ms", json::Json::Float(2.0)),
+            ("final_onmi", json::Json::Float(0.9)),
+            ("measure_speedup", speedup),
+            ("separation_ratio", json::Json::Str("n/a".into())),
+            (
+                "backends",
+                json::Json::Array(vec![json::Json::obj(vec![
+                    ("backend", json::Json::Str("louvain".into())),
+                    ("final_onmi", json::Json::Float(0.9)),
+                    ("final_clusters", json::Json::UInt(4)),
+                    ("infer_ms", json::Json::Float(1.0)),
+                ])]),
+            ),
+        ]);
+        json::Json::obj(vec![
+            ("schema", json::Json::Str(INFERENCE_BENCH_SCHEMA.into())),
+            ("seed", json::Json::UInt(INFERENCE_BENCH_SEED)),
+            ("runs", json::Json::Array(vec![run])),
+        ])
+        .render_pretty()
     }
 
     #[test]
@@ -1197,7 +1495,7 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("btt-campaign-test-{}", std::process::id()));
         let spec = SweepSpec {
             scenarios: ScenarioSpec::parse_list("2x2").unwrap(),
-            algorithms: vec![ClusteringAlgorithm::Louvain],
+            backends: vec![ClusteringAlgorithm::Louvain.into()],
             seeds: vec![3],
             iterations: Some(2),
             pieces: 48,

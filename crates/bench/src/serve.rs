@@ -31,7 +31,7 @@
 //! never take the daemon down.
 
 use crate::campaign::summary_csv;
-use btt_core::pipeline::ClusteringAlgorithm;
+use btt_core::backend::Backend;
 use btt_core::scenarios::ScenarioSpec;
 use btt_core::serialize::{convergence_csv, json::Json, partition_to_json, ReportRecord};
 use btt_core::session::{PartitionSnapshot, SessionPhase, TomographySession};
@@ -162,8 +162,10 @@ impl std::error::Error for ServeError {}
 pub struct JobSpec {
     /// The scenario to measure (required).
     pub scenario: ScenarioSpec,
-    /// Phase-2 algorithm (optional, default `louvain`).
-    pub algorithm: ClusteringAlgorithm,
+    /// Phase-2 inference backend (optional, default `louvain`; the wire
+    /// accepts the key as `backend` or, for pre-backend clients,
+    /// `algorithm`).
+    pub backend: Backend,
     /// Master seed (optional, default 2012).
     pub seed: u64,
     /// Broadcast iterations (optional, default: the scenario's own count).
@@ -193,6 +195,7 @@ impl JobSpec {
             if !matches!(
                 key.as_str(),
                 "scenario"
+                    | "backend"
                     | "algorithm"
                     | "seed"
                     | "iterations"
@@ -209,17 +212,23 @@ impl JobSpec {
             .as_str()
             .ok_or_else(|| bad("scenario", "expected a spec string".to_string()))?;
         let scenario = ScenarioSpec::parse(scenario_str).map_err(|e| bad("scenario", e))?;
-        let algorithm = match v.get("algorithm") {
-            None => ClusteringAlgorithm::Louvain,
+        // `backend` is the field's name; `algorithm` is honored as an alias
+        // for pre-backend clients. Naming both is ambiguous, so it errors.
+        if v.get("backend").is_some() && v.get("algorithm").is_some() {
+            return Err(bad("backend", "give either backend or algorithm, not both".to_string()));
+        }
+        let backend_key = if v.get("algorithm").is_some() { "algorithm" } else { "backend" };
+        let backend = match v.get(backend_key) {
+            None => Backend::default(),
             Some(a) => {
                 let name =
-                    a.as_str().ok_or_else(|| bad("algorithm", "expected a string".to_string()))?;
-                ClusteringAlgorithm::from_name(name).ok_or_else(|| {
+                    a.as_str().ok_or_else(|| bad(backend_key, "expected a string".to_string()))?;
+                Backend::from_name(name).ok_or_else(|| {
                     bad(
-                        "algorithm",
+                        backend_key,
                         format!(
-                            "unknown algorithm {name:?}; valid algorithms: {}",
-                            ClusteringAlgorithm::name_list()
+                            "unknown backend {name:?}; valid backends: {}",
+                            Backend::name_list()
                         ),
                     )
                 })?
@@ -251,7 +260,7 @@ impl JobSpec {
         };
         Ok(JobSpec {
             scenario,
-            algorithm,
+            backend,
             seed,
             iterations: u32_field("iterations", 1)?,
             pieces: u32_field("pieces", 1)?.unwrap_or(256),
@@ -265,7 +274,7 @@ impl JobSpec {
         let mut session = TomographySession::over(self.scenario.build())
             .pieces(self.pieces)
             .seed(self.seed)
-            .algorithm(self.algorithm)
+            .backend(self.backend)
             .recluster_every(self.recluster_every)
             .threads(self.threads);
         if let Some(n) = self.iterations {
@@ -278,7 +287,7 @@ impl JobSpec {
     /// jobs with identical coordinates cannot collide).
     fn file_stem(&self, job_id: u64) -> String {
         let sanitized = self.scenario.id().replace([':', '+', '='], "-");
-        format!("job{job_id}__{sanitized}__{}__s{}", self.algorithm.name(), self.seed)
+        format!("job{job_id}__{sanitized}__{}__s{}", self.backend.name(), self.seed)
     }
 }
 
@@ -655,7 +664,7 @@ fn job_fields(job: &Job, state: &JobState) -> Vec<(&'static str, Json)> {
     vec![
         ("job_id", Json::UInt(job.id)),
         ("scenario", Json::Str(job.scenario_id.clone())),
-        ("algorithm", Json::Str(job.spec.algorithm.name().to_string())),
+        ("backend", Json::Str(job.spec.backend.name().to_string())),
         ("seed", Json::UInt(job.spec.seed)),
         ("state", Json::Str(state.status.name().to_string())),
         ("received", Json::UInt(state.received as u64)),
@@ -830,7 +839,7 @@ mod tests {
         // The daemon's record equals the batch pipeline's for the same spec.
         let batch = crate::campaign::RunSpec {
             scenario: ScenarioSpec::parse("star:2x3:0.2:3").unwrap(),
-            algorithm: ClusteringAlgorithm::Louvain,
+            backend: Backend::default(),
             seed: 2012,
             iterations: Some(2),
             pieces: 48,

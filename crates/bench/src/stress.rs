@@ -24,8 +24,8 @@ pub struct StressSpec {
     pub concurrency: u32,
     /// Scenario spec string submitted with every job (e.g. `wan-512`).
     pub scenario: String,
-    /// Phase-2 algorithm name.
-    pub algorithm: String,
+    /// Phase-2 inference backend name.
+    pub backend: String,
     /// Base seed; job `i` uses `seed + i` so no two jobs are identical.
     pub seed: u64,
     /// Iteration override (`None` = scenario default).
@@ -49,7 +49,7 @@ impl Default for StressSpec {
             jobs: 8,
             concurrency: 4,
             scenario: "star:2x4:0.2:4".to_string(),
-            algorithm: "louvain".to_string(),
+            backend: "louvain".to_string(),
             seed: 2012,
             iterations: Some(3),
             pieces: 64,
@@ -235,7 +235,7 @@ fn stress_thread(
     for i in (thread_id..spec.jobs).step_by(concurrency as usize) {
         let mut job = vec![
             ("scenario", Json::Str(spec.scenario.clone())),
-            ("algorithm", Json::Str(spec.algorithm.clone())),
+            ("backend", Json::Str(spec.backend.clone())),
             ("seed", Json::UInt(spec.seed + u64::from(i))),
             ("pieces", Json::UInt(u64::from(spec.pieces))),
             ("recluster_every", Json::UInt(u64::from(spec.recluster_every))),

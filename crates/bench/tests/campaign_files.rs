@@ -13,7 +13,10 @@ use std::path::PathBuf;
 fn spec() -> SweepSpec {
     SweepSpec {
         scenarios: ScenarioSpec::parse_list("2x2,wan:2x3:0.25,star:2x3:0.2:3").unwrap(),
-        algorithms: vec![ClusteringAlgorithm::Louvain, ClusteringAlgorithm::LabelPropagation],
+        backends: vec![
+            ClusteringAlgorithm::Louvain.into(),
+            ClusteringAlgorithm::LabelPropagation.into(),
+        ],
         seeds: vec![2012],
         iterations: Some(3),
         pieces: 96,
@@ -71,7 +74,7 @@ fn churn_rate_sweep_on_wan_512_emits_reliability_fields() {
             "wan-512,wan-512+churn=0.02,wan-512+churn=0.08,wan-512+churn=0.15",
         )
         .unwrap(),
-        algorithms: vec![ClusteringAlgorithm::Louvain],
+        backends: vec![ClusteringAlgorithm::Louvain.into()],
         seeds: vec![2012],
         iterations: Some(2),
         pieces: 48,
@@ -130,7 +133,7 @@ fn different_seeds_perturb_the_artifacts() {
     // yield different measurements for different seeds.
     let mut spec_a = spec();
     spec_a.scenarios = ScenarioSpec::parse_list("star:2x3:0.2:3").unwrap();
-    spec_a.algorithms = vec![ClusteringAlgorithm::Louvain];
+    spec_a.backends = vec![ClusteringAlgorithm::Louvain.into()];
     let mut spec_b = spec_a.clone();
     spec_a.seeds = vec![1];
     spec_b.seeds = vec![2];

@@ -8,7 +8,7 @@
 use btt_bench::campaign::{check_outputs, RunSpec};
 use btt_bench::serve::{serve, ServeClient, ServeConfig};
 use btt_bench::stress::{run_stress, StressSpec};
-use btt_core::pipeline::ClusteringAlgorithm;
+use btt_core::backend::Backend;
 use btt_core::scenarios::ScenarioSpec;
 use btt_core::serialize::json::Json;
 use std::fs;
@@ -36,7 +36,7 @@ fn stress_drives_the_daemon_without_deadlock_or_corruption() {
         jobs: 6,
         concurrency: 3,
         scenario: "star:2x4:0.2:4".to_string(),
-        algorithm: "louvain".to_string(),
+        backend: "louvain".to_string(),
         seed: 2012,
         iterations: Some(4),
         pieces: 256,
@@ -80,7 +80,7 @@ fn stress_drives_the_daemon_without_deadlock_or_corruption() {
         seeds_seen.push(seed);
         let offline = RunSpec {
             scenario: ScenarioSpec::parse("star:2x4:0.2:4").unwrap(),
-            algorithm: ClusteringAlgorithm::Louvain,
+            backend: Backend::default(),
             seed,
             iterations: Some(4),
             pieces: 256,

@@ -3,6 +3,9 @@
 //! Phase 2 of the paper's tomography method (§III): cluster the weighted
 //! measurement graph and score the result against ground truth.
 //!
+//! * [`additive`] — Ni & Tatikonda-style additive-metrics tomography
+//!   (recursive grouping over the log-throughput path metric), the second
+//!   inference backend;
 //! * [`graph`] — compact weighted undirected graphs ([`graph::WeightedGraph`]);
 //! * [`modularity`] — the Newman–Girvan objective, Eq. (3) of the paper;
 //! * [`louvain`] — the paper's clustering algorithm (Blondel et al. 2008),
@@ -27,6 +30,7 @@
 
 #![warn(missing_docs)]
 
+pub mod additive;
 pub mod generators;
 pub mod graph;
 pub mod graph_ops;
@@ -41,6 +45,7 @@ pub mod partition;
 
 /// Commonly used items.
 pub mod prelude {
+    pub use crate::additive::{additive_hierarchy, additive_partition, AdditiveDendrogram};
     pub use crate::generators::{planted_partition, random_graph, ring_of_cliques};
     pub use crate::graph::WeightedGraph;
     pub use crate::graph_ops::{prune_edges, PruneConfig};

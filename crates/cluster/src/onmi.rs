@@ -187,6 +187,29 @@ mod tests {
     }
 
     #[test]
+    fn small_community_merges_zero_out_at_scale() {
+        // Documented LFK pathology, and the root cause of the scale
+        // presets' oNMI = 0.0 headlines: when communities are small
+        // relative to n, even a *clean* k-way merge of true groups is
+        // rejected by the admissibility constraint in both directions (the
+        // rare-event mismatch mass h(1,0)/h(0,1) outweighs the agreement
+        // diagonal h(1,1)+h(0,0)), so the score collapses to exactly 0
+        // although the coarsening carries real information — the same
+        // merge shape at small n scores well above 0, as does plain NMI.
+        let truth =
+            Partition::from_assignments(&(0..1024).map(|v| (v / 16) as u32).collect::<Vec<_>>());
+        let merged =
+            Partition::from_assignments(&(0..1024).map(|v| (v / 64) as u32).collect::<Vec<_>>());
+        assert_eq!(onmi_partitions(&merged, &truth), 0.0);
+        assert!(crate::nmi::nmi(&merged, &truth) > 0.5);
+        let truth64 =
+            Partition::from_assignments(&(0..64).map(|v| (v / 8) as u32).collect::<Vec<_>>());
+        let merged64 =
+            Partition::from_assignments(&(0..64).map(|v| (v / 16) as u32).collect::<Vec<_>>());
+        assert!(onmi_partitions(&merged64, &truth64) > 0.4);
+    }
+
+    #[test]
     fn overlapping_covers_supported() {
         // Node 2 belongs to both communities in X; Y is the disjoint version.
         let x = Cover::new(5, vec![vec![0, 1, 2], vec![2, 3, 4]]);

@@ -1,0 +1,237 @@
+//! Pluggable phase-2 inference backends.
+//!
+//! The paper only ever validated one inference family — modularity-style
+//! graph clustering over the Eq. (2) metric. This module abstracts the
+//! "snapshot graph → host partition" step behind the [`InferenceBackend`]
+//! trait so independent families can be cross-validated on the same
+//! measurement campaign:
+//!
+//! * [`ClusteringBackend`] re-homes the four historical
+//!   [`ClusteringAlgorithm`]s. It is *byte-identical* to the pre-trait
+//!   path: same per-prefix seed derivation, same [`LouvainScratch`] reuse
+//!   (pinned by `crates/core/tests/backend_golden.rs`).
+//! * [`AdditiveBackend`] is Ni & Tatikonda-style additive-metrics
+//!   tomography ([`btt_cluster::additive`]): recursive grouping over the
+//!   log-throughput path metric, cut at the largest log-domain gap. It is
+//!   seedless — agreement between the two families on a scenario is
+//!   evidence the recovered structure is real, disagreement localizes
+//!   which assumptions (modularity resolution vs. metric additivity) fail.
+//!
+//! [`Backend`] is the compact, copyable selector threaded through session
+//! builders, sweep specs, the serve job schema, and artifact writers;
+//! [`Backend::from_name`] / [`Backend::name`] define the CLI/JSON spelling.
+//! For clustering variants [`Backend::name`] deliberately returns the
+//! algorithm's own name (`"louvain"`, …) so artifact file stems and the
+//! report `algorithm` field survive the refactor byte-for-byte.
+
+use crate::pipeline::ClusteringAlgorithm;
+use btt_cluster::additive::additive_partition;
+use btt_cluster::graph::WeightedGraph;
+use btt_cluster::louvain::LouvainScratch;
+use btt_cluster::partition::Partition;
+
+/// The phase-2 contract: turn one measurement snapshot graph into a host
+/// partition.
+///
+/// Determinism invariants every implementation must uphold (they are what
+/// keeps reports byte-identical across thread counts, drive modes, and
+/// batch/stream control flow):
+///
+/// * `infer` is a pure function of `(graph, seed)` — the scratch argument
+///   is working memory only and must never influence the output;
+/// * no global or ambient randomness: a backend that needs random choices
+///   derives them from `seed` alone;
+/// * no interior mutability keyed on call order: calling `infer` twice
+///   with the same arguments yields the same partition.
+pub trait InferenceBackend {
+    /// The backend's canonical (lower-case) name, as spelled in CLI flags,
+    /// job specs, and artifact fields.
+    fn name(&self) -> &'static str;
+
+    /// Infers the host partition from one snapshot measurement graph.
+    /// `scratch` is reusable Louvain working memory (ignored by backends
+    /// that do not run Louvain).
+    fn infer(&self, g: &WeightedGraph, seed: u64, scratch: &mut LouvainScratch) -> Partition;
+
+    /// Whether the backend consumes the seed at all. Seedless backends are
+    /// deterministic per graph; reporting layers use this to annotate
+    /// cost/diagnostic output (a seed sweep over a seedless backend is
+    /// wasted work).
+    fn uses_seed(&self) -> bool {
+        true
+    }
+}
+
+/// The historical phase-2 path: one of the four clustering algorithms,
+/// behind the backend trait. Delegates to
+/// [`ClusteringAlgorithm::cluster_into`] with the caller's scratch — the
+/// exact call the pipeline made before the trait existed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClusteringBackend(pub ClusteringAlgorithm);
+
+impl InferenceBackend for ClusteringBackend {
+    fn name(&self) -> &'static str {
+        self.0.name()
+    }
+
+    fn infer(&self, g: &WeightedGraph, seed: u64, scratch: &mut LouvainScratch) -> Partition {
+        self.0.cluster_into(g, seed, scratch)
+    }
+}
+
+/// Additive-metrics tomography (Ni & Tatikonda): recursive grouping over
+/// the log-throughput path metric. Seedless and scratch-free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AdditiveBackend;
+
+impl InferenceBackend for AdditiveBackend {
+    fn name(&self) -> &'static str {
+        "additive"
+    }
+
+    fn infer(&self, g: &WeightedGraph, _seed: u64, _scratch: &mut LouvainScratch) -> Partition {
+        additive_partition(g)
+    }
+
+    fn uses_seed(&self) -> bool {
+        false
+    }
+}
+
+/// Compact selector for an inference backend — the value threaded through
+/// session builders, sweep specs, serve jobs, and artifact writers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// One of the four historical clustering algorithms
+    /// (see [`ClusteringBackend`]).
+    Clustering(ClusteringAlgorithm),
+    /// Additive-metrics tomography (see [`AdditiveBackend`]).
+    Additive,
+}
+
+impl From<ClusteringAlgorithm> for Backend {
+    fn from(a: ClusteringAlgorithm) -> Backend {
+        Backend::Clustering(a)
+    }
+}
+
+impl Default for Backend {
+    /// The paper's default phase-2 path: Louvain clustering.
+    fn default() -> Backend {
+        Backend::Clustering(ClusteringAlgorithm::Louvain)
+    }
+}
+
+impl Backend {
+    /// All backends, in a stable sweep order: the four clustering
+    /// algorithms (matching [`ClusteringAlgorithm::ALL`]), then additive.
+    pub const ALL: [Backend; 5] = [
+        Backend::Clustering(ClusteringAlgorithm::Louvain),
+        Backend::Clustering(ClusteringAlgorithm::Infomap),
+        Backend::Clustering(ClusteringAlgorithm::LabelPropagation),
+        Backend::Clustering(ClusteringAlgorithm::HierarchicalLouvain),
+        Backend::Additive,
+    ];
+
+    /// Parses a backend name, case-insensitively. Accepts every
+    /// [`ClusteringAlgorithm::from_name`] spelling, the family name
+    /// `"clustering"` (= the paper's Louvain), and `"additive"`
+    /// (shorthand `"add"`).
+    pub fn from_name(name: &str) -> Option<Backend> {
+        match name.to_ascii_lowercase().as_str() {
+            "clustering" => Some(Backend::Clustering(ClusteringAlgorithm::Louvain)),
+            "additive" | "add" => Some(Backend::Additive),
+            other => ClusteringAlgorithm::from_name(other).map(Backend::Clustering),
+        }
+    }
+
+    /// Every name [`Backend::from_name`] accepts, for error messages
+    /// ("valid backends: …").
+    pub fn name_list() -> &'static str {
+        "louvain (clustering), infomap (im), label-propagation (lp), \
+         hierarchical-louvain (hlouvain), additive (add)"
+    }
+
+    /// Canonical name: the algorithm's own name for clustering variants
+    /// (keeping historical artifact spellings), `"additive"` otherwise.
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Clustering(a) => a.name(),
+            Backend::Additive => AdditiveBackend.name(),
+        }
+    }
+
+    /// Whether the backend consumes the seed (see
+    /// [`InferenceBackend::uses_seed`]).
+    pub fn uses_seed(self) -> bool {
+        match self {
+            Backend::Clustering(a) => ClusteringBackend(a).uses_seed(),
+            Backend::Additive => AdditiveBackend.uses_seed(),
+        }
+    }
+
+    /// Runs the backend with fresh scratch memory.
+    pub fn infer(self, g: &WeightedGraph, seed: u64) -> Partition {
+        self.infer_into(g, seed, &mut LouvainScratch::default())
+    }
+
+    /// Runs the backend reusing caller-provided Louvain working memory —
+    /// the long-lived-session path. Output is identical to
+    /// [`Backend::infer`] for any scratch state.
+    pub fn infer_into(
+        self,
+        g: &WeightedGraph,
+        seed: u64,
+        scratch: &mut LouvainScratch,
+    ) -> Partition {
+        match self {
+            Backend::Clustering(a) => ClusteringBackend(a).infer(g, seed, scratch),
+            Backend::Additive => AdditiveBackend.infer(g, seed, scratch),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use btt_cluster::generators::planted_partition;
+
+    #[test]
+    fn clustering_backend_matches_the_direct_algorithm_call() {
+        let (g, _) = planted_partition(3, 8, 9.0, 0.4, 11);
+        for alg in ClusteringAlgorithm::ALL {
+            let direct = alg.cluster(&g, 42);
+            let via_enum = Backend::Clustering(alg).infer(&g, 42);
+            let via_trait = ClusteringBackend(alg).infer(&g, 42, &mut LouvainScratch::default());
+            assert_eq!(direct, via_enum, "{}", alg.name());
+            assert_eq!(direct, via_trait, "{}", alg.name());
+        }
+    }
+
+    #[test]
+    fn names_round_trip_case_insensitively() {
+        for b in Backend::ALL {
+            assert_eq!(Backend::from_name(b.name()), Some(b));
+            assert_eq!(Backend::from_name(&b.name().to_ascii_uppercase()), Some(b));
+        }
+        assert_eq!(
+            Backend::from_name("Clustering"),
+            Some(Backend::Clustering(ClusteringAlgorithm::Louvain))
+        );
+        assert_eq!(Backend::from_name("ADD"), Some(Backend::Additive));
+        assert_eq!(
+            Backend::from_name("HLouvain"),
+            Some(Backend::Clustering(ClusteringAlgorithm::HierarchicalLouvain))
+        );
+        assert_eq!(Backend::from_name("nope"), None);
+    }
+
+    #[test]
+    fn additive_backend_ignores_seed_and_scratch() {
+        let (g, _) = planted_partition(4, 6, 10.0, 0.5, 3);
+        assert!(!Backend::Additive.uses_seed());
+        let a = Backend::Additive.infer(&g, 1);
+        let b = Backend::Additive.infer(&g, 0xDEAD_BEEF);
+        assert_eq!(a, b);
+    }
+}

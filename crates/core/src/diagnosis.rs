@@ -9,6 +9,7 @@
 //! every inter-cluster path shares are the bottleneck candidates — on the
 //! paper's Bordeaux site this names exactly the Dell↔Cisco trunk.
 
+use btt_cluster::graph::WeightedGraph;
 use btt_cluster::partition::Partition;
 use btt_netsim::routing::RouteTable;
 use btt_netsim::topology::{LinkId, NodeId};
@@ -113,6 +114,191 @@ pub fn diagnosed_bottlenecks(
         .collect()
 }
 
+/// Per-report inference diagnostics: *why* a backend did or did not
+/// recover structure. Serialized in every `btt-report-v4` record, so the
+/// oNMI-0 story is readable from artifacts alone.
+///
+/// Two independent signals:
+///
+/// * **Metric separation** — measured. Mean Eq. (2) weight over
+///   intra-ground-truth host pairs vs. inter ones, on the *same snapshot
+///   graph the backend clustered* (pruned pairs count as zero, exactly
+///   what the backend saw). A ratio near 1 means the measurement itself
+///   carries no cluster contrast — no phase-2 method can recover the
+///   ground truth from it; a large ratio alongside oNMI 0 points at a
+///   phase-2 failure instead.
+/// * **Capacity symmetry** — structural. Approximates each host pair's
+///   contended throughput share as `min` over its route's links of
+///   `capacity / crossing-pair count`, then compares intra- vs
+///   inter-cluster means. When the two agree within 10 % the topology's
+///   capacities are *symmetric* with respect to the ground truth: even a
+///   perfect measurement would show no contrast, so oNMI 0 is an
+///   identifiability limit of the scenario, not an inference bug.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InferenceDiagnosis {
+    /// Mean metric weight over intra-ground-truth-cluster pairs (pruned or
+    /// unobserved pairs count as zero weight).
+    pub separation_intra_mean: f64,
+    /// Mean metric weight over inter-cluster pairs.
+    pub separation_inter_mean: f64,
+    /// `separation_intra_mean / separation_inter_mean`; `None` when no
+    /// inter-cluster weight was observed at all (perfectly separated or a
+    /// single-cluster ground truth).
+    pub separation_ratio: Option<f64>,
+    /// Mean contended per-pair bottleneck share (bytes/s) over
+    /// intra-cluster pairs.
+    pub capacity_intra_mean: f64,
+    /// Mean contended per-pair bottleneck share (bytes/s) over
+    /// inter-cluster pairs.
+    pub capacity_inter_mean: f64,
+    /// True when the intra/inter capacity shares agree within 10 % — the
+    /// "symmetric capacities ⇒ no contrast ⇒ unrecoverable" verdict.
+    pub capacity_symmetric: bool,
+}
+
+impl InferenceDiagnosis {
+    /// A neutral all-zero block (used where no topology is available,
+    /// e.g. hand-constructed records in tests).
+    pub fn zero() -> InferenceDiagnosis {
+        InferenceDiagnosis {
+            separation_intra_mean: 0.0,
+            separation_inter_mean: 0.0,
+            separation_ratio: None,
+            capacity_intra_mean: 0.0,
+            capacity_inter_mean: 0.0,
+            capacity_symmetric: false,
+        }
+    }
+}
+
+/// Mean metric weight over intra- vs inter-ground-truth pairs of the
+/// snapshot graph `g`. Denominators are *all* pairs of each kind, so edges
+/// pruned by sparsification count as zero — matching what the inference
+/// backend actually saw. Returns `(intra_mean, inter_mean, ratio)`.
+pub fn metric_separation(g: &WeightedGraph, truth: &Partition) -> (f64, f64, Option<f64>) {
+    assert_eq!(g.num_nodes(), truth.len(), "one ground-truth id per graph node");
+    let sizes = truth.sizes();
+    let n: u64 = truth.len() as u64;
+    let intra_pairs: u64 = sizes.iter().map(|&s| (s as u64) * (s as u64 - 1) / 2).sum();
+    let total_pairs = n * n.saturating_sub(1) / 2;
+    let inter_pairs = total_pairs - intra_pairs;
+    let mut intra_sum = 0.0;
+    let mut inter_sum = 0.0;
+    for (a, b, w) in g.edges() {
+        if a == b {
+            continue;
+        }
+        if truth.cluster_of(a as usize) == truth.cluster_of(b as usize) {
+            intra_sum += w;
+        } else {
+            inter_sum += w;
+        }
+    }
+    let intra_mean = if intra_pairs > 0 { intra_sum / intra_pairs as f64 } else { 0.0 };
+    let inter_mean = if inter_pairs > 0 { inter_sum / inter_pairs as f64 } else { 0.0 };
+    let ratio = if inter_mean > 0.0 { Some(intra_mean / inter_mean) } else { None };
+    (intra_mean, inter_mean, ratio)
+}
+
+/// Pair-index stride sampling cap for [`capacity_symmetry`]: all-pairs
+/// route walks are quadratic, so scenarios beyond ~16 k pairs are sampled
+/// on a deterministic stride (the intra/inter *ratio* is what matters).
+const CAPACITY_SAMPLE_PAIRS: u64 = 16_384;
+
+/// Detects capacity symmetry: whether the topology's *contended* per-pair
+/// bottleneck shares distinguish intra- from inter-cluster pairs at all.
+///
+/// Each sampled pair's share is `min` over its route's links of
+/// `link capacity / (number of sampled pair routes crossing the link)` —
+/// a static approximation of the throughput a saturating broadcast grants
+/// the pair. Returns `(intra_mean, inter_mean, symmetric)`; `symmetric`
+/// is true when the means agree within 10 %.
+pub fn capacity_symmetry(
+    routes: &RouteTable,
+    hosts: &[NodeId],
+    truth: &Partition,
+) -> (f64, f64, bool) {
+    assert_eq!(hosts.len(), truth.len(), "one cluster id per host");
+    let topo = routes.topology();
+    let n = hosts.len();
+    let total_pairs = (n as u64) * (n as u64).saturating_sub(1) / 2;
+    let stride = (total_pairs / CAPACITY_SAMPLE_PAIRS).max(1);
+
+    // Pass 1: per-link crossing counts over the sampled pairs.
+    let mut crossing = vec![0u64; topo.num_links()];
+    let mut sampled: Vec<(usize, usize)> = Vec::new();
+    let mut idx = 0u64;
+    for a in 0..n {
+        for b in (a + 1)..n {
+            if idx.is_multiple_of(stride) {
+                sampled.push((a, b));
+                let mut seen = Vec::new();
+                for ch in routes.route(hosts[a], hosts[b]) {
+                    let l = ch.link();
+                    if !seen.contains(&l) {
+                        seen.push(l);
+                        crossing[l.idx()] += 1;
+                    }
+                }
+            }
+            idx += 1;
+        }
+    }
+
+    // Pass 2: per-pair contended share = min over route links of
+    // capacity / crossing count.
+    let (mut intra_sum, mut inter_sum) = (0.0f64, 0.0f64);
+    let (mut intra_n, mut inter_n) = (0u64, 0u64);
+    for &(a, b) in &sampled {
+        let mut share = f64::INFINITY;
+        for ch in routes.route(hosts[a], hosts[b]) {
+            let l = ch.link();
+            let cap = topo.link(l).capacity.bytes_per_sec();
+            share = share.min(cap / crossing[l.idx()].max(1) as f64);
+        }
+        if !share.is_finite() {
+            continue; // zero-hop route (a host paired with itself never occurs)
+        }
+        if truth.cluster_of(a) == truth.cluster_of(b) {
+            intra_sum += share;
+            intra_n += 1;
+        } else {
+            inter_sum += share;
+            inter_n += 1;
+        }
+    }
+    let intra_mean = if intra_n > 0 { intra_sum / intra_n as f64 } else { 0.0 };
+    let inter_mean = if inter_n > 0 { inter_sum / inter_n as f64 } else { 0.0 };
+    let symmetric = intra_n > 0
+        && inter_n > 0
+        && inter_mean > 0.0
+        && (0.9..=1.1).contains(&(intra_mean / inter_mean));
+    (intra_mean, inter_mean, symmetric)
+}
+
+/// Computes the full [`InferenceDiagnosis`] block for one report: metric
+/// separation on the final snapshot graph plus capacity symmetry on the
+/// scenario topology, both against the ground truth.
+pub fn inference_diagnosis(
+    g: &WeightedGraph,
+    truth: &Partition,
+    routes: &RouteTable,
+    hosts: &[NodeId],
+) -> InferenceDiagnosis {
+    let (separation_intra_mean, separation_inter_mean, separation_ratio) =
+        metric_separation(g, truth);
+    let (capacity_intra_mean, capacity_inter_mean, capacity_symmetric) =
+        capacity_symmetry(routes, hosts, truth);
+    InferenceDiagnosis {
+        separation_intra_mean,
+        separation_inter_mean,
+        separation_ratio,
+        capacity_intra_mean,
+        capacity_inter_mean,
+        capacity_symmetric,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -159,6 +345,63 @@ mod tests {
         let found =
             bottleneck_candidates(&scenario.routes, &scenario.hosts, &scenario.ground_truth);
         assert!(found.is_empty());
+    }
+
+    /// Hand-built graph: intra weight 4.0 on each of two 2-node clusters,
+    /// one inter edge of 1.0 across the four inter pairs.
+    #[test]
+    fn metric_separation_counts_unobserved_pairs_as_zero() {
+        let truth = Partition::from_assignments(&[0, 0, 1, 1]);
+        let g = WeightedGraph::from_edges(4, &[(0, 1, 4.0), (2, 3, 4.0), (0, 2, 1.0)]);
+        let (intra, inter, ratio) = metric_separation(&g, &truth);
+        assert!((intra - 4.0).abs() < 1e-12);
+        assert!((inter - 0.25).abs() < 1e-12, "1.0 over 4 inter pairs");
+        assert!((ratio.unwrap() - 16.0).abs() < 1e-9);
+        // No inter edges at all: ratio is None, not infinity.
+        let sep = WeightedGraph::from_edges(4, &[(0, 1, 4.0), (2, 3, 4.0)]);
+        let (_, inter, ratio) = metric_separation(&sep, &truth);
+        assert_eq!(inter, 0.0);
+        assert_eq!(ratio, None);
+    }
+
+    /// Real topologies: the Bordeaux site's trunk-separated clusters are
+    /// asymmetric (intra share ≫ inter share); collapsing the ground truth
+    /// to one-cluster-per-everything makes symmetry undecidable (no inter
+    /// pairs ⇒ not symmetric).
+    #[test]
+    fn capacity_symmetry_contrasts_clustered_topologies() {
+        let scenario = Dataset::B.build();
+        let (intra, inter, symmetric) =
+            capacity_symmetry(&scenario.routes, &scenario.hosts, &scenario.ground_truth);
+        assert!(intra > inter, "trunk must throttle inter pairs: {intra} vs {inter}");
+        assert!(!symmetric);
+        let one = Partition::from_assignments(&vec![0u32; scenario.hosts.len()]);
+        let (_, _, symmetric) = capacity_symmetry(&scenario.routes, &scenario.hosts, &one);
+        assert!(!symmetric, "no inter pairs means no symmetry verdict");
+    }
+
+    /// The combined block wires both diagnostics together and matches its
+    /// components.
+    #[test]
+    fn inference_diagnosis_combines_components() {
+        let scenario = Dataset::B.build();
+        let truth = scenario.ground_truth.clone();
+        let n = scenario.hosts.len();
+        let mut edges = Vec::new();
+        for a in 0..n as u32 {
+            for b in (a + 1)..n as u32 {
+                let same = truth.cluster_of(a as usize) == truth.cluster_of(b as usize);
+                edges.push((a, b, if same { 2.0 } else { 0.5 }));
+            }
+        }
+        let g = WeightedGraph::from_edges(n, &edges);
+        let d = inference_diagnosis(&g, &truth, &scenario.routes, &scenario.hosts);
+        let (intra, inter, ratio) = metric_separation(&g, &truth);
+        assert_eq!((d.separation_intra_mean, d.separation_inter_mean), (intra, inter));
+        assert_eq!(d.separation_ratio, ratio);
+        assert!((d.separation_ratio.unwrap() - 4.0).abs() < 1e-9);
+        assert!(!d.capacity_symmetric);
+        assert_eq!(InferenceDiagnosis::zero().separation_ratio, None);
     }
 
     /// Coverage fractions are sane and sorted.

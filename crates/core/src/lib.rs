@@ -31,6 +31,7 @@
 
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod collectives;
 pub mod dataset;
 pub mod diagnosis;
@@ -42,6 +43,7 @@ pub mod session;
 
 /// Commonly used items, including re-exports of the phase crates' preludes.
 pub mod prelude {
+    pub use crate::backend::{AdditiveBackend, Backend, ClusteringBackend, InferenceBackend};
     pub use crate::collectives::{
         cluster_aware_broadcast, flat_binomial_broadcast, CollectiveResult,
     };

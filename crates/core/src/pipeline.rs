@@ -21,7 +21,9 @@
 //! (every Grid'5000 dataset) graphs are built dense, keeping historical
 //! outputs bit-for-bit.
 
+use crate::backend::Backend;
 use crate::dataset::Scenario;
+use crate::diagnosis::{inference_diagnosis, InferenceDiagnosis};
 use btt_cluster::graph::WeightedGraph;
 use btt_cluster::graph_ops::{prune_edges, PruneConfig};
 use btt_cluster::hierarchy::{recursive_louvain, HierarchyConfig};
@@ -285,8 +287,9 @@ pub struct TomographyReport {
     /// Scenario id (the paper legend name for datasets, or the canonical
     /// parameter string for synthetic scenarios).
     pub scenario_id: String,
-    /// The phase-2 algorithm that produced [`TomographyReport::final_partition`].
-    pub algorithm: ClusteringAlgorithm,
+    /// The inference backend that produced
+    /// [`TomographyReport::final_partition`].
+    pub backend: Backend,
     /// The master seed the run derived all randomness from.
     pub seed: u64,
     /// The raw measurement campaign.
@@ -304,6 +307,10 @@ pub struct TomographyReport {
     pub degenerate_partition: bool,
     /// How the campaign fared under failures (identity values when static).
     pub reliability: ReliabilityReport,
+    /// Why inference did or did not recover structure: metric separation
+    /// on the final snapshot graph plus topology capacity symmetry (see
+    /// [`InferenceDiagnosis`]).
+    pub diagnosis: InferenceDiagnosis,
 }
 
 impl TomographyReport {
@@ -365,10 +372,10 @@ impl InferenceTiming {
 pub fn convergence_series(
     campaign: &Campaign,
     ground_truth: &Partition,
-    algorithm: ClusteringAlgorithm,
+    backend: impl Into<Backend>,
     seed: u64,
 ) -> Vec<ConvergencePoint> {
-    convergence_series_timed(campaign, ground_truth, algorithm, seed).0
+    convergence_series_timed(campaign, ground_truth, backend, seed).0
 }
 
 /// Snapshot graphs held in memory at once during a convergence series:
@@ -381,9 +388,10 @@ const PREFIX_CHUNK: usize = 32;
 pub fn convergence_series_timed(
     campaign: &Campaign,
     ground_truth: &Partition,
-    algorithm: ClusteringAlgorithm,
+    backend: impl Into<Backend>,
     seed: u64,
 ) -> (Vec<ConvergencePoint>, InferenceTiming) {
+    let backend = backend.into();
     let n = campaign.runs.first().map_or(0, |r| r.fragments.len());
 
     // Alternate two passes per chunk of prefixes. Streaming pass: fold
@@ -416,7 +424,7 @@ pub fn convergence_series_timed(
             snapshots
                 .into_par_iter()
                 .map(|(k, g)| {
-                    let p = algorithm.cluster(&g, splitmix64(seed ^ k as u64));
+                    let p = backend.infer(&g, splitmix64(seed ^ k as u64));
                     ConvergencePoint {
                         iterations: k as u32,
                         onmi: onmi_partitions(&p, ground_truth),
@@ -443,15 +451,16 @@ pub fn convergence_series_timed(
 pub fn convergence_series_serial(
     campaign: &Campaign,
     ground_truth: &Partition,
-    algorithm: ClusteringAlgorithm,
+    backend: impl Into<Backend>,
     seed: u64,
 ) -> Vec<ConvergencePoint> {
+    let backend = backend.into();
     let n_iters = campaign.runs.len();
     (1..=n_iters)
         .map(|k| {
             let acc = campaign.metric_after(k);
             let g = metric_graph(&acc);
-            let p = algorithm.cluster(&g, splitmix64(seed ^ k as u64));
+            let p = backend.infer(&g, splitmix64(seed ^ k as u64));
             ConvergencePoint {
                 iterations: k as u32,
                 onmi: onmi_partitions(&p, ground_truth),
@@ -492,21 +501,24 @@ impl std::error::Error for PipelineError {}
 pub fn analyze(
     scenario: &Scenario,
     campaign: Campaign,
-    algorithm: ClusteringAlgorithm,
+    backend: impl Into<Backend>,
     seed: u64,
 ) -> Result<TomographyReport, PipelineError> {
+    let backend = backend.into();
     if campaign.runs.is_empty() {
         return Err(PipelineError::EmptyCampaign);
     }
-    let convergence = convergence_series(&campaign, &scenario.ground_truth, algorithm, seed);
+    let convergence = convergence_series(&campaign, &scenario.ground_truth, backend, seed);
     let g = auto_metric_graph(&campaign.metric);
-    let final_partition = algorithm.cluster(&g, splitmix64(seed ^ 0xFFFF_FFFF));
+    let final_partition = backend.infer(&g, splitmix64(seed ^ 0xFFFF_FFFF));
     let reliability =
         ReliabilityReport::from_campaign(&campaign, &final_partition, &scenario.ground_truth);
     let degenerate = degenerate_partition(&final_partition);
+    let diagnosis =
+        inference_diagnosis(&g, &scenario.ground_truth, &scenario.routes, &scenario.hosts);
     Ok(TomographyReport {
         scenario_id: scenario.id.clone(),
-        algorithm,
+        backend,
         seed,
         campaign,
         convergence,
@@ -514,6 +526,7 @@ pub fn analyze(
         ground_truth: scenario.ground_truth.clone(),
         degenerate_partition: degenerate,
         reliability,
+        diagnosis,
     })
 }
 
@@ -571,7 +584,7 @@ mod tests {
     fn converged_at_requires_stability() {
         let mk = |onmis: &[f64]| TomographyReport {
             scenario_id: "t".into(),
-            algorithm: ClusteringAlgorithm::Louvain,
+            backend: Backend::Clustering(ClusteringAlgorithm::Louvain),
             seed: 0,
             campaign: fake_campaign(4, 1, &[(0, 1)]),
             convergence: onmis
@@ -596,6 +609,7 @@ mod tests {
                 onmi_observed: 1.0,
                 confidence_weighted_onmi: 1.0,
             },
+            diagnosis: InferenceDiagnosis::zero(),
         };
         // Dips below threshold reset the convergence point.
         let r = mk(&[0.5, 1.0, 0.6, 1.0, 1.0]);

@@ -69,7 +69,9 @@ pub enum ScenarioSpec {
 /// `star-1k`, whose hub adds 16 more (16×64 arm hosts + 16 hub hosts =
 /// 1040). The `edge-512`/`edge-1k` presets pair the WAN shape with 20 Mb/s
 /// consumer-edge access links and `edge-2k` (2048 hosts) with 2 Mb/s — the
-/// regime where broadcasts run long in simulated time. `fat-tree-4k`
+/// regime where broadcasts run long in simulated time. `edge-2k-wide` is
+/// `edge-2k`'s recovery control (same hosts and access tier, 4× larger
+/// ground-truth clusters). `fat-tree-4k`
 /// (4096 hosts) and `wan-8k` (8192 hosts) are the scale-smoke points for
 /// the parallel measurement path; sized so a shallow campaign on either
 /// fits a CI smoke budget.
@@ -82,6 +84,12 @@ pub const SCALE_PRESETS: &[(&str, &str)] = &[
     ("edge-512", "wan:16x32:0.5:20"),
     ("edge-1k", "wan:16x64:0.5:20"),
     ("edge-2k", "wan:32x64:0.5:2"),
+    // Recovery control for edge-2k's oNMI = 0: identical host count and
+    // 2 Mb/s access tier, but 16 sites of 128 hosts instead of 32 of 64.
+    // With clusters this large relative to n, every inference family
+    // (clustering *and* additive) recovers the sites at oNMI > 0.95 —
+    // pinning edge-2k's zero on cluster-size identifiability, not scale.
+    ("edge-2k-wide", "wan:16x128:0.5:2"),
     ("fat-tree-4k", "fat-tree:16x16x16:4:2"),
     ("wan-8k", "wan:64x128:0.5"),
     // Churned variants: the same networks measured under failures — the

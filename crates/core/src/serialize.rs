@@ -18,6 +18,7 @@
 //! values), so `parse(render(x)) == x` exactly and same-seed runs are
 //! byte-identical.
 
+use crate::diagnosis::InferenceDiagnosis;
 use crate::pipeline::{ConvergencePoint, ReliabilityReport, TomographyReport};
 use btt_cluster::partition::Partition;
 
@@ -685,8 +686,13 @@ use json::{fmt_f64, Json, JsonError};
 
 /// Version tag stamped into every report JSON document. v2 added the
 /// required `reliability` block and `run_hosts_lost` series; v3 added the
-/// required `degenerate_partition` diagnostic flag.
-pub const REPORT_SCHEMA: &str = "btt-report-v3";
+/// required `degenerate_partition` diagnostic flag; v4 added the required
+/// `diagnosis` block (metric separation + capacity symmetry) and widened
+/// `algorithm` to carry any inference backend name (`"additive"` joins the
+/// four clustering algorithms). Apart from those two changes a v4 record
+/// from a clustering backend is byte-identical to its v3 counterpart —
+/// pinned by `crates/core/tests/backend_golden.rs`.
+pub const REPORT_SCHEMA: &str = "btt-report-v4";
 
 /// The JSON-facing projection of a tomography run: everything campaign
 /// tooling needs to diff runs across PRs, without the raw per-run fragment
@@ -701,7 +707,8 @@ pub struct ReportRecord {
     /// Scenario id (parseable by [`crate::scenarios::ScenarioSpec::parse`]
     /// for non-dataset scenarios).
     pub scenario_id: String,
-    /// Phase-2 algorithm name ([`crate::pipeline::ClusteringAlgorithm::name`]).
+    /// Phase-2 backend name ([`crate::backend::Backend::name`]; the
+    /// algorithm's own name for clustering backends).
     pub algorithm: String,
     /// Master seed of the run.
     pub seed: u64,
@@ -728,6 +735,9 @@ pub struct ReportRecord {
     /// (all-one-cluster / all-singletons): inference found *nothing*, as
     /// opposed to a low score against a real structure.
     pub degenerate_partition: bool,
+    /// Why inference did or did not recover structure (see
+    /// [`crate::diagnosis::InferenceDiagnosis`]).
+    pub diagnosis: InferenceDiagnosis,
 }
 
 impl ReportRecord {
@@ -736,7 +746,7 @@ impl ReportRecord {
     pub fn new(report: &TomographyReport, pieces: u32) -> Self {
         ReportRecord {
             scenario_id: report.scenario_id.clone(),
-            algorithm: report.algorithm.name().to_string(),
+            algorithm: report.backend.name().to_string(),
             seed: report.seed,
             hosts: report.ground_truth.len(),
             pieces,
@@ -748,6 +758,7 @@ impl ReportRecord {
             reliability: report.reliability,
             run_hosts_lost: report.campaign.runs.iter().map(|r| r.hosts_lost() as u32).collect(),
             degenerate_partition: report.degenerate_partition,
+            diagnosis: report.diagnosis,
         }
     }
 
@@ -790,6 +801,20 @@ impl ReportRecord {
                 ),
             ),
             ("degenerate_partition", Json::Bool(self.degenerate_partition)),
+            (
+                "diagnosis",
+                Json::obj(vec![
+                    ("separation_intra_mean", Json::Float(self.diagnosis.separation_intra_mean)),
+                    ("separation_inter_mean", Json::Float(self.diagnosis.separation_inter_mean)),
+                    (
+                        "separation_ratio",
+                        self.diagnosis.separation_ratio.map_or(Json::Null, Json::Float),
+                    ),
+                    ("capacity_intra_mean", Json::Float(self.diagnosis.capacity_intra_mean)),
+                    ("capacity_inter_mean", Json::Float(self.diagnosis.capacity_inter_mean)),
+                    ("capacity_symmetric", Json::Bool(self.diagnosis.capacity_symmetric)),
+                ]),
+            ),
             ("final_partition", partition_to_json(&self.final_partition)),
             ("ground_truth", partition_to_json(&self.ground_truth)),
             (
@@ -887,6 +912,31 @@ impl ReportRecord {
                 confidence_weighted_onmi: rf("confidence_weighted_onmi")?,
             }
         };
+        // The diagnosis block: required of every v4 record.
+        let diagnosis = {
+            let d = field("diagnosis")?;
+            let df = |key: &str| d.get(key).and_then(Json::as_f64).ok_or_else(|| bad(key));
+            InferenceDiagnosis {
+                separation_intra_mean: df("separation_intra_mean")?,
+                separation_inter_mean: df("separation_inter_mean")?,
+                separation_ratio: match d
+                    .get("separation_ratio")
+                    .ok_or_else(|| bad("separation_ratio"))?
+                {
+                    Json::Null => None,
+                    other => Some(other.as_f64().ok_or_else(|| bad("separation_ratio"))?),
+                },
+                capacity_intra_mean: df("capacity_intra_mean")?,
+                capacity_inter_mean: df("capacity_inter_mean")?,
+                capacity_symmetric: match d
+                    .get("capacity_symmetric")
+                    .ok_or_else(|| bad("capacity_symmetric"))?
+                {
+                    Json::Bool(b) => *b,
+                    _ => return Err(bad("capacity_symmetric")),
+                },
+            }
+        };
         let run_hosts_lost = field("run_hosts_lost")?
             .as_array()
             .ok_or_else(|| bad("run_hosts_lost"))?
@@ -917,6 +967,7 @@ impl ReportRecord {
                 Json::Bool(b) => *b,
                 _ => return Err(bad("degenerate_partition")),
             },
+            diagnosis,
         })
     }
 }

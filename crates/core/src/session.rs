@@ -30,7 +30,9 @@
 //! the control flow changes *when* inference happens, never *what* it
 //! computes.
 
+use crate::backend::Backend;
 use crate::dataset::{Dataset, Scenario};
+use crate::diagnosis::inference_diagnosis;
 use crate::pipeline::{
     analyze, auto_metric_graph, degenerate_partition, ClusteringAlgorithm, ConvergencePoint,
     PipelineError, ReliabilityReport, TomographyReport,
@@ -55,7 +57,7 @@ pub struct TomographySession {
     cfg: SwarmConfig,
     iterations: u32,
     root_policy: RootPolicy,
-    algorithm: ClusteringAlgorithm,
+    backend: Backend,
     seed: u64,
     recluster_every: u32,
     threads: usize,
@@ -76,7 +78,7 @@ impl TomographySession {
             cfg: SwarmConfig::paper(),
             iterations,
             root_policy: RootPolicy::Fixed(0),
-            algorithm: ClusteringAlgorithm::Louvain,
+            backend: Backend::Clustering(ClusteringAlgorithm::Louvain),
             seed: 0x5EED,
             recluster_every: 1,
             threads: 0,
@@ -108,9 +110,17 @@ impl TomographySession {
         self
     }
 
-    /// Sets the phase-2 clustering algorithm (default Louvain).
+    /// Sets the phase-2 clustering algorithm (default Louvain). Sugar for
+    /// [`TomographySession::backend`] with [`Backend::Clustering`].
     pub fn algorithm(mut self, a: ClusteringAlgorithm) -> Self {
-        self.algorithm = a;
+        self.backend = Backend::Clustering(a);
+        self
+    }
+
+    /// Sets the phase-2 inference backend (default the paper's Louvain
+    /// clustering).
+    pub fn backend(mut self, b: impl Into<Backend>) -> Self {
+        self.backend = b.into();
         self
     }
 
@@ -151,7 +161,7 @@ impl TomographySession {
 
     /// Runs both phases and produces the report.
     pub fn run(&self) -> TomographyReport {
-        self.analyze_with(self.measure(), self.algorithm)
+        self.analyze_with(self.measure(), self.backend)
     }
 
     /// Runs phase 1 only: the broadcast measurement campaign (under the
@@ -173,7 +183,7 @@ impl TomographySession {
     }
 
     /// Runs phase 2 on a previously-measured campaign with the given
-    /// algorithm. `run()` is exactly `analyze_with(measure(), algorithm)`.
+    /// backend. `run()` is exactly `analyze_with(measure(), backend)`.
     ///
     /// # Panics
     ///
@@ -185,9 +195,9 @@ impl TomographySession {
     pub fn analyze_with(
         &self,
         campaign: btt_swarm::broadcast::Campaign,
-        algorithm: ClusteringAlgorithm,
+        backend: impl Into<Backend>,
     ) -> TomographyReport {
-        analyze(&self.scenario, campaign, algorithm, self.seed)
+        analyze(&self.scenario, campaign, backend, self.seed)
             .expect("session campaigns hold at least one iteration")
     }
 
@@ -428,7 +438,7 @@ impl LiveSession {
         let truth = &self.session.scenario.ground_truth;
         let g = auto_metric_graph(&self.acc);
         let seed = splitmix64(self.session.seed ^ k as u64);
-        let p = self.session.algorithm.cluster_into(&g, seed, &mut self.scratch);
+        let p = self.session.backend.infer_into(&g, seed, &mut self.scratch);
         let point = ConvergencePoint {
             iterations: k,
             onmi: onmi_partitions(&p, truth),
@@ -467,7 +477,7 @@ impl LiveSession {
             return Err(PipelineError::EmptyCampaign);
         }
         let n_runs = self.runs.len();
-        let algorithm = self.session.algorithm;
+        let backend = self.session.backend;
         let seed = self.session.seed;
         let truth = self.session.scenario.ground_truth.clone();
         if self.points.iter().take(n_runs).any(Option::is_none) {
@@ -478,8 +488,7 @@ impl LiveSession {
                 if self.points[i].is_none() {
                     let k = i + 1;
                     let g = auto_metric_graph(&acc);
-                    let p =
-                        algorithm.cluster_into(&g, splitmix64(seed ^ k as u64), &mut self.scratch);
+                    let p = backend.infer_into(&g, splitmix64(seed ^ k as u64), &mut self.scratch);
                     self.points[i] = Some(ConvergencePoint {
                         iterations: k as u32,
                         onmi: onmi_partitions(&p, &truth),
@@ -494,13 +503,15 @@ impl LiveSession {
             self.points.into_iter().take(n_runs).map(|p| p.expect("all prefixes filled")).collect();
         let g = auto_metric_graph(&self.acc);
         let final_partition =
-            algorithm.cluster_into(&g, splitmix64(seed ^ 0xFFFF_FFFF), &mut self.scratch);
+            backend.infer_into(&g, splitmix64(seed ^ 0xFFFF_FFFF), &mut self.scratch);
         let campaign = Campaign { runs: self.runs, metric: self.acc };
         let reliability = ReliabilityReport::from_campaign(&campaign, &final_partition, &truth);
         let degenerate = degenerate_partition(&final_partition);
+        let scenario = &self.session.scenario;
+        let diagnosis = inference_diagnosis(&g, &truth, &scenario.routes, &scenario.hosts);
         Ok(TomographyReport {
-            scenario_id: self.session.scenario.id.clone(),
-            algorithm,
+            scenario_id: scenario.id.clone(),
+            backend,
             seed,
             campaign,
             convergence,
@@ -508,6 +519,7 @@ impl LiveSession {
             ground_truth: truth,
             degenerate_partition: degenerate,
             reliability,
+            diagnosis,
         })
     }
 }
@@ -651,7 +663,7 @@ mod tests {
             .root_policy(btt_swarm::broadcast::RootPolicy::RoundRobin);
         assert_eq!(s.iterations, 5);
         assert_eq!(s.cfg.num_pieces, 128);
-        assert_eq!(s.algorithm, ClusteringAlgorithm::Infomap);
+        assert_eq!(s.backend, Backend::Clustering(ClusteringAlgorithm::Infomap));
         assert_eq!(s.scenario().num_hosts(), 64);
     }
 }

@@ -6,6 +6,7 @@
 //! across PRs and silent format drift would corrupt those comparisons.
 
 use btt_cluster::partition::Partition;
+use btt_core::diagnosis::InferenceDiagnosis;
 use btt_core::pipeline::{ConvergencePoint, ReliabilityReport};
 use btt_core::serialize::{convergence_csv, csv, json, ReportRecord};
 
@@ -50,6 +51,14 @@ fn golden_record() -> ReportRecord {
         },
         run_hosts_lost: vec![0, 1],
         degenerate_partition: false,
+        diagnosis: InferenceDiagnosis {
+            separation_intra_mean: 2.5,
+            separation_inter_mean: 0.5,
+            separation_ratio: Some(5.0),
+            capacity_intra_mean: 1.25e8,
+            capacity_inter_mean: 1.25e7,
+            capacity_symmetric: false,
+        },
     }
 }
 

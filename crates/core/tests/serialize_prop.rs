@@ -147,6 +147,14 @@ proptest! {
             },
             run_hosts_lost: (0..points).map(|i| (seed >> (i % 32)) as u32 % 4).collect(),
             degenerate_partition: seed & 2 == 0,
+            diagnosis: btt_core::diagnosis::InferenceDiagnosis {
+                separation_intra_mean: onmi(4) * 9.0,
+                separation_inter_mean: onmi(5) * 3.0,
+                separation_ratio: if seed & 4 == 0 { None } else { Some(onmi(6) * 20.0) },
+                capacity_intra_mean: onmi(8) * 1e9,
+                capacity_inter_mean: onmi(9) * 1e9,
+                capacity_symmetric: seed & 8 == 0,
+            },
         };
         let text = record.to_json().render_pretty();
         let back = ReportRecord::from_json(&json::parse(&text).expect("record json parses"))
