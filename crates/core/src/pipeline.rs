@@ -554,6 +554,7 @@ mod tests {
                 sim_steps: 10,
                 disrupted: vec![false; n],
                 departed: vec![false; n],
+                prof: Default::default(),
             });
         }
         let mut metric = MetricAccumulator::new(n);

@@ -123,6 +123,10 @@ struct ActiveFlow {
     /// many successive sub-threshold changes cannot accumulate unbounded
     /// event-time error.
     keyed_rate: f64,
+    /// Whether the flow sits in `Core::pending_marks` with a re-armed mark
+    /// awaiting its single coalesced calendar push (see
+    /// [`SimNet::set_delivery_mark`]).
+    mark_queued: bool,
     started_at: SimTime,
     tag: u64,
 }
@@ -240,6 +244,14 @@ struct Core {
     // Persistent scratch to carry solver results across the borrow boundary.
     changed_scratch: Vec<(u64, f64)>,
     chans_scratch: Vec<u32>,
+    /// Flows whose re-armed delivery mark has not been pushed to the
+    /// calendar yet. Service batches re-arm the same flow's mark once per
+    /// completed fragment; deferring the push until the next resolve or
+    /// advance collapses the whole batch into one calendar entry — the
+    /// superseded generations were unreachable anyway (popped as stale).
+    pending_marks: Vec<u64>,
+    /// Attribution counters (see [`crate::prof`]); observational only.
+    prof: crate::prof::EngineProf,
 }
 
 /// Calendar id reserved for rate-refresh events (never a flow id).
@@ -286,11 +298,38 @@ impl Core {
         }
     }
 
+    /// Pushes the single surviving calendar entry for every flow whose mark
+    /// was re-armed since the last flush. Runs before rates can change (top
+    /// of [`Core::resolve`]) and before events are observed (entry to the
+    /// advance family), so each entry carries exactly the `(eta, gen)` an
+    /// immediate push at [`SimNet::set_delivery_mark`] time would have:
+    /// rates only mutate inside `resolve`, and the clock only moves inside
+    /// `advance`, both of which flush first.
+    fn flush_pending_marks(&mut self, now: SimTime) {
+        while let Some(id) = self.pending_marks.pop() {
+            // Flows stopped (or finished) after queueing simply vanish; ids
+            // are never reused, so a map miss is always a dead flow.
+            let Some(f) = self.flows.get_mut(&id) else { continue };
+            f.mark_queued = false;
+            if let Some(at) = f.eta(now) {
+                f.scheduled = true;
+                f.keyed_rate = f.rate;
+                self.calendar.push(Event { at, id, gen: f.gen });
+            } else {
+                // Rate currently zero: the next re-solve re-keys
+                // unscheduled flows whose rate changes.
+                f.scheduled = false;
+            }
+        }
+    }
+
     /// Applies pending churn at time `now`: re-solves the dirty component,
     /// materializes changed flows and touched channels, and re-keys calendar
     /// entries. Must run before the clock moves past `now`.
     fn resolve(&mut self, now: SimTime) {
         if self.solver.is_dirty() {
+            self.flush_pending_marks(now);
+            let t0 = std::time::Instant::now();
             {
                 let (changed, chans) = self.solver.resolve();
                 self.changed_scratch.clear();
@@ -342,6 +381,7 @@ impl Core {
             }
             self.changed_scratch = changed;
             self.chans_scratch = chans;
+            self.prof.solver_ns += t0.elapsed().as_nanos() as u64;
         }
     }
 }
@@ -394,6 +434,8 @@ impl SimNet {
                 refresh_gen: 0,
                 changed_scratch: Vec::new(),
                 chans_scratch: Vec::new(),
+                pending_marks: Vec::new(),
+                prof: crate::prof::EngineProf::default(),
             }),
             topo,
             routes,
@@ -428,6 +470,24 @@ impl SimNet {
     #[inline]
     pub fn active_flows(&self) -> usize {
         self.nflows
+    }
+
+    /// Snapshot of the engine's attribution counters (see [`crate::prof`]),
+    /// with the fairness solver's counters folded in.
+    pub fn prof(&self) -> crate::prof::EngineProf {
+        let core = self.core.borrow();
+        let mut p = core.prof;
+        p.solver = core.solver.prof();
+        p
+    }
+
+    /// Forwards to [`IncrementalMaxMin::set_parallel`]: `Some(true)` forces
+    /// the component-parallel water-fill, `Some(false)` forces serial,
+    /// `None` restores auto (the `BTT_PARALLEL_SOLVER` environment variable
+    /// sets the same switch at construction). Rates are bit-identical either
+    /// way.
+    pub fn set_parallel_solver(&mut self, mode: Option<bool>) {
+        self.core.get_mut().solver.set_parallel(mode);
     }
 
     /// Starts a flow from `src` to `dst`.
@@ -502,6 +562,7 @@ impl SimNet {
             gen: 0,
             scheduled: false,
             keyed_rate: rate,
+            mark_queued: false,
             started_at: self.time,
             tag,
         };
@@ -525,6 +586,7 @@ impl SimNet {
         }
         core.flows.insert(id, flow);
         core.schedule_refresh(self.time);
+        core.prof.flows_started += 1;
         self.nflows += 1;
         if bytes.is_some() {
             self.nbounded += 1;
@@ -633,14 +695,15 @@ impl SimNet {
         let Some(f) = core.flows.get_mut(&id.0) else { return };
         f.mark = Some(f.delivered_at(time) + bytes_ahead);
         f.gen += 1;
-        if let Some(at) = f.eta(time) {
-            f.scheduled = true;
-            f.keyed_rate = f.rate;
-            core.calendar.push(Event { at, id: id.0, gen: f.gen });
-        } else {
-            // Rate currently zero: the next re-solve re-keys unscheduled
-            // flows whose rate changes.
-            f.scheduled = false;
+        f.scheduled = false;
+        // Coalesced push: a service batch re-arms this mark once per
+        // fragment it completes, and only the last arming can ever fire
+        // (older generations pop as stale). Queue the flow once and let
+        // `flush_pending_marks` push the survivor — one calendar entry per
+        // (flow, batch) instead of one per fragment.
+        if !f.mark_queued {
+            f.mark_queued = true;
+            core.pending_marks.push(id.0);
         }
     }
 
@@ -696,6 +759,8 @@ impl SimNet {
     /// allocation across the millions of advances in a measurement campaign.
     pub fn advance_until_into(&mut self, deadline: SimTime, out: &mut Vec<Completion>) {
         assert!(deadline.is_finite(), "advance_until requires a finite deadline");
+        let t0 = std::time::Instant::now();
+        self.core.get_mut().flush_pending_marks(self.time);
         loop {
             let core = self.core.get_mut();
             core.maybe_resolve(self.time);
@@ -705,6 +770,7 @@ impl SimNet {
                     Some(e) if e.at <= deadline => {
                         let e = *e;
                         core.calendar.pop();
+                        core.prof.events_popped += 1;
                         let valid = if e.id == REFRESH_ID {
                             core.refresh_scheduled && e.gen == core.refresh_gen
                         } else {
@@ -713,6 +779,7 @@ impl SimNet {
                         if valid {
                             break Some(e);
                         }
+                        core.prof.stale_events += 1;
                     }
                     _ => break None,
                 }
@@ -726,6 +793,7 @@ impl SimNet {
                 // instant, then continue with the (possibly re-keyed)
                 // calendar.
                 core.refresh_scheduled = false;
+                core.prof.refreshes += 1;
                 core.resolve(self.time);
                 continue;
             }
@@ -742,6 +810,7 @@ impl SimNet {
             if let Some((h, _)) = f.horizon() {
                 if f.delivered_at(self.time) + 1e-6 + h.abs() * 1e-12 < h {
                     f.gen += 1;
+                    core.prof.undershoot_rekeys += 1;
                     if let Some(at) = f.eta(self.time) {
                         f.scheduled = true;
                         f.keyed_rate = f.rate;
@@ -758,6 +827,7 @@ impl SimNet {
                 Some((h, CompletionKind::Finished)) => {
                     f.accrued = h; // exact: the full budget was delivered
                     f.accrue_from = self.time;
+                    core.prof.flows_finished += 1;
                     out.push(Completion {
                         id: FlowId(e.id),
                         tag: f.tag,
@@ -774,6 +844,7 @@ impl SimNet {
                 Some((_, CompletionKind::Mark)) => {
                     f.mark = None;
                     let tag = f.tag;
+                    core.prof.marks_fired += 1;
                     // Re-key in case a bounded budget remains behind the mark.
                     f.gen += 1;
                     if let Some(at) = f.eta(self.time) {
@@ -794,6 +865,8 @@ impl SimNet {
         if deadline > self.time {
             self.time = deadline;
         }
+        let core = self.core.get_mut();
+        core.prof.advance_ns += t0.elapsed().as_nanos() as u64;
     }
 
     /// Advances to the next event (bounded completion or delivery mark) or
@@ -824,6 +897,7 @@ impl SimNet {
     ) {
         let eta = {
             let core = self.core.get_mut();
+            core.flush_pending_marks(self.time);
             core.maybe_resolve(self.time);
             // Discard stale entries, then read the earliest live horizon.
             loop {
@@ -839,6 +913,8 @@ impl SimNet {
                             break Some(e.at);
                         }
                         core.calendar.pop();
+                        core.prof.events_popped += 1;
+                        core.prof.stale_events += 1;
                     }
                     None => break None,
                 }

@@ -214,11 +214,55 @@ pub struct IncrementalMaxMin {
     // Persistent scratch (component-local), reused across resolves.
     comp_slots: Vec<u32>,
     comp_chans: Vec<u32>,
+    /// `(chan_start, slot_start)` into `comp_chans`/`comp_slots` per
+    /// discovered component; a component's range ends where the next begins.
+    comp_bounds: Vec<(u32, u32)>,
     residual: Vec<f64>,
     load: Vec<u32>,
     changed: Vec<(u64, f64)>,
     rates_scratch: Vec<f64>,
     frozen_scratch: Vec<bool>,
+    /// Per-component heap arenas, one per concurrently solved component.
+    arenas: Vec<CompArena>,
+    /// Parallel water-fill policy: `Some(force)` from
+    /// `BTT_PARALLEL_SOLVER` / [`IncrementalMaxMin::set_parallel`],
+    /// `None` = auto (multi-core machine, several components, enough work).
+    parallel: Option<bool>,
+    /// Cores available at construction (auto-mode gate).
+    cores: usize,
+    prof: crate::prof::SolverProf,
+}
+
+/// Reusable per-component heap pair for the water-filling loop.
+#[derive(Debug, Default)]
+struct CompArena {
+    chan_heap: std::collections::BinaryHeap<ShareKey>,
+    cap_heap: std::collections::BinaryHeap<ShareKey>,
+}
+
+/// One component's slice of the solve: borrowed views plus disjoint mutable
+/// scratch, shippable to a worker thread.
+struct CompWork<'a> {
+    /// Global channel ids of this component (discovery order == local index).
+    chans: &'a [u32],
+    /// Slab slots of this component's flows, ascending flow id.
+    flows: &'a [u32],
+    residual: &'a mut [f64],
+    load: &'a mut [u32],
+    rates: &'a mut [f64],
+    frozen: &'a mut [bool],
+    arena: &'a mut CompArena,
+}
+
+/// Parses the `BTT_PARALLEL_SOLVER` override: `1`/`true`/`on` forces the
+/// parallel water-fill path, `0`/`false`/`off` forces serial, anything else
+/// (or unset) leaves the solver in auto mode.
+fn parallel_override_from_env() -> Option<bool> {
+    match std::env::var("BTT_PARALLEL_SOLVER").ok().as_deref() {
+        Some("1") | Some("true") | Some("on") => Some(true),
+        Some("0") | Some("false") | Some("off") => Some(false),
+        _ => None,
+    }
 }
 
 impl IncrementalMaxMin {
@@ -239,12 +283,33 @@ impl IncrementalMaxMin {
             chan_local: vec![0; n],
             comp_slots: Vec::new(),
             comp_chans: Vec::new(),
+            comp_bounds: Vec::new(),
             residual: Vec::new(),
             load: Vec::new(),
             changed: Vec::new(),
             rates_scratch: Vec::new(),
             frozen_scratch: Vec::new(),
+            arenas: Vec::new(),
+            parallel: parallel_override_from_env(),
+            cores: std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1),
+            prof: crate::prof::SolverProf::default(),
         }
+    }
+
+    /// Overrides the parallel water-fill policy: `Some(true)` forces the
+    /// multi-threaded component dispatch, `Some(false)` forces serial,
+    /// `None` restores auto. Construction reads the same switch from the
+    /// `BTT_PARALLEL_SOLVER` environment variable (`1`/`0`). Both paths run
+    /// the identical per-component water-fill, so rates are bit-identical
+    /// either way.
+    pub fn set_parallel(&mut self, mode: Option<bool>) {
+        self.parallel = mode;
+    }
+
+    /// Snapshot of this solver's attribution counters.
+    #[inline]
+    pub fn prof(&self) -> crate::prof::SolverProf {
+        self.prof
     }
 
     /// Current rate of `id` (0.0 for unknown flows). Only meaningful after
@@ -379,19 +444,25 @@ impl IncrementalMaxMin {
 
     /// Re-solves the dirty component(s) and reports `(changed_flows,
     /// touched_channels)`: flows whose rate changed (with their **new**
-    /// rate) and every channel in the re-solved component (whose aggregate
+    /// rate) and every channel in the re-solved components (whose aggregate
     /// rate may have changed). Returns empty slices when nothing was dirty.
+    ///
+    /// Components are discovered one at a time (BFS over the channel↔flow
+    /// sharing graph from each unstamped dirty seed) and water-filled
+    /// independently — serially, or concurrently when several components
+    /// carry enough work (see [`IncrementalMaxMin::set_parallel`]). Either
+    /// way the per-component arithmetic is the identical code path and
+    /// results merge in component-discovery order, so rates are
+    /// bit-identical no matter how the solve is dispatched.
     pub fn resolve(&mut self) -> (&[(u64, f64)], &[u32]) {
         self.changed.clear();
         self.comp_chans.clear();
         self.comp_slots.clear();
+        self.comp_bounds.clear();
         if self.dirty.is_empty() {
             return (&self.changed, &self.comp_chans);
         }
-        // --- Component discovery: BFS over channels <-> flows from the dirty
-        // seed set. Every flow of every reached channel joins, and with it
-        // every channel of its route, so component channels carry component
-        // flows only.
+        self.prof.resolves += 1;
         self.epoch = self.epoch.wrapping_add(1);
         if self.epoch == 0 {
             // Wrapped: invalidate all stamps once.
@@ -401,168 +472,146 @@ impl IncrementalMaxMin {
             }
             self.epoch = 1;
         }
-        let mut head = 0;
-        for i in 0..self.dirty.len() {
-            let c = self.dirty[i] as usize;
-            if self.chan_stamp[c] != self.epoch {
-                self.chan_stamp[c] = self.epoch;
-                self.chan_local[c] = self.comp_chans.len() as u32;
-                self.comp_chans.push(c as u32);
+        // --- Component discovery: one BFS per unstamped dirty seed. Every
+        // flow of every reached channel joins, and with it every channel of
+        // its route, so component channels carry component flows only.
+        // `chan_local` / `SolvedFlow::local` are assigned *component-local*
+        // indices (discovery order), so each component can be water-filled
+        // against its own slice of the scratch arrays.
+        for di in 0..self.dirty.len() {
+            let seed = self.dirty[di] as usize;
+            self.dirty_mask[seed] = false;
+            if self.chan_stamp[seed] == self.epoch {
+                continue;
             }
-            self.dirty_mask[c] = false;
+            let chan_start = self.comp_chans.len();
+            let slot_start = self.comp_slots.len();
+            self.chan_stamp[seed] = self.epoch;
+            self.chan_local[seed] = 0;
+            self.comp_chans.push(seed as u32);
+            let mut head = chan_start;
+            while head < self.comp_chans.len() {
+                let c = self.comp_chans[head] as usize;
+                head += 1;
+                for mi in 0..self.members[c].len() {
+                    let slot = self.members[c][mi];
+                    let f = &mut self.slots[slot as usize];
+                    if f.stamp == self.epoch {
+                        continue;
+                    }
+                    f.stamp = self.epoch;
+                    self.comp_slots.push(slot);
+                    let route = std::mem::take(&mut f.route);
+                    for ch in route.iter() {
+                        let rc = ch.idx();
+                        if self.chan_stamp[rc] != self.epoch {
+                            self.chan_stamp[rc] = self.epoch;
+                            self.chan_local[rc] = (self.comp_chans.len() - chan_start) as u32;
+                            self.comp_chans.push(rc as u32);
+                        }
+                    }
+                    self.slots[slot as usize].route = route;
+                }
+            }
+            // Canonical solve order: ascending flow id (== creation order),
+            // so the arithmetic is independent of dirty-set construction
+            // order. Sorting per component preserves the relative order the
+            // old merged sort produced, which keeps tie-breaks — and hence
+            // every float — identical.
+            let slots_ref = &self.slots;
+            self.comp_slots[slot_start..].sort_unstable_by_key(|&s| slots_ref[s as usize].id);
+            for i in slot_start..self.comp_slots.len() {
+                let slot = self.comp_slots[i];
+                self.slots[slot as usize].local = (i - slot_start) as u32;
+            }
+            self.comp_bounds.push((chan_start as u32, slot_start as u32));
         }
         self.dirty.clear();
-        while head < self.comp_chans.len() {
-            let c = self.comp_chans[head] as usize;
-            head += 1;
-            for mi in 0..self.members[c].len() {
-                let slot = self.members[c][mi];
-                let f = &mut self.slots[slot as usize];
-                if f.stamp == self.epoch {
-                    continue;
-                }
-                f.stamp = self.epoch;
-                self.comp_slots.push(slot);
-                let route = std::mem::take(&mut f.route);
-                for ch in route.iter() {
-                    let rc = ch.idx();
-                    if self.chan_stamp[rc] != self.epoch {
-                        self.chan_stamp[rc] = self.epoch;
-                        self.chan_local[rc] = self.comp_chans.len() as u32;
-                        self.comp_chans.push(rc as u32);
-                    }
-                }
-                self.slots[slot as usize].route = route;
-            }
-        }
-        // Canonical solve order: ascending flow id (== creation order), so
-        // the arithmetic is independent of dirty-set construction order.
-        let slots_ref = &self.slots;
-        self.comp_slots.sort_unstable_by_key(|&s| slots_ref[s as usize].id);
 
-        // --- Water-filling restricted to the component: each flow freezes
-        // exactly once — at the saturation level of its tightest channel or
-        // at its own cap. Channel saturation levels only grow as flows
-        // freeze (a frozen flow leaves at least its share of slack behind),
-        // so a lazily-revalidated min-heap of levels visits each channel a
-        // bounded number of times; total cost is O((flows x route + chans)
-        // x log) instead of rounds x component scans.
         let nc = self.comp_chans.len();
         let nf = self.comp_slots.len();
+        let ncomp = self.comp_bounds.len();
+        self.prof.components += ncomp as u64;
+        self.prof.comp_flows += nf as u64;
+        self.prof.comp_chans += nc as u64;
+
+        // --- Water-filling per component over disjoint scratch slices.
         self.residual.clear();
-        self.residual.extend(self.comp_chans.iter().map(|&c| self.caps[c as usize]));
+        self.residual.resize(nc, 0.0);
         self.load.clear();
         self.load.resize(nc, 0);
         self.rates_scratch.clear();
         self.rates_scratch.resize(nf, 0.0);
-        let mut rates = std::mem::take(&mut self.rates_scratch);
         self.frozen_scratch.clear();
         self.frozen_scratch.resize(nf, false);
+        let mut residual = std::mem::take(&mut self.residual);
+        let mut load = std::mem::take(&mut self.load);
+        let mut rates = std::mem::take(&mut self.rates_scratch);
         let mut frozen = std::mem::take(&mut self.frozen_scratch);
-        for (i, &slot) in self.comp_slots.iter().enumerate() {
-            let f = &mut self.slots[slot as usize];
-            f.local = i as u32;
-            for ch in f.route.iter() {
-                self.load[self.chan_local[ch.idx()] as usize] += 1;
-            }
+        let mut arenas = std::mem::take(&mut self.arenas);
+        while arenas.len() < ncomp.max(1) {
+            arenas.push(CompArena::default());
         }
-        let mut chan_heap: std::collections::BinaryHeap<ShareKey> =
-            std::collections::BinaryHeap::with_capacity(nc);
-        for lc in 0..nc {
-            if self.load[lc] > 0 {
-                chan_heap.push(ShareKey {
-                    key: self.residual[lc] / self.load[lc] as f64,
-                    lc: lc as u32,
+
+        let go_parallel = match self.parallel {
+            Some(force) => force && ncomp > 1,
+            None => self.cores > 1 && ncomp > 1 && nf >= 256,
+        };
+        let caps = &self.caps;
+        let members = &self.members;
+        let slots = &self.slots;
+        let chan_local = &self.chan_local;
+        // Carve one CompWork per component out of the merged scratch.
+        let mut work: Vec<CompWork<'_>> = Vec::with_capacity(ncomp);
+        {
+            let mut res_rest = &mut residual[..];
+            let mut load_rest = &mut load[..];
+            let mut rates_rest = &mut rates[..];
+            let mut frozen_rest = &mut frozen[..];
+            let mut arena_rest = &mut arenas[..];
+            for k in 0..ncomp {
+                let (cs, ss) = self.comp_bounds[k];
+                let (ce, se) =
+                    if k + 1 < ncomp { self.comp_bounds[k + 1] } else { (nc as u32, nf as u32) };
+                let (res, rr) = res_rest.split_at_mut((ce - cs) as usize);
+                let (ld, lr) = load_rest.split_at_mut((ce - cs) as usize);
+                let (rt, tr) = rates_rest.split_at_mut((se - ss) as usize);
+                let (fz, fr) = frozen_rest.split_at_mut((se - ss) as usize);
+                let (ar, arest) = arena_rest.split_at_mut(1);
+                res_rest = rr;
+                load_rest = lr;
+                rates_rest = tr;
+                frozen_rest = fr;
+                arena_rest = arest;
+                work.push(CompWork {
+                    chans: &self.comp_chans[cs as usize..ce as usize],
+                    flows: &self.comp_slots[ss as usize..se as usize],
+                    residual: res,
+                    load: ld,
+                    rates: rt,
+                    frozen: fz,
+                    arena: &mut ar[0],
                 });
             }
         }
-        // Capped flows, lowest cap first (same ShareKey ordering, lc = flow).
-        let mut cap_heap: std::collections::BinaryHeap<ShareKey> =
-            std::collections::BinaryHeap::new();
-        for (i, &slot) in self.comp_slots.iter().enumerate() {
-            if let Some(cap) = self.slots[slot as usize].cap {
-                cap_heap.push(ShareKey { key: cap, lc: i as u32 });
-            }
-        }
-        let mut remaining = nf;
-        while remaining > 0 {
-            // Earliest channel saturation, with lazy key revalidation.
-            let chan_next = loop {
-                match chan_heap.peek() {
-                    Some(&ShareKey { key, lc }) => {
-                        let lcu = lc as usize;
-                        if self.load[lcu] == 0 {
-                            chan_heap.pop();
-                            continue;
-                        }
-                        let true_key = self.residual[lcu] / self.load[lcu] as f64;
-                        if true_key > key {
-                            chan_heap.pop();
-                            chan_heap.push(ShareKey { key: true_key, lc });
-                            continue;
-                        }
-                        break Some(ShareKey { key: true_key, lc });
-                    }
-                    None => break None,
-                }
-            };
-            // Earliest cap among still-active capped flows.
-            let cap_next = loop {
-                match cap_heap.peek() {
-                    Some(&k) if frozen[k.lc as usize] => {
-                        cap_heap.pop();
-                        continue;
-                    }
-                    other => break other.copied(),
-                }
-            };
-            let cap_first = match (&chan_next, &cap_next) {
-                (Some(c), Some(f)) => f.key <= c.key,
-                (None, Some(_)) => true,
-                (Some(_), None) => false,
-                (None, None) => {
-                    debug_assert!(false, "active flows must cross a channel or be capped");
-                    break;
-                }
-            };
-            if cap_first {
-                let k = cap_next.expect("checked above");
-                cap_heap.pop();
-                let i = k.lc as usize;
-                frozen[i] = true;
-                remaining -= 1;
-                rates[i] = k.key;
-                let f = &self.slots[self.comp_slots[i] as usize];
-                for ch in f.route.iter() {
-                    let lc = self.chan_local[ch.idx()] as usize;
-                    self.residual[lc] = (self.residual[lc] - k.key).max(0.0);
-                    self.load[lc] -= 1;
-                }
-            } else {
-                let ShareKey { key: level, lc } = chan_next.expect("checked above");
-                chan_heap.pop();
-                // Freeze every active flow crossing the saturated channel.
-                let c_global = self.comp_chans[lc as usize] as usize;
-                for mi in 0..self.members[c_global].len() {
-                    let slot = self.members[c_global][mi];
-                    let i = self.slots[slot as usize].local as usize;
-                    if frozen[i] {
-                        continue;
-                    }
-                    frozen[i] = true;
-                    remaining -= 1;
-                    rates[i] = level;
-                    let f = &self.slots[slot as usize];
-                    for ch in f.route.iter() {
-                        let l2 = self.chan_local[ch.idx()] as usize;
-                        self.residual[l2] = (self.residual[l2] - level).max(0.0);
-                        self.load[l2] -= 1;
-                    }
-                }
-                debug_assert_eq!(self.load[lc as usize], 0, "saturated channel fully frozen");
-            }
-        }
+        let rounds: u64 = if go_parallel {
+            self.prof.parallel_resolves += 1;
+            use rayon::prelude::*;
+            let per: Vec<u64> = work
+                .into_par_iter()
+                .map(|w| solve_component(caps, members, slots, chan_local, w))
+                .collect();
+            per.into_iter().sum()
+        } else {
+            work.into_iter().map(|w| solve_component(caps, members, slots, chan_local, w)).sum()
+        };
+        self.prof.waterfill_rounds += rounds;
+        self.arenas = arenas;
+        self.residual = residual;
+        self.load = load;
         self.frozen_scratch = frozen;
+        // Merge in component-id order: `comp_slots` is grouped by component,
+        // so one pass over it reports changed flows component by component.
         for (i, &slot) in self.comp_slots.iter().enumerate() {
             let f = &mut self.slots[slot as usize];
             if f.rate != rates[i] {
@@ -573,6 +622,129 @@ impl IncrementalMaxMin {
         self.rates_scratch = rates;
         (&self.changed, &self.comp_chans)
     }
+}
+
+/// Water-fills one connected component: each flow freezes exactly once — at
+/// the saturation level of its tightest channel or at its own cap. Channel
+/// saturation levels only grow as flows freeze (a frozen flow leaves at
+/// least its share of slack behind), so a lazily-revalidated min-heap of
+/// levels visits each channel a bounded number of times; total cost is
+/// O((flows × route + chans) × log) instead of rounds × component scans.
+///
+/// All indices in `w` are component-local: `w.chans[lc]` is the global
+/// channel id at local index `lc` (and `chan_local` inverts that for the
+/// component's channels), `SolvedFlow::local` indexes `w.rates`/`w.frozen`.
+/// Returns the number of freeze rounds processed (profiling).
+fn solve_component(
+    caps: &[f64],
+    members: &[Vec<u32>],
+    slots: &[SolvedFlow],
+    chan_local: &[u32],
+    w: CompWork<'_>,
+) -> u64 {
+    let CompWork { chans, flows, residual, load, rates, frozen, arena } = w;
+    let nc = chans.len();
+    for (lc, &c) in chans.iter().enumerate() {
+        residual[lc] = caps[c as usize];
+    }
+    for &slot in flows {
+        for ch in slots[slot as usize].route.iter() {
+            load[chan_local[ch.idx()] as usize] += 1;
+        }
+    }
+    arena.chan_heap.clear();
+    for lc in 0..nc {
+        if load[lc] > 0 {
+            arena.chan_heap.push(ShareKey { key: residual[lc] / load[lc] as f64, lc: lc as u32 });
+        }
+    }
+    // Capped flows, lowest cap first (same ShareKey ordering, lc = flow).
+    arena.cap_heap.clear();
+    for (i, &slot) in flows.iter().enumerate() {
+        if let Some(cap) = slots[slot as usize].cap {
+            arena.cap_heap.push(ShareKey { key: cap, lc: i as u32 });
+        }
+    }
+    let mut rounds = 0u64;
+    let mut remaining = flows.len();
+    while remaining > 0 {
+        rounds += 1;
+        // Earliest channel saturation, with lazy key revalidation.
+        let chan_next = loop {
+            match arena.chan_heap.peek() {
+                Some(&ShareKey { key, lc }) => {
+                    let lcu = lc as usize;
+                    if load[lcu] == 0 {
+                        arena.chan_heap.pop();
+                        continue;
+                    }
+                    let true_key = residual[lcu] / load[lcu] as f64;
+                    if true_key > key {
+                        arena.chan_heap.pop();
+                        arena.chan_heap.push(ShareKey { key: true_key, lc });
+                        continue;
+                    }
+                    break Some(ShareKey { key: true_key, lc });
+                }
+                None => break None,
+            }
+        };
+        // Earliest cap among still-active capped flows.
+        let cap_next = loop {
+            match arena.cap_heap.peek() {
+                Some(&k) if frozen[k.lc as usize] => {
+                    arena.cap_heap.pop();
+                    continue;
+                }
+                other => break other.copied(),
+            }
+        };
+        let cap_first = match (&chan_next, &cap_next) {
+            (Some(c), Some(f)) => f.key <= c.key,
+            (None, Some(_)) => true,
+            (Some(_), None) => false,
+            (None, None) => {
+                debug_assert!(false, "active flows must cross a channel or be capped");
+                break;
+            }
+        };
+        if cap_first {
+            let k = cap_next.expect("checked above");
+            arena.cap_heap.pop();
+            let i = k.lc as usize;
+            frozen[i] = true;
+            remaining -= 1;
+            rates[i] = k.key;
+            let f = &slots[flows[i] as usize];
+            for ch in f.route.iter() {
+                let lc = chan_local[ch.idx()] as usize;
+                residual[lc] = (residual[lc] - k.key).max(0.0);
+                load[lc] -= 1;
+            }
+        } else {
+            let ShareKey { key: level, lc } = chan_next.expect("checked above");
+            arena.chan_heap.pop();
+            // Freeze every active flow crossing the saturated channel.
+            let c_global = chans[lc as usize] as usize;
+            for &slot in members[c_global].iter() {
+                let i = slots[slot as usize].local as usize;
+                if frozen[i] {
+                    continue;
+                }
+                frozen[i] = true;
+                remaining -= 1;
+                rates[i] = level;
+                let f = &slots[slot as usize];
+                for ch in f.route.iter() {
+                    let l2 = chan_local[ch.idx()] as usize;
+                    residual[l2] = (residual[l2] - level).max(0.0);
+                    load[l2] -= 1;
+                }
+            }
+            debug_assert_eq!(load[lc as usize], 0, "saturated channel fully frozen");
+        }
+    }
+    rounds
 }
 
 #[cfg(test)]

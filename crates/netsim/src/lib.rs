@@ -48,6 +48,7 @@ pub mod engine;
 pub mod fairness;
 pub mod grid5000;
 pub mod perturb;
+pub mod prof;
 pub mod routing;
 pub mod synthetic;
 pub mod topology;

@@ -8,18 +8,20 @@
 //! replication behaviour at O(sample) cost — see DESIGN.md §2 and the
 //! `ablation-selection` experiment.
 
-use crate::bitfield::Bitfield;
 use crate::config::SelectionPolicy;
 use rand::Rng;
 
 /// Everything a pick needs to know.
 pub struct PickContext<'a> {
-    /// Pieces the uploader can serve.
-    pub uploader_have: &'a Bitfield,
-    /// Pieces the downloader already holds.
-    pub downloader_have: &'a Bitfield,
-    /// Pieces the downloader is currently fetching from someone.
-    pub inflight: &'a Bitfield,
+    /// Pieces the uploader can serve (bitfield words). Raw word slices
+    /// instead of `&Bitfield` so the hot path can feed rows of the swarm's
+    /// dense `have_words` mirror — the rows pick after pick land in, while
+    /// per-`Peer` bitfields are scattered heap allocations.
+    pub uploader_have: &'a [u64],
+    /// Pieces the downloader already holds (bitfield words).
+    pub downloader_have: &'a [u64],
+    /// Pieces the downloader is currently fetching from someone (words).
+    pub inflight: &'a [u64],
     /// Availability of each piece among the downloader's neighbors.
     pub avail: &'a [u8],
     /// Endgame: ignore `inflight` and allow duplicate requests.
@@ -33,15 +35,15 @@ impl PickContext<'_> {
     /// downloader lacks, and (outside endgame) nobody is already fetching.
     #[inline]
     fn candidate_word(&self, wi: usize) -> u64 {
-        let mut w = self.uploader_have.words()[wi] & !self.downloader_have.words()[wi];
+        let mut w = self.uploader_have[wi] & !self.downloader_have[wi];
         if !self.endgame {
-            w &= !self.inflight.words()[wi];
+            w &= !self.inflight[wi];
         }
         w
     }
 
     fn num_words(&self) -> usize {
-        self.uploader_have.num_words()
+        self.uploader_have.len()
     }
 
     /// Total number of candidate pieces.
@@ -126,7 +128,9 @@ fn sampled_rarest(ctx: &PickContext<'_>, sample: u16, rng: &mut impl Rng) -> Opt
     const SMALL: usize = 8;
     if ctx.num_words() <= SMALL {
         let mut words = [0u64; SMALL];
-        let mut cum = [0u32; SMALL];
+        // Unused lanes hold `u32::MAX` so the fixed-width rank scan below
+        // never selects them (every real `k` < total ≤ MAX).
+        let mut cum = [u32::MAX; SMALL];
         let mut total = 0u32;
         for wi in 0..ctx.num_words() {
             let w = ctx.candidate_word(wi);
@@ -149,8 +153,13 @@ fn sampled_rarest(ctx: &PickContext<'_>, sample: u16, rng: &mut impl Rng) -> Opt
             let draws = left.min(2);
             for half in 0..draws {
                 let k = (((r >> (16 * half)) & 0xFFFF) * total) >> 16;
-                // Last word whose cumulative start is ≤ k.
-                let wi = (0..ctx.num_words()).rfind(|&wi| cum[wi] <= k).expect("k >= cum[0] == 0");
+                // Last word whose cumulative start is ≤ k. `cum` is
+                // nondecreasing (sentinel-padded), so the index is a
+                // branchless population count over all eight fixed lanes —
+                // `k` is data-random, so an early-exit scan would
+                // mispredict once per draw, and the constant trip count
+                // lets the compiler unroll and vectorize the compare.
+                let wi: usize = (1..SMALL).map(|i| usize::from(cum[i] <= k)).sum();
                 let p = (wi * 64) as u32 + select_nth_set_bit(words[wi], k - cum[wi]);
                 let a = u16::from(ctx.avail[p as usize]);
                 let take = a < ba;
@@ -250,12 +259,51 @@ fn exact_rarest(ctx: &PickContext<'_>, rng: &mut impl Rng) -> Option<u32> {
 
 /// Index of the `k`-th (0-based) set bit of `w`.
 ///
-/// Binary search over half-width popcounts: six fixed steps regardless of
-/// `k`, where the obvious clear-lowest-bit loop is a `k`-long dependent
-/// chain — and `k` averages half the candidate count on the sampled path.
+/// On x86-64 with BMI2 this is a single `PDEP` + `TZCNT` (detected once at
+/// runtime); elsewhere it falls back to a binary search over half-width
+/// popcounts — six fixed steps regardless of `k`, where the obvious
+/// clear-lowest-bit loop is a `k`-long dependent chain. Selects run up to
+/// `sample` times per pick, the hottest scalar loop in the simulation.
 #[inline]
 fn select_nth_set_bit(w: u64, k: u32) -> u32 {
     debug_assert!(k < w.count_ones());
+    #[cfg(target_arch = "x86_64")]
+    if bmi2_available() {
+        // SAFETY: guarded by the cached `bmi2` feature detection above.
+        return unsafe { select_nth_set_bit_pdep(w, k) };
+    }
+    select_nth_set_bit_portable(w, k)
+}
+
+/// BMI2 select: deposit the `k`-th counting bit into the set positions of
+/// `w`, then count trailing zeros to read its index back out.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "bmi2")]
+#[inline]
+fn select_nth_set_bit_pdep(w: u64, k: u32) -> u32 {
+    core::arch::x86_64::_pdep_u64(1u64 << k, w).trailing_zeros()
+}
+
+/// Cached one-time BMI2 feature probe (a relaxed atomic load on the hot
+/// path; the `cpuid` runs once per process).
+#[cfg(target_arch = "x86_64")]
+#[inline]
+fn bmi2_available() -> bool {
+    use std::sync::atomic::{AtomicU8, Ordering};
+    static STATE: AtomicU8 = AtomicU8::new(0);
+    match STATE.load(Ordering::Relaxed) {
+        0 => {
+            let yes = std::arch::is_x86_feature_detected!("bmi2");
+            STATE.store(if yes { 2 } else { 1 }, Ordering::Relaxed);
+            yes
+        }
+        s => s == 2,
+    }
+}
+
+/// Portable fallback for [`select_nth_set_bit`].
+#[inline]
+fn select_nth_set_bit_portable(w: u64, k: u32) -> u32 {
     let mut k = k;
     let mut pos = 0u32;
     let mut cur = w;
@@ -277,6 +325,7 @@ fn select_nth_set_bit(w: u64, k: u32) -> u32 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::bitfield::Bitfield;
     use rand::SeedableRng;
     use rand_chacha::ChaCha12Rng;
 
@@ -291,9 +340,9 @@ mod tests {
         avail: &'a [u8],
     ) -> PickContext<'a> {
         PickContext {
-            uploader_have: up,
-            downloader_have: down,
-            inflight,
+            uploader_have: up.words(),
+            downloader_have: down.words(),
+            inflight: inflight.words(),
             avail,
             endgame: false,
             random_first: false,
@@ -307,6 +356,26 @@ mod tests {
         assert_eq!(select_nth_set_bit(w, 1), 4);
         assert_eq!(select_nth_set_bit(w, 2), 5);
         assert_eq!(select_nth_set_bit(w, 3), 7);
+    }
+
+    /// The BMI2 fast path and the portable fallback must agree bit-for-bit
+    /// on every (word, rank) the hot path can produce — selection results
+    /// feed the deterministic goldens, so a divergence here would make runs
+    /// machine-dependent.
+    #[test]
+    fn select_nth_bit_paths_agree() {
+        let mut state = 0x9e3779b97f4a7c15u64;
+        for _ in 0..2000 {
+            state = btt_netsim::util::splitmix64(state);
+            let w = state | 1; // never empty
+            for k in 0..w.count_ones() {
+                assert_eq!(
+                    select_nth_set_bit(w, k),
+                    select_nth_set_bit_portable(w, k),
+                    "w={w:#x} k={k}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -212,6 +212,92 @@ pub struct Swarm {
     scratch_decisions: Vec<(u32, bool)>,
     /// Reusable buffer for engine completions fired within a slice.
     fired_scratch: Vec<btt_netsim::engine::Completion>,
+    /// HAVE-propagation scratch: the announcing owner's neighbor ids packed
+    /// as `(peer, pos_at_peer)`. Service batching queues runs of
+    /// announcements from one owner, so hoisting the pairs out of the ~2
+    /// cache lines each [`Nbr`] occupies turns the per-piece neighbor walk
+    /// into a scan of one dense array.
+    scratch_nbrs: Vec<(u32, u32)>,
+    /// Flat mirror of every peer's `have` bitfield words
+    /// (`have_words[p * words_per_peer + w]`), kept in sync at the two
+    /// sites that mutate piece state (root init, fragment completion).
+    /// HAVE propagation tests ~`max_peers` random neighbors' bits per
+    /// announcement; one row here is a single cache line at 512 pieces,
+    /// where `peers[u].have.get(..)` chases two scattered pointers.
+    have_words: Vec<u64>,
+    /// Row stride of [`Self::have_words`] (`⌈num_pieces / 64⌉`).
+    words_per_peer: usize,
+    /// Protocol-side attribution counters (engine counters are merged in at
+    /// snapshot time — see [`Swarm::prof`]); observational only.
+    prof: SwarmProf,
+}
+
+/// Attribution counters for one swarm run: the engine's own counters
+/// ([`btt_netsim::prof::EngineProf`]) plus the protocol phases layered on
+/// top. The three `_ns` timers partition protocol wall time outside the
+/// engine: transfer servicing at delivery marks, HAVE propagation (with the
+/// dormant-pair retries it cascades into), and choker rounds. Together with
+/// `engine.advance_ns` they account for nearly the whole drive loop.
+///
+/// `Debug` omits the timers, like [`btt_netsim::prof::EngineProf`]'s does:
+/// seeded-determinism tests compare reports by their `Debug` rendering, and
+/// only the counters are a pure function of the seed.
+#[derive(Default, Clone, Copy, PartialEq)]
+pub struct SwarmProf {
+    /// The engine's counters (events, marks, solver phases).
+    pub engine: btt_netsim::prof::EngineProf,
+    /// Choker evaluations ([`SwarmConfig::rechoke_interval`] rounds plus
+    /// event-triggered re-chokes).
+    pub rechoke_passes: u64,
+    /// Transfer-servicing calls (delivery marks, rechoke boundaries, wakes).
+    pub service_calls: u64,
+    /// Piece-selection invocations across all transfers.
+    pub piece_picks: u64,
+    /// HAVE announcements propagated to neighbors.
+    pub have_announcements: u64,
+    /// Wall time servicing fired delivery marks, nanoseconds.
+    pub service_ns: u64,
+    /// Wall time propagating HAVEs + running dormant retries, nanoseconds.
+    pub haves_ns: u64,
+    /// Wall time in choker rounds (scoring, slot flips, restarts), ns.
+    pub rechoke_ns: u64,
+}
+
+impl std::fmt::Debug for SwarmProf {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SwarmProf")
+            .field("engine", &self.engine)
+            .field("rechoke_passes", &self.rechoke_passes)
+            .field("service_calls", &self.service_calls)
+            .field("piece_picks", &self.piece_picks)
+            .field("have_announcements", &self.have_announcements)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Reusable broadcast-lifetime buffers, recycled across the iterations a
+/// campaign worker runs. A campaign constructs one [`Swarm`] per iteration;
+/// without recycling, every iteration re-allocates (and re-faults) the two
+/// large flat mirrors (`avail`, `have_words` — hundreds of KB at 1000+
+/// hosts) plus the four hot-loop scratch vectors. The pool is
+/// `thread_local`, which makes it per-worker by construction under the
+/// campaign thread pool — no cross-thread handoff, no locks, and a serial
+/// campaign degenerates to one pool. Purely an allocation-discipline
+/// optimization: buffers are cleared and re-zeroed on reuse, so results are
+/// identical with or without recycling.
+#[derive(Default)]
+struct SwarmScratch {
+    avail: Vec<u8>,
+    have_words: Vec<u64>,
+    fired: Vec<btt_netsim::engine::Completion>,
+    nbrs: Vec<(u32, u32)>,
+    cands: Vec<(f64, u64, u32)>,
+    decisions: Vec<(u32, bool)>,
+}
+
+thread_local! {
+    static SCRATCH: std::cell::RefCell<SwarmScratch> =
+        std::cell::RefCell::new(SwarmScratch::default());
 }
 
 /// Flow tag marking scheduled cross-traffic streams (never a transfer tag).
@@ -256,9 +342,13 @@ impl Swarm {
             .collect();
 
         let pieces = cfg.num_pieces;
+        // This worker's recycled buffers (returned in `into_outcome`).
+        let mut sc = SCRATCH.with(|s| std::mem::take(&mut *s.borrow_mut()));
         // Initial availability: the root's full bitfield announcement, seen
         // by its neighbors.
-        let mut avail = vec![0u8; n * pieces as usize];
+        let mut avail = std::mem::take(&mut sc.avail);
+        avail.clear();
+        avail.resize(n * pieces as usize, 0);
         for (i, pos) in pos_of.iter().enumerate() {
             if i != root && pos.contains_key(&(root as u32)) {
                 avail[i * pieces as usize..(i + 1) * pieces as usize].fill(1);
@@ -311,6 +401,16 @@ impl Swarm {
             hosts.iter().enumerate().map(|(i, &h)| (h, i as u32)).collect();
         let mut status = vec![0u8; n];
         status[root] = ST_COMPLETE;
+        let words_per_peer = peers[root].have.num_words();
+        let mut have_words = std::mem::take(&mut sc.have_words);
+        have_words.clear();
+        have_words.resize(n * words_per_peer, 0);
+        have_words[root * words_per_peer..(root + 1) * words_per_peer]
+            .copy_from_slice(peers[root].have.words());
+        sc.fired.clear();
+        sc.nbrs.clear();
+        sc.cands.clear();
+        sc.decisions.clear();
         Swarm {
             cfg,
             net,
@@ -331,10 +431,21 @@ impl Swarm {
             sched_cursor: 0,
             host_index,
             xflows: FxHashMap::default(),
-            scratch_cands: Vec::new(),
-            scratch_decisions: Vec::new(),
-            fired_scratch: Vec::new(),
+            scratch_cands: sc.cands,
+            scratch_decisions: sc.decisions,
+            fired_scratch: sc.fired,
+            scratch_nbrs: sc.nbrs,
+            have_words,
+            words_per_peer,
+            prof: SwarmProf::default(),
         }
+    }
+
+    /// Snapshot of this run's attribution counters, engine included.
+    pub fn prof(&self) -> SwarmProf {
+        let mut p = self.prof;
+        p.engine = self.net.prof();
+        p
     }
 
     /// Attaches a reliability perturbation schedule (host churn, link
@@ -443,6 +554,7 @@ impl Swarm {
         fired.clear();
         self.net.advance_to_next_event_until_into(deadline, &mut fired);
         let any = !fired.is_empty();
+        let t0 = std::time::Instant::now();
         for c in &fired {
             if c.kind == CompletionKind::Mark {
                 let (d, j) = untag(c.tag);
@@ -452,8 +564,11 @@ impl Swarm {
         }
         self.fired_scratch = fired;
         if any {
+            let t1 = std::time::Instant::now();
+            self.prof.service_ns += (t1 - t0).as_nanos() as u64;
             self.flush_haves();
             self.process_retries();
+            self.prof.haves_ns += t1.elapsed().as_nanos() as u64;
         }
         self.net.time()
     }
@@ -533,6 +648,11 @@ impl Swarm {
         self.peers[d].alive = false;
         self.peers[d].ever_down = true;
         self.status[d] |= ST_DOWN;
+        // Sentinel: an all-ones mirror row makes HAVE propagation skip the
+        // crashed host with the same bit test that skips neighbors already
+        // holding the piece (no per-visit status load). The real words are
+        // restored from `have` on revival.
+        self.have_words[d * self.words_per_peer..(d + 1) * self.words_per_peer].fill(!0);
         // The host's own downloads abort; reservations release.
         for j in 0..self.peers[d].nbrs.len() {
             if let Some(t) = self.peers[d].nbrs[j].transfer.take() {
@@ -626,6 +746,8 @@ impl Swarm {
         }
         self.peers[d].alive = true;
         self.status[d] &= !ST_DOWN;
+        let wpp = self.words_per_peer;
+        self.have_words[d * wpp..(d + 1) * wpp].copy_from_slice(self.peers[d].have.words());
         let pieces = self.peers[d].have.len();
         self.avail[d * pieces as usize..(d + 1) * pieces as usize].fill(0);
         let d_complete = self.peers[d].completed_at.is_some();
@@ -754,6 +876,7 @@ impl Swarm {
     /// are current, propagate announcements, run the choking algorithm, and
     /// sweep dormant pairs as a retry safety net.
     fn on_rechoke(&mut self) {
+        let t0 = std::time::Instant::now();
         self.service_all();
         self.flush_haves();
         let rounds_per_optimistic =
@@ -766,6 +889,7 @@ impl Swarm {
         self.flush_haves();
         self.retry_all_dormant();
         self.process_retries();
+        self.prof.rechoke_ns += t0.elapsed().as_nanos() as u64;
     }
 
     /// Drains every active transfer (used at rechoke boundaries, where every
@@ -840,6 +964,7 @@ impl Swarm {
     /// because the stream's delivery mark fired — the only context allowed
     /// to expire an idle grace window and tear the stream down.
     fn service_pair(&mut self, d: usize, j: usize, on_mark: bool) {
+        self.prof.service_calls += 1;
         let now = self.net.time();
         let piece_bytes = self.cfg.piece_bytes;
         let (flow, u, pos) = {
@@ -881,6 +1006,8 @@ impl Swarm {
                 self.peers[d].inflight.clear(piece);
                 let remaining_before = self.peers[d].remaining();
                 if self.peers[d].have.set(piece) {
+                    self.have_words[d * self.words_per_peer + (piece as usize >> 6)] |=
+                        1u64 << (piece & 63);
                     self.have_queue.push((d as u32, piece));
                     if self.peers[d].have.is_full() {
                         self.peers[d].completed_at = Some(now);
@@ -903,14 +1030,18 @@ impl Swarm {
             }
 
             // No current piece: try to (re)start one on this stream.
+            self.prof.piece_picks += 1;
             let picked = {
-                let Self { cfg, peers, rng, avail, .. } = self;
-                let (dp, up) = two_mut(peers, d, u);
+                let Self { cfg, peers, rng, avail, have_words, words_per_peer, .. } = self;
+                let (dp, wpp) = (&peers[d], *words_per_peer);
                 let pp = cfg.num_pieces as usize;
+                // Have rows come from the dense mirror (live pairs only, so
+                // the crash sentinel is never read here); its rows are kept
+                // hot by HAVE flushing, unlike the scattered per-peer heaps.
                 let ctx = PickContext {
-                    uploader_have: &up.have,
-                    downloader_have: &dp.have,
-                    inflight: &dp.inflight,
+                    uploader_have: &have_words[u * wpp..(u + 1) * wpp],
+                    downloader_have: &have_words[d * wpp..(d + 1) * wpp],
+                    inflight: dp.inflight.words(),
                     avail: &avail[d * pp..(d + 1) * pp],
                     endgame: dp.remaining() <= cfg.endgame_pieces,
                     random_first: dp.have.count() < cfg.random_first_pieces,
@@ -993,14 +1124,15 @@ impl Swarm {
         if !self.peers[u].nbrs[pos].am_unchoking {
             return;
         }
+        self.prof.piece_picks += 1;
         let picked = {
-            let Self { cfg, peers, rng, avail, .. } = self;
-            let (dp, up) = two_mut(peers, d, u);
+            let Self { cfg, peers, rng, avail, have_words, words_per_peer, .. } = self;
+            let (dp, wpp) = (&peers[d], *words_per_peer);
             let pp = cfg.num_pieces as usize;
             let ctx = PickContext {
-                uploader_have: &up.have,
-                downloader_have: &dp.have,
-                inflight: &dp.inflight,
+                uploader_have: &have_words[u * wpp..(u + 1) * wpp],
+                downloader_have: &have_words[d * wpp..(d + 1) * wpp],
+                inflight: dp.inflight.words(),
                 avail: &avail[d * pp..(d + 1) * pp],
                 endgame: dp.remaining() <= cfg.endgame_pieces,
                 random_first: dp.have.count() < cfg.random_first_pieces,
@@ -1066,30 +1198,57 @@ impl Swarm {
     /// flags, waking dormant unchoked pairs, and eager slot filling.
     fn flush_haves(&mut self) {
         let pp = self.cfg.num_pieces as usize;
+        let mut scratch = std::mem::take(&mut self.scratch_nbrs);
         while !self.have_queue.is_empty() {
             let queue = std::mem::take(&mut self.have_queue);
+            self.prof.have_announcements += queue.len() as u64;
+            // Announcements arrive in owner-runs (one service batch queues
+            // every piece a stream completed), so the packed neighbor-id
+            // scratch is rebuilt once per run, not once per piece. The
+            // neighbor topology is immutable during a flush (peers are only
+            // added by tracker re-announces, which happen at perturbation
+            // boundaries), so the ids stay valid across nested wakes.
+            let mut cur_owner = u32::MAX;
             for (owner, piece) in queue {
+                if owner != cur_owner {
+                    cur_owner = owner;
+                    scratch.clear();
+                    scratch.extend(
+                        self.peers[owner as usize].nbrs.iter().map(|nb| (nb.peer, nb.pos_at_peer)),
+                    );
+                }
                 let owner = owner as usize;
-                for j in 0..self.peers[owner].nbrs.len() {
-                    let (u, pos) = {
-                        let nb = &self.peers[owner].nbrs[j];
-                        (nb.peer as usize, nb.pos_at_peer as usize)
-                    };
-                    // One status byte gates the whole neighbor visit:
-                    // crashed neighbors miss announcements (their whole
-                    // availability view is recomputed on revival), and
-                    // completed neighbors never pick again, so their
-                    // availability rows are dead state not worth updating.
-                    if self.status[u] != 0 {
+                for (j, &(u, pos)) in scratch.iter().enumerate() {
+                    let (u, pos) = (u as usize, pos as usize);
+                    // Dense mirror of `peers[u].have.get(piece)`: the common
+                    // case (neighbor already holds the piece) resolves from
+                    // one flat row without touching the scattered `Peer`.
+                    // Liveness rides along — crashed hosts carry all-ones
+                    // sentinel rows, completed hosts genuinely full ones —
+                    // so one bit test gates the whole visit.
+                    //
+                    // The availability increment is *skipped* for those
+                    // neighbors: picks read `avail[u][p]` only for candidate
+                    // pieces, and candidates always exclude `u`'s own haves
+                    // (a peer never un-loses a piece — crashes keep piece
+                    // state, revival recomputes the whole row), so a counter
+                    // under an already-held piece is dead state. This turns
+                    // the common visit into one load and a bit test, with no
+                    // scattered store.
+                    let word = self.have_words[u * self.words_per_peer + (piece as usize >> 6)];
+                    if word >> (piece & 63) & 1 != 0 {
                         continue;
                     }
                     let slot = &mut self.avail[u * pp + piece as usize];
                     *slot = slot.saturating_add(1);
-                    if self.peers[u].have.get(piece) {
-                        continue;
-                    }
-                    // u is now (still) interested in owner.
-                    if !self.peers[u].nbrs[pos].im_interested {
+                    // u is now (still) interested in owner. Tested via the
+                    // owner-side `they_interested` mirror (the two fields
+                    // are kept in lockstep everywhere — see the invariant
+                    // check in `mirror_invariants_hold_mid_run`): the owner's `nbrs`
+                    // row stays cache-hot across the whole owner-run, so
+                    // the already-interested majority never chases the
+                    // scattered `peers[u]` entry at all.
+                    if !self.peers[owner].nbrs[j].they_interested {
                         self.peers[u].nbrs[pos].im_interested = true;
                         self.peers[owner].nbrs[j].they_interested = true;
                         // Original-client behaviour: an interest change triggers a
@@ -1110,19 +1269,26 @@ impl Swarm {
                     // set grows only through announcements (in-flight
                     // releases queue an explicit retry), so gating on this
                     // piece skips the guaranteed-to-fail pick attempts that
-                    // otherwise dominate HAVE processing.
-                    let fetchable = !self.peers[u].inflight.get(piece)
-                        || self.peers[u].remaining() <= self.cfg.endgame_pieces;
-                    if fetchable && self.peers[owner].nbrs[j].am_unchoking {
-                        match &self.peers[u].nbrs[pos].transfer {
-                            None => self.try_start_transfer(u, pos),
-                            Some(t) if t.piece.is_none() => self.service_pair(u, pos, false),
-                            Some(_) => {}
+                    // otherwise dominate HAVE processing. The choke test
+                    // goes first: both tests are pure reads, the owner-side
+                    // slot bit stays cache-hot across the batch, and ~9 in
+                    // 10 pairs are choked — skipping the pointer chase into
+                    // `u`'s reservation state entirely.
+                    if self.peers[owner].nbrs[j].am_unchoking {
+                        let fetchable = !self.peers[u].inflight.get(piece)
+                            || self.peers[u].remaining() <= self.cfg.endgame_pieces;
+                        if fetchable {
+                            match &self.peers[u].nbrs[pos].transfer {
+                                None => self.try_start_transfer(u, pos),
+                                Some(t) if t.piece.is_none() => self.service_pair(u, pos, false),
+                                Some(_) => {}
+                            }
                         }
                     }
                 }
             }
         }
+        self.scratch_nbrs = scratch;
     }
 
     fn unchoked_count(&self, p: usize) -> usize {
@@ -1146,6 +1312,7 @@ impl Swarm {
         if !self.peers[p].alive {
             return;
         }
+        self.prof.rechoke_passes += 1;
         let now = self.net.time();
         {
             let Self { cfg, peers, rng, scratch_cands: cands, scratch_decisions, .. } = self;
@@ -1256,7 +1423,7 @@ impl Swarm {
         self.into_outcome()
     }
 
-    fn into_outcome(self) -> RunOutcome {
+    fn into_outcome(mut self) -> RunOutcome {
         let fragments = self.fragments();
         let completion: Vec<Option<f64>> = self.peers.iter().map(|p| p.completed_at).collect();
         let disrupted: Vec<bool> = self.peers.iter().map(|p| p.ever_down).collect();
@@ -1274,6 +1441,22 @@ impl Swarm {
                 None => Some(self.cfg.max_sim_time),
             })
             .fold(0.0f64, f64::max);
+        let prof = {
+            let mut p = self.prof;
+            p.engine = self.net.prof();
+            p
+        };
+        // Hand the broadcast-lifetime buffers back to this worker's pool
+        // for the campaign's next iteration.
+        SCRATCH.with(|s| {
+            let sc = &mut *s.borrow_mut();
+            sc.avail = std::mem::take(&mut self.avail);
+            sc.have_words = std::mem::take(&mut self.have_words);
+            sc.fired = std::mem::take(&mut self.fired_scratch);
+            sc.nbrs = std::mem::take(&mut self.scratch_nbrs);
+            sc.cands = std::mem::take(&mut self.scratch_cands);
+            sc.decisions = std::mem::take(&mut self.scratch_decisions);
+        });
         RunOutcome {
             fragments,
             completion,
@@ -1282,6 +1465,7 @@ impl Swarm {
             sim_steps: self.events,
             disrupted,
             departed,
+            prof,
         }
     }
 }
@@ -1311,6 +1495,9 @@ pub struct RunOutcome {
     /// Per-peer: true when the host was still down when the run ended (a
     /// *lost* host, in the reliability report's terms).
     pub departed: Vec<bool>,
+    /// Attribution counters for the run (wall-clock phases + event counts).
+    /// Observational only: excluded from determinism comparisons.
+    pub prof: SwarmProf,
 }
 
 impl RunOutcome {

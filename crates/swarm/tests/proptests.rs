@@ -132,6 +132,7 @@ proptest! {
                     sim_steps: 1,
                     disrupted: vec![false; n],
                     departed: vec![false; n],
+                    prof: Default::default(),
                 }
             })
             .collect();

@@ -79,3 +79,18 @@ fn drive_modes_agree_under_all_perturbation_kinds() {
         assert_eq!(event, stepped, "seed {seed}");
     }
 }
+
+/// Single-broadcast smokes at the suite's largest scales: 4096-host
+/// fat-tree and 8192-host WAN, one iteration each, both pacings. The
+/// flattened hot path (dense have/interest mirrors, coalesced delivery
+/// marks, component-parallel re-solves) earns its keep at exactly these
+/// sizes, so this is where a pacing-dependent shortcut would surface; a
+/// shallow piece count keeps both points inside the CI smoke budget.
+#[test]
+fn drive_modes_agree_at_bench_scale() {
+    for (spec, pieces) in [("fat-tree-4k", 16u32), ("wan-8k", 16)] {
+        let event = record_spec(spec, pieces, 1, DriveMode::EventDriven, 2012);
+        let stepped = record_spec(spec, pieces, 1, DriveMode::FixedStep, 2012);
+        assert_eq!(event, stepped, "{spec}: bench-scale reports must be byte-identical");
+    }
+}
